@@ -1,0 +1,60 @@
+// Ablation — uplink line codes: the paper's FM0 against Miller-modulated
+// subcarriers (M = 2/4/8, the Gen2 family it follows). Monte Carlo BER on
+// the decision-domain AWGN channel: Miller trades switching bandwidth for
+// robustness.
+
+#include <cstdio>
+
+#include "core/ber_harness.hpp"
+#include "dsp/rng.hpp"
+#include "dsp/signal_ops.hpp"
+#include "phy/miller.hpp"
+
+using namespace ecocap;
+using dsp::Real;
+
+namespace {
+
+Real miller_ber(Real snr_db, int m, std::size_t total_bits,
+                std::uint64_t seed) {
+  dsp::Rng rng(seed);
+  phy::MillerParams p;
+  p.bitrate = 1.0;
+  p.m = m;
+  const Real fs = 32.0 * m >= 64.0 ? 32.0 * m : 64.0;
+  const Real spb = fs;  // samples per bit at bitrate 1
+  const Real snr_lin = dsp::from_db(snr_db);
+  const Real sigma = std::sqrt(spb / (2.0 * snr_lin));
+  std::size_t bits = 0, errors = 0;
+  while (bits < total_bits) {
+    const phy::Bits tx = phy::random_bits(64, rng);
+    dsp::Signal x = phy::miller_encode(tx, p, fs);
+    dsp::add_awgn(x, sigma, rng);
+    const phy::Bits rx = phy::miller_decode(x, p, fs, tx.size());
+    errors += phy::hamming_distance(tx, rx);
+    bits += tx.size();
+  }
+  return static_cast<Real>(errors) / static_cast<Real>(bits);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Ablation — BER vs SNR: FM0 vs Miller-2/4/8\n");
+  std::printf("snr_db,fm0,miller2,miller4,miller8\n");
+  for (double snr = 0.0; snr <= 10.01; snr += 2.0) {
+    core::BerConfig cfg;
+    cfg.snr_db = snr;
+    cfg.total_bits = 60000;
+    cfg.seed = 31 + static_cast<std::uint64_t>(snr);
+    const Real fm0 = core::fm0_ber_monte_carlo(cfg).ber();
+    std::printf("%.0f,%.3g,%.3g,%.3g,%.3g\n", snr, fm0,
+                miller_ber(snr, 2, 30000, 101 + static_cast<std::uint64_t>(snr)),
+                miller_ber(snr, 4, 30000, 202 + static_cast<std::uint64_t>(snr)),
+                miller_ber(snr, 8, 30000, 303 + static_cast<std::uint64_t>(snr)));
+  }
+  std::printf("# takeaway: the coherent subcarrier integration makes the\n");
+  std::printf("#   codes comparable on AWGN; Miller wins under narrowband\n");
+  std::printf("#   interference at the cost of M x switching bandwidth\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation — §3.5 foreign objects: rebar/void scatterers perturb the
+// channel; the paper observes that they rarely break communication and that
+// fine-tuning the carrier frequency restores a degraded link. Monte Carlo
+// over random rebar fields.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "channel/scatterers.hpp"
+#include "dsp/rng.hpp"
+#include "dsp/signal_ops.hpp"
+
+using namespace ecocap;
+using dsp::Real;
+
+int main() {
+  const wave::Material concrete = wave::materials::reference_concrete();
+  const wave::Point2 reader{0.0, 0.15};
+  const wave::Point2 node{1.6, 0.12};
+
+  std::printf("# Ablation — channel gain vs rebar density, 230 kHz carrier\n");
+  std::printf(
+      "rebar_count,mean_gain_db,p10_gain_db,mean_tuned_gain_db,"
+      "tuning_recovery_db\n");
+  for (int count : {0, 4, 8, 16, 32, 64}) {
+    const int trials = 60;
+    std::vector<Real> gains, tuned;
+    dsp::Rng rng(1000 + count);
+    for (int t = 0; t < trials; ++t) {
+      const auto field =
+          channel::ScattererField::random_rebar(count, 2.0, 0.3, concrete, rng);
+      gains.push_back(field.path_gain(reader, node, 230.0e3));
+      tuned.push_back(field.best_frequency(reader, node, 210.0e3, 250.0e3).gain);
+    }
+    std::sort(gains.begin(), gains.end());
+    Real mean_g = 0.0, mean_t = 0.0;
+    for (std::size_t i = 0; i < gains.size(); ++i) {
+      mean_g += gains[i];
+      mean_t += tuned[i];
+    }
+    mean_g /= trials;
+    mean_t /= trials;
+    const Real p10 = gains[trials / 10];
+    std::printf("%d,%.2f,%.2f,%.2f,%.2f\n", count,
+                dsp::to_db(mean_g * mean_g), dsp::to_db(p10 * p10),
+                dsp::to_db(mean_t * mean_t),
+                dsp::to_db(mean_t * mean_t) - dsp::to_db(mean_g * mean_g));
+  }
+  std::printf("# paper §3.5: foreign objects cause fading, not outage, and\n");
+  std::printf("#   frequency fine-tuning significantly improves bad channels\n");
+  return 0;
+}

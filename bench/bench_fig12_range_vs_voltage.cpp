@@ -1,0 +1,39 @@
+// Fig. 12 — maximum power-up range vs TX voltage for the four concrete
+// structures (S1-S4) and the PAB pools.
+
+#include <cstdio>
+
+#include "baseline/pab.hpp"
+#include "channel/link_budget.hpp"
+#include "channel/structures.hpp"
+
+using namespace ecocap;
+
+int main() {
+  const auto structures = channel::structures::figure12_structures();
+  std::printf("# Fig. 12 — power-up range (cm) vs TX voltage (V)\n");
+  std::printf("voltage_v");
+  for (const auto& s : structures) std::printf(",%s", s.name.c_str());
+  std::printf("\n");
+
+  for (int v = 10; v <= 250; v += 10) {
+    std::printf("%d", v);
+    for (const auto& s : structures) {
+      const channel::LinkBudget budget(s);
+      const auto range = budget.max_powerup_range(static_cast<double>(v));
+      if (range) {
+        std::printf(",%.0f", *range * 100.0);
+      } else {
+        std::printf(",");
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("# paper anchors: S1 130cm@50V; S2 56cm@50V 235cm@200V;\n");
+  std::printf("#   S3 134cm@50V ~500cm@200V ~600cm@250V; S4 60cm@50V 385cm@200V;\n");
+  std::printf("#   Pool1 19cm@50V 200cm@200V; Pool2 23cm@84V 650cm@125V\n");
+  std::printf("# findings: voltage ^ -> range ^; narrow walls beat the thick\n");
+  std::printf("#   column; pool 2 anomaly: waveguided corridor\n");
+  return 0;
+}

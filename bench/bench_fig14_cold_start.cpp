@@ -1,0 +1,34 @@
+// Fig. 14 — cold-start time vs activation (PZT) voltage, from the Dickson
+// multiplier + storage-cap model. Cross-checked against the streaming
+// charge simulation.
+
+#include <cstdio>
+
+#include "node/harvester.hpp"
+
+using namespace ecocap;
+
+int main() {
+  const node::Harvester h;
+  std::printf("# Fig. 14 — cold-start time (ms) vs activation voltage (V)\n");
+  std::printf("# minimum activation voltage: %.2f V (paper: 0.5 V)\n",
+              h.minimum_activation_voltage());
+  std::printf("voltage_v,analytic_ms,simulated_ms\n");
+  for (double v = 0.5; v <= 5.01; v += 0.25) {
+    const auto t = h.cold_start_time(v);
+    if (!t) {
+      std::printf("%.2f,,\n", v);
+      continue;
+    }
+    // Streaming cross-check.
+    node::Harvester sim;
+    double elapsed = 0.0;
+    while (!sim.mcu_powered() && elapsed < 0.5) {
+      sim.step(2e-5, v);
+      elapsed += 2e-5;
+    }
+    std::printf("%.2f,%.2f,%.2f\n", v, *t * 1e3, elapsed * 1e3);
+  }
+  std::printf("# paper: ~55 ms at 0.5 V, dropping to ~4.4 ms at >= 2 V\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Fig. 15 — uplink BER vs SNR: the EcoCapsule reader's coherent ML FM0
+// decoder against the PAB-class hard-decision decoder (Monte Carlo over
+// the decision-domain AWGN channel).
+
+#include <cstdio>
+
+#include "core/ber_harness.hpp"
+
+using namespace ecocap;
+
+int main() {
+  std::printf("# Fig. 15 — BER vs SNR, FM0 uplink (Monte Carlo)\n");
+  std::printf("snr_db,ecocapsule_ml_ber,pab_hard_ber,bits\n");
+  for (double snr = 0.0; snr <= 12.01; snr += 1.0) {
+    core::BerConfig cfg;
+    cfg.snr_db = snr;
+    // More bits at high SNR to resolve small BERs.
+    cfg.total_bits = (snr >= 8.0) ? 400000 : 100000;
+    cfg.seed = 42 + static_cast<std::uint64_t>(snr * 10);
+
+    cfg.decoder = core::UplinkDecoder::kMlFm0;
+    const auto ml = core::fm0_ber_monte_carlo(cfg);
+    cfg.decoder = core::UplinkDecoder::kHardDecision;
+    const auto hard = core::fm0_ber_monte_carlo(cfg);
+
+    std::printf("%.0f,%.3g,%.3g,%zu\n", snr, ml.ber(), hard.ber(), ml.bits);
+  }
+  std::printf("# paper shape: BER ~0.5 near 2 dB; EcoCapsule floors (~1e-5)\n");
+  std::printf("#   by ~8-9 dB; PAB needs ~3 dB more for the same BER\n");
+  return 0;
+}

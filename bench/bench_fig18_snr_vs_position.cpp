@@ -1,0 +1,69 @@
+// Fig. 18 — uplink SNR CDF vs node position (top margin / middle / bottom
+// margin of a wall): Monte Carlo over reader placements and launch angles
+// with the boundary-reflection ray tracer; margins harvest reflected
+// S-waves and see higher SNR than the middle.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "dsp/rng.hpp"
+#include "dsp/signal_ops.hpp"
+#include "wave/ray_tracer.hpp"
+#include "wave/snell.hpp"
+
+using namespace ecocap;
+using dsp::Real;
+
+int main() {
+  const wave::Material concrete = wave::materials::reference_concrete();
+  wave::RayTracer::Config cfg;
+  cfg.length = 2.0;
+  cfg.thickness = 0.30;
+  cfg.rays = 48;
+  cfg.fan_half_angle = 0.45;
+  const wave::RayTracer tracer(concrete, cfg);
+
+  dsp::Rng rng(7);
+  const int trials = 120;
+  // Positions across the thickness: top margin, middle, bottom margin.
+  struct Band {
+    const char* name;
+    Real y;
+  };
+  const std::vector<Band> bands = {
+      {"top", 0.27}, {"middle", 0.15}, {"bottom", 0.03}};
+
+  std::vector<std::vector<Real>> snrs(bands.size());
+  for (int t = 0; t < trials; ++t) {
+    const Real src = rng.uniform(0.0, 0.3);
+    const Real launch = wave::deg_to_rad(rng.uniform(40.0, 70.0));
+    const Real x = rng.uniform(0.8, 1.4);
+    for (std::size_t b = 0; b < bands.size(); ++b) {
+      // Coherent combining: near-margin nodes see the incident and
+      // boundary-reflected passes superpose (displacement antinode).
+      const Real e = tracer.coherent_energy_at(src, launch,
+                                               wave::Point2{x, bands[b].y},
+                                               0.05);
+      // Map captured energy to an SNR against a fixed noise floor chosen so
+      // the median lands in the paper's 5-15 dB range.
+      const Real snr = dsp::to_db(e / 2.2e-4);
+      snrs[b].push_back(snr);
+    }
+  }
+
+  std::printf("# Fig. 18 — SNR CDF by node position in the wall section\n");
+  std::printf("percentile,top_db,middle_db,bottom_db\n");
+  for (auto& v : snrs) std::sort(v.begin(), v.end());
+  for (int p = 5; p <= 95; p += 5) {
+    const std::size_t idx =
+        static_cast<std::size_t>(p / 100.0 * (trials - 1));
+    std::printf("%d,%.1f,%.1f,%.1f\n", p, snrs[0][idx], snrs[1][idx],
+                snrs[2][idx]);
+  }
+  const std::size_t med = trials / 2;
+  std::printf("# medians: top %.1f dB, middle %.1f dB, bottom %.1f dB\n",
+              snrs[0][med], snrs[1][med], snrs[2][med]);
+  std::printf("# paper: margins (11 / 8 dB) beat the middle (7 dB)\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Fig. 19 — downlink SNR vs prism incident angle: the dual-mode ISI model
+// (wave/snell + channel/snr_models) over the paper's tested angles.
+
+#include <cstdio>
+
+#include "channel/snr_models.hpp"
+#include "wave/snell.hpp"
+
+using namespace ecocap;
+
+int main() {
+  const auto model = channel::DownlinkAngleModel::paper_default();
+  std::printf("# Fig. 19 — downlink SNR (dB) vs prism incident angle (deg)\n");
+  std::printf("angle_deg,snr_db\n");
+  for (int deg : {0, 15, 30, 45, 50, 60, 70, 75}) {
+    std::printf("%d,%.1f\n", deg,
+                model.snr_db(wave::deg_to_rad(static_cast<double>(deg))));
+  }
+  const double peak = model.snr_db(wave::deg_to_rad(60.0));
+  const double at15 = model.snr_db(wave::deg_to_rad(15.0));
+  const double at30 = model.snr_db(wave::deg_to_rad(30.0));
+  std::printf("# drop vs peak: 15 deg: %.0f%%, 30 deg: %.0f%%\n",
+              100.0 * (1.0 - at15 / peak), 100.0 * (1.0 - at30 / peak));
+  std::printf("# paper: max ~15 dB around 50-70 deg; -73%% at 15 deg, -30%%\n");
+  std::printf("#   at 30 deg; moderately high at 0 deg (P-only, no prism)\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Fig. 20 — downlink SNR vs bitrate: the FSK/off-resonance anti-ring
+// scheme against plain OOK. Full waveform chain: PIE baseband -> carrier
+// modulation -> ringing TX PZT -> concrete band resonance -> envelope
+// detection; SNR is the fidelity of the demodulated baseband against the
+// ideal PIE levels.
+
+#include <cstdio>
+
+#include "dsp/biquad.hpp"
+#include "dsp/envelope.hpp"
+#include "dsp/rng.hpp"
+#include "dsp/signal_ops.hpp"
+#include "phy/bits.hpp"
+#include "phy/carrier.hpp"
+#include "phy/pie.hpp"
+#include "phy/ring_effect.hpp"
+
+using namespace ecocap;
+using dsp::Real;
+using dsp::Signal;
+
+namespace {
+
+Real downlink_snr(Real bitrate, phy::DownlinkScheme scheme, Real fs,
+                  dsp::Rng& rng) {
+  phy::PieParams pie;
+  pie.tari = 1.0 / bitrate;  // a data-0 per bit period
+  const phy::Bits payload = phy::random_bits(48, rng);
+  const Signal baseband = phy::pie_encode(payload, pie, fs);
+
+  phy::CarrierParams cp;
+  cp.fs = fs;
+  const Signal modulated = phy::modulate_downlink(baseband, cp, scheme);
+  phy::RingingPzt pzt(fs, 230.0e3, 217.0);
+  Signal acoustic = pzt.drive(modulated);
+
+  dsp::Biquad concrete = dsp::Biquad::bandpass(fs, 230.0e3, 10.0);
+  const Real g0 = concrete.magnitude_at(fs, 230.0e3);
+  Signal received = concrete.process(acoustic);
+  for (Real& v : received) v /= g0;
+  dsp::add_awgn(received, 0.01, rng);
+
+  dsp::EnvelopeDetector det(fs, 4.0 * bitrate);
+  Signal env = det.process(received);
+
+  // Evaluate the envelope at decision points: the central 60% of every
+  // baseband run (what the node's slicer thresholds). Transition smear is
+  // common to both schemes; what separates them is the ring tail filling
+  // the low intervals (OOK) vs the off-resonance residue (FSK).
+  const std::size_t skip = static_cast<std::size_t>(2.5 * pie.tari * fs);
+  Signal ref, obs;
+  std::size_t run_start = skip;
+  auto flush_run = [&](std::size_t end) {
+    const std::size_t len = end - run_start;
+    if (len < 8) return;
+    const std::size_t lo = run_start + len / 5;
+    const std::size_t hi_i = end - len / 5;
+    for (std::size_t i = lo; i < hi_i; ++i) {
+      ref.push_back(baseband[i]);
+      obs.push_back(env[i]);
+    }
+  };
+  for (std::size_t i = skip + 1; i < baseband.size(); ++i) {
+    if ((baseband[i] > 0.5) != (baseband[i - 1] > 0.5)) {
+      flush_run(i);
+      run_start = i;
+    }
+  }
+  flush_run(baseband.size());
+
+  // Normalize against the mean high-level envelope.
+  Real hi = 0.0;
+  int hi_n = 0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    if (ref[i] > 0.5) {
+      hi += obs[i];
+      ++hi_n;
+    }
+  }
+  if (hi_n == 0) return 0.0;
+  hi /= hi_n;
+  for (Real& v : obs) v /= hi;
+  return dsp::measure_snr_db(ref, obs);
+}
+
+}  // namespace
+
+int main() {
+  const Real fs = 2.0e6;
+  dsp::Rng rng(13);
+  std::printf("# Fig. 20 — downlink SNR (dB) vs bitrate: FSK vs OOK\n");
+  std::printf("bitrate_kbps,fsk_db,ook_db,ratio\n");
+  for (double kbps : {1.0, 2.0, 4.0, 6.0, 8.0, 10.0}) {
+    const Real fsk = downlink_snr(kbps * 1000.0,
+                                  phy::DownlinkScheme::kFskOffResonance, fs,
+                                  rng);
+    const Real ook =
+        downlink_snr(kbps * 1000.0, phy::DownlinkScheme::kOok, fs, rng);
+    std::printf("%.0f,%.1f,%.1f,%.1fx\n", kbps, fsk, ook,
+                dsp::from_db(fsk - ook));
+  }
+  std::printf("# paper: FSK improves SNR ~3-5x over OOK (off-resonance\n");
+  std::printf("#   damping suppresses the ring tail)\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Fig. 21 / §6 and Figs. 26-36 — the long-term footbridge pilot study:
+// simulate July 2021 minute-by-minute (weather incl. the tropical-cyclone
+// window, pedestrian traffic, structural response), print the daily sensor
+// summaries the paper plots, the per-section health dashboard, the anomaly
+// windows, and the EcoCapsule cross-check readings.
+
+#include <cstdio>
+
+#include "shm/monitor.hpp"
+
+using namespace ecocap;
+
+int main() {
+  shm::MonitoringCampaign::Config cfg;
+  cfg.days = 31.0;          // July 2021
+  cfg.step_minutes = 1.0;   // paper: health updated once per minute
+  cfg.capsule_count = 5;    // the pilot deployed five EcoCapsules
+  cfg.capsule_poll_hours = 6.0;
+  cfg.seed = 2021;
+  shm::MonitoringCampaign campaign(cfg);
+  const shm::CampaignResult r = campaign.run();
+
+  std::printf("# Fig. 21(a)/(b) + Figs. 26-36 — daily summaries, July 2021\n");
+  std::printf(
+      "day,acc_env_mps2,stress_mean_mpa,stress_side_mpa,humidity_pct,"
+      "temp_c,pressure_kpa,worst_pao\n");
+  const std::size_t per_day = 24 * 60;
+  for (int d = 0; d < 31; ++d) {
+    const std::size_t a = static_cast<std::size_t>(d) * per_day;
+    const std::size_t b = a + per_day;
+    const auto acc = r.acceleration.stats(a, b);
+    const auto st = r.stress.stats(a, b);
+    const auto st2 = r.stress_side.stats(a, b);
+    const auto hum = r.humidity.stats(a, b);
+    const auto tmp = r.temperature.stats(a, b);
+    const auto prs = r.pressure.stats(a, b);
+    const auto pao = r.pao.stats(a, b);
+    std::printf("%d,%.4f,%.1f,%.1f,%.0f,%.1f,%.2f,%.1f\n", d + 1,
+                acc.stddev, st.mean, st2.mean, hum.mean, tmp.mean, prs.mean,
+                pao.min);
+  }
+
+  std::printf("\n# anomaly windows (rolling-z acceleration detector)\n");
+  std::printf("start_day,end_day,peak_z\n");
+  for (const auto& a : r.anomalies) {
+    std::printf("%.1f,%.1f,%.1f\n", a.start_day + 1.0, a.end_day + 1.0,
+                a.peak_zscore);
+  }
+  std::printf("# paper: excursions during the July 15-23 storm window\n");
+
+  std::printf("\n# Fig. 21(c) — per-section health histogram (minutes)\n");
+  std::printf("section,A,B,C,D,E,F\n");
+  for (const auto& [section, hist] : r.health_histogram) {
+    std::printf("%c", section);
+    for (char letter : {'A', 'B', 'C', 'D', 'E', 'F'}) {
+      const auto it = hist.find(letter);
+      std::printf(",%d", (it != hist.end()) ? it->second : 0);
+    }
+    std::printf("\n");
+  }
+  std::printf("# paper: health stayed at B or above all year (COVID-era)\n");
+
+  std::printf("\n# structural limit violations: %d\n", r.limit_violations);
+
+  std::printf("\n# EcoCapsule cross-check readings (%zu collected)\n",
+              r.capsule_readings.size());
+  std::printf("node_id,sensor_id,value\n");
+  const std::size_t show = std::min<std::size_t>(r.capsule_readings.size(), 12);
+  for (std::size_t i = 0; i < show; ++i) {
+    const auto& x = r.capsule_readings[i];
+    std::printf("0x%x,%d,%.3f\n", x.node_id, x.sensor_id, x.value);
+  }
+  std::printf("# paper: 5 capsules @ <1k USD vs 88 wired sensors @ >10M USD\n");
+  return 0;
+}

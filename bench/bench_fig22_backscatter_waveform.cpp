@@ -1,0 +1,69 @@
+// Fig. 22 — received and demodulated backscatter signal: a full waveform
+// round trip through the concrete channel; prints the demodulated baseband
+// (CBW lead-in, then the alternating backscatter square wave) and verifies
+// the frame decodes.
+
+#include <cstdio>
+
+#include "core/link_simulator.hpp"
+#include "dsp/envelope.hpp"
+#include "dsp/oscillator.hpp"
+#include "dsp/signal_ops.hpp"
+#include "phy/carrier.hpp"
+#include "phy/fm0.hpp"
+#include "reader/receiver.hpp"
+
+using namespace ecocap;
+using dsp::Real;
+using dsp::Signal;
+
+int main() {
+  core::SystemConfig cfg = core::default_system();
+  cfg.channel.distance = 0.15;
+  cfg.channel.noise_sigma = 1e-4;
+  cfg.capsule.firmware.uplink.bitrate = 1000.0;  // 0.5 ms half-symbols
+  core::LinkSimulator sim(cfg);
+
+  dsp::Rng rng(3);
+  const phy::Bits payload = phy::random_bits(16, rng);
+  const auto result = sim.uplink_once(payload);
+
+  std::printf("# Fig. 22 — backscatter round trip at 1 kbps\n");
+  std::printf("node_powered,%d\n", result.node_powered ? 1 : 0);
+  std::printf("uplink_decoded,%d\n", result.uplink_decoded ? 1 : 0);
+  std::printf("payload_match,%d\n",
+              (result.uplink_payload == payload) ? 1 : 0);
+  std::printf("uplink_snr_db,%.1f\n", result.uplink_snr_db);
+  std::printf("carrier_estimate_hz,%.0f\n", result.carrier_estimate);
+
+  // Reproduce the figure itself: synthesize the same uplink (4 ms of bare
+  // CBW, then the backscatter square wave) and print the receiver's
+  // demodulated envelope, decimated to one point per 0.1 ms.
+  const Real fs = cfg.channel.fs;
+  phy::Fm0Params line;
+  line.bitrate = 1000.0;
+  const Signal switching =
+      phy::fm0_encode_frame(phy::Bits{1, 0, 1, 0, 1, 1, 0, 0}, line, fs);
+  const auto lead = static_cast<std::size_t>(0.004 * fs);  // 4 ms of CBW
+  dsp::Oscillator osc(fs, 230.0e3);
+  const Signal carrier = osc.generate(lead + switching.size() + 4000);
+  Signal padded(lead, 1.0);  // reflective idle... switch closed: absorptive
+  for (auto& v : padded) v = -1.0;
+  padded.insert(padded.end(), switching.begin(), switching.end());
+  phy::BackscatterParams bp;
+  bp.f_blf = 0.0;  // the §3.4 experiment toggles the switch directly
+  Signal rx = phy::backscatter_modulate(carrier, padded, fs, bp);
+  dsp::add_awgn(rx, 2e-3, rng);
+
+  dsp::EnvelopeDetector env(fs, 10.0e3);
+  const Signal e = env.process(rx);
+  std::printf("\n# demodulated envelope (V-normalized), dt = 0.1 ms\n");
+  std::printf("time_ms,envelope\n");
+  const auto step = static_cast<std::size_t>(1e-4 * fs);
+  for (std::size_t i = 0; i < e.size(); i += step) {
+    std::printf("%.1f,%.3f\n", static_cast<double>(i) / fs * 1e3, e[i]);
+  }
+  std::printf("# paper: CBW lead-in, then the 0.5 ms two-level square wave\n");
+  std::printf("#   from the impedance switch; the reader decodes it\n");
+  return 0;
+}

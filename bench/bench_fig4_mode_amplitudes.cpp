@@ -1,0 +1,26 @@
+// Fig. 4 — relative amplitudes of the transmitted P and S modes (and the
+// leaked surface wave) vs the prism incident angle, PLA into concrete.
+
+#include <cstdio>
+
+#include "wave/snell.hpp"
+
+using namespace ecocap;
+
+int main() {
+  const wave::Material pla = wave::materials::pla();
+  const wave::Material concrete = wave::materials::reference_concrete();
+  const auto ca1 = wave::first_critical_angle(pla, concrete);
+  const auto ca2 = wave::second_critical_angle(pla, concrete);
+
+  std::printf("# Fig. 4 — transmitted mode amplitudes vs incident angle\n");
+  std::printf("# 1st critical angle: %.1f deg, 2nd: %.1f deg (paper: 34/73)\n",
+              wave::rad_to_deg(*ca1), wave::rad_to_deg(*ca2));
+  std::printf("angle_deg,p_amplitude,s_amplitude,surface_amplitude\n");
+  for (int deg = 0; deg <= 85; deg += 5) {
+    const auto a = wave::transmitted_mode_amplitudes(
+        pla, concrete, wave::deg_to_rad(static_cast<double>(deg)));
+    std::printf("%d,%.3f,%.3f,%.3f\n", deg, a.p, a.s, a.surface);
+  }
+  return 0;
+}

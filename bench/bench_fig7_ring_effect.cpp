@@ -1,0 +1,80 @@
+// Fig. 7 — the PZT ring effect: a PIE bit-0 transmitted with plain OOK
+// keeps ringing into the low-voltage edge; the FSK/off-resonance trick
+// lets the concrete suppress the tail. Prints the envelope of both
+// schemes over one symbol.
+
+#include <cstdio>
+
+#include "dsp/envelope.hpp"
+#include "dsp/signal_ops.hpp"
+#include "phy/carrier.hpp"
+#include "phy/pie.hpp"
+#include "phy/ring_effect.hpp"
+#include "dsp/biquad.hpp"
+
+using namespace ecocap;
+using dsp::Real;
+using dsp::Signal;
+
+namespace {
+
+Signal through_chain(const Signal& baseband, phy::DownlinkScheme scheme,
+                     Real fs) {
+  phy::CarrierParams cp;
+  cp.fs = fs;
+  const Signal modulated = phy::modulate_downlink(baseband, cp, scheme);
+  phy::RingingPzt pzt(fs, 230.0e3, 217.0);
+  Signal acoustic = pzt.drive(modulated);
+  // Concrete band resonance suppresses the off-resonant FSK edge.
+  dsp::Biquad concrete = dsp::Biquad::bandpass(fs, 230.0e3, 10.0);
+  const Real g0 = concrete.magnitude_at(fs, 230.0e3);
+  Signal out = concrete.process(acoustic);
+  for (Real& v : out) v /= g0;
+  dsp::EnvelopeDetector env(fs, 20.0e3);
+  return env.process(out);
+}
+
+}  // namespace
+
+int main() {
+  const Real fs = 2.0e6;
+  // One PIE bit-0: 0.5 ms high, 0.5 ms low, padded.
+  Signal baseband;
+  auto pad = [&](std::size_t n, Real level) {
+    baseband.insert(baseband.end(), n, level);
+  };
+  pad(200, 1.0);   // 0.1 ms lead-in
+  pad(1000, 1.0);  // high edge 0.5 ms
+  pad(1000, 0.0);  // low edge 0.5 ms
+  pad(400, 1.0);   // next symbol starts
+
+  const Signal ook = through_chain(baseband, phy::DownlinkScheme::kOok, fs);
+  const Signal fsk =
+      through_chain(baseband, phy::DownlinkScheme::kFskOffResonance, fs);
+
+  std::printf("# Fig. 7 — bit-0 envelope: OOK tailing vs FSK suppression\n");
+  std::printf("time_ms,ideal,ook_envelope,fsk_envelope\n");
+  for (std::size_t i = 0; i < baseband.size(); i += 20) {
+    std::printf("%.3f,%.0f,%.4f,%.4f\n", static_cast<double>(i) / fs * 1e3,
+                baseband[i], ook[i], fsk[i]);
+  }
+
+  // Quantify the tail: residual envelope 0.15-0.35 ms into the low edge.
+  const std::size_t low_start = 1200;
+  auto tail_level = [&](const Signal& env) {
+    Real acc = 0.0;
+    int n = 0;
+    for (std::size_t i = low_start + 300; i < low_start + 700; ++i) {
+      acc += env[i];
+      ++n;
+    }
+    return acc / n;
+  };
+  const Real high_ref = ook[1000];
+  std::printf("# OOK tail (fraction of high edge): %.2f\n",
+              tail_level(ook) / high_ref);
+  std::printf("# FSK tail (fraction of high edge): %.2f\n",
+              tail_level(fsk) / high_ref);
+  std::printf("# paper: OOK tail consumes ~0.3 ms; FSK suppressed\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Micro-benchmarks (google-benchmark) for the hot paths that the Monte
+// Carlo experiment harnesses lean on: FFT, FIR filtering, FM0 Viterbi
+// decode, the envelope detector, and the waveform-level concrete channel.
+
+#include <benchmark/benchmark.h>
+
+#include "channel/concrete_channel.hpp"
+#include "core/ber_harness.hpp"
+#include "dsp/envelope.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/oscillator.hpp"
+#include "dsp/rng.hpp"
+#include "wave/fdtd.hpp"
+#include "phy/fm0.hpp"
+
+using namespace ecocap;
+
+static void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const dsp::Signal x = dsp::tone(1.0e6, 230.0e3, n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::magnitude_spectrum(x));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Fft)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 17);
+
+static void BM_FirFilter(benchmark::State& state) {
+  const dsp::Signal h = dsp::design_lowpass(1.0e6, 50.0e3, 129);
+  const dsp::Signal x = dsp::tone(1.0e6, 30.0e3, 1 << 15, 1.0);
+  dsp::FirFilter f(h);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.process(x));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.size()));
+}
+BENCHMARK(BM_FirFilter);
+
+static void BM_Fm0Decode(benchmark::State& state) {
+  dsp::Rng rng(1);
+  const phy::Bits bits = phy::random_bits(256, rng);
+  const dsp::Signal x = phy::fm0_encode(bits, 32.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phy::fm0_decode(x, 32.0, bits.size()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_Fm0Decode);
+
+static void BM_Envelope(benchmark::State& state) {
+  const dsp::Signal x = dsp::tone(2.0e6, 230.0e3, 1 << 16, 1.0);
+  dsp::EnvelopeDetector det(2.0e6, 20.0e3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.process(x));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.size()));
+}
+BENCHMARK(BM_Envelope);
+
+static void BM_ConcreteChannelDownlink(benchmark::State& state) {
+  channel::ChannelConfig cfg;
+  cfg.distance = 0.5;
+  const channel::ConcreteChannel ch(channel::structures::s3_common_wall(),
+                                    cfg);
+  const dsp::Signal x = dsp::tone(cfg.fs, 230.0e3, 1 << 16, 1.0);
+  dsp::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ch.downlink(x, rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.size()));
+}
+BENCHMARK(BM_ConcreteChannelDownlink);
+
+static void BM_FdtdStep(benchmark::State& state) {
+  wave::ElasticFdtd::Config cfg;
+  cfg.nx = static_cast<std::size_t>(state.range(0));
+  cfg.ny = cfg.nx;
+  wave::ElasticFdtd sim(wave::materials::reference_concrete(), cfg);
+  sim.add_force(cfg.nx / 2, cfg.ny / 2, 1, 1.0);
+  for (auto _ : state) {
+    sim.step();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(cfg.nx * cfg.ny));
+}
+BENCHMARK(BM_FdtdStep)->Arg(128)->Arg(256);
+
+static void BM_BerTrial(benchmark::State& state) {
+  core::BerConfig cfg;
+  cfg.snr_db = 8.0;
+  cfg.total_bits = 4096;
+  for (auto _ : state) {
+    cfg.seed++;
+    benchmark::DoNotOptimize(core::fm0_ber_monte_carlo(cfg));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_BerTrial);

@@ -1,0 +1,35 @@
+// Table 1 (Appendix B) — mix proportions and properties of the tested
+// concretes, plus the acoustic quantities the library derives from them.
+
+#include <cstdio>
+
+#include "wave/attenuation.hpp"
+#include "wave/material.hpp"
+
+using namespace ecocap;
+
+int main() {
+  const auto concretes = wave::materials::table1_concretes();
+  std::printf("# Table 1 — mix proportions (kg/m^3) and properties\n");
+  std::printf(
+      "name,cement,silica_fume,fly_ash,quartz,sand,granite,steel_fiber,"
+      "water,hrwr,density,fco_mpa,ec_gpa,poisson,strain_pct\n");
+  for (const auto& m : concretes) {
+    std::printf("%s,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.1f,"
+                "%.1f,%.2f,%.3f\n",
+                m.name.c_str(), m.mix.cement, m.mix.silica_fume,
+                m.mix.fly_ash, m.mix.quartz_powder, m.mix.sand, m.mix.granite,
+                m.mix.steel_fiber, m.mix.water, m.mix.hrwr, m.density,
+                m.compressive_strength / 1e6, m.youngs_modulus / 1e9,
+                m.poisson_ratio, m.peak_strain * 100.0);
+  }
+  std::printf("\n# derived acoustic quantities at 230 kHz\n");
+  std::printf("name,cp_mps,cs_mps,z_p_mrayl,alpha_s_np_per_m\n");
+  for (const auto& m : concretes) {
+    std::printf("%s,%.0f,%.0f,%.2f,%.2f\n", m.name.c_str(), m.cp, m.cs,
+                m.impedance(wave::WaveMode::kPrimary) / 1e6,
+                wave::attenuation_coefficient(m, wave::WaveMode::kSecondary,
+                                              230.0e3));
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Table 2 (Appendix D) — health level vs pedestrian area occupancy for the
+// four regional standards, plus grading spot checks.
+
+#include <cstdio>
+
+#include "shm/health.hpp"
+
+using namespace ecocap;
+
+int main() {
+  const shm::Region regions[] = {
+      shm::Region::kUnitedStates, shm::Region::kHongKong,
+      shm::Region::kBangkok, shm::Region::kManila};
+
+  std::printf("# Table 2 — PAO thresholds (m^2/ped) per health level\n");
+  std::printf("region,A_above,B_above,C_above,D_above,E_above\n");
+  for (const auto r : regions) {
+    const auto t = shm::pao_thresholds(r);
+    std::printf("%s,%.2f,%.2f,%.2f,%.2f,%.2f\n",
+                shm::region_name(r).c_str(), t[0], t[1], t[2], t[3], t[4]);
+  }
+
+  std::printf("\n# grading sweep (Hong Kong standard)\n");
+  std::printf("pao_m2_per_ped,grade\n");
+  for (double pao : {4.0, 3.0, 2.0, 1.2, 0.7, 0.4}) {
+    std::printf("%.1f,%c\n", pao,
+                shm::health_letter(shm::grade_pao(pao, shm::Region::kHongKong)));
+  }
+  std::printf("# paper: H > 2 healthy; H <= 1 overload/collapse risk\n");
+  return 0;
+}

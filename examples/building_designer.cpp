@@ -1,0 +1,82 @@
+// Building designer: the civil-engineering side of the collaboration. For
+// a planned building, pick the shell material for the target height
+// (Eq. 4), choose the wave-prism angle for the chosen concrete, verify the
+// HRA geometry for the carrier, and estimate how many reader positions the
+// walls need for full charging coverage.
+
+#include <cmath>
+#include <cstdio>
+
+#include "channel/link_budget.hpp"
+#include "channel/structures.hpp"
+#include "node/shell.hpp"
+#include "wave/helmholtz.hpp"
+#include "wave/prism.hpp"
+#include "wave/snell.hpp"
+
+using namespace ecocap;
+
+int main() {
+  // The project: a 120 m tower with 20 cm UHPC walls; readers drive 200 V.
+  const double building_height = 120.0;
+  const wave::Material concrete = wave::materials::uhpc();
+  const double tx_voltage = 200.0;
+
+  std::printf("=== EcoCapsule deployment plan ===\n");
+  std::printf("building: %.0f m tower, %s walls\n\n", building_height,
+              concrete.name.c_str());
+
+  // 1. Shell material selection.
+  const node::Shell resin_shell;
+  std::printf("[shell] SLA resin survives up to %.0f m",
+              resin_shell.max_building_height(concrete.density));
+  if (resin_shell.survives(building_height, concrete.density)) {
+    std::printf(" -> resin shells are sufficient\n");
+  } else {
+    node::ShellConfig steel;
+    steel.material = node::ShellMaterial::alloy_steel();
+    std::printf(" -> switch to alloy steel (limit %.0f m)\n",
+                node::Shell(steel).max_building_height(concrete.density));
+  }
+  std::printf("[shell] casting pour head 3 m: %s\n\n",
+              resin_shell.survives_casting(3.0) ? "survives" : "FAILS");
+
+  // 2. Prism design for this concrete.
+  const wave::Material pla = wave::materials::pla();
+  const auto ca1 = wave::first_critical_angle(pla, concrete);
+  const auto ca2 = wave::second_critical_angle(pla, concrete);
+  const double pick =
+      wave::rad_to_deg(0.5 * (*ca1 + *ca2));  // middle of the S-only window
+  std::printf("[prism] S-only window for %s: [%.0f, %.0f] deg -> use %.0f deg\n",
+              concrete.name.c_str(), wave::rad_to_deg(*ca1),
+              wave::rad_to_deg(*ca2), pick);
+  const wave::WavePrism prism(pla, concrete, wave::deg_to_rad(pick));
+  std::printf("[prism] conducted S amplitude: %.2f (energy through the\n"
+              "        interface: %.0f%%)\n\n",
+              prism.conducted_amplitudes().s,
+              100.0 * prism.interface_energy_transmittance());
+
+  // 3. HRA tuning for the 230 kHz carrier in this concrete.
+  const auto base = wave::HelmholtzResonator::paper_prototype();
+  const double an = wave::HelmholtzResonator::solve_neck_area(
+      230.0e3, concrete.cs, base.cavity_volume, base.neck_length);
+  std::printf("[hra] neck area for 230 kHz in %s: %.2f mm^2\n\n",
+              concrete.name.c_str(), an * 1e6);
+
+  // 4. Charging coverage: reader positions along a 20 m wall.
+  channel::Structure wall = channel::structures::s3_common_wall();
+  wall.material = concrete;
+  const channel::LinkBudget budget(wall, 0.5, 2.0);
+  const auto range = budget.max_powerup_range(tx_voltage);
+  if (range) {
+    const int positions =
+        static_cast<int>(std::ceil(wall.length / (2.0 * *range)));
+    std::printf("[coverage] power-up range at %.0f V: %.1f m -> %d reader\n"
+                "           positions per 20 m wall (bilateral coverage)\n",
+                tx_voltage, *range, positions);
+  } else {
+    std::printf("[coverage] %0.f V cannot power nodes in this wall!\n",
+                tx_voltage);
+  }
+  return 0;
+}

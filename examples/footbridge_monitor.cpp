@@ -1,0 +1,59 @@
+// Footbridge monitor: a compressed version of the paper's §6 pilot study.
+// Simulates one week of bridge life (including a storm), grades per-section
+// health every minute against the Hong Kong PAO standard, raises anomaly
+// windows, and cross-checks with EcoCapsule readings collected through the
+// protocol stack.
+
+#include <cstdio>
+
+#include "shm/monitor.hpp"
+
+using namespace ecocap;
+
+int main() {
+  shm::MonitoringCampaign::Config cfg;
+  cfg.days = 7.0;
+  cfg.step_minutes = 1.0;
+  cfg.capsule_count = 5;
+  cfg.capsule_poll_hours = 6.0;
+  // Pull the storm into this week so the detector has something to find.
+  cfg.weather.storms = {shm::StormEvent{4.0, 5.5, 22.0}};
+  cfg.seed = 11;
+
+  std::printf("running a 7-day SHM campaign on the 84.24 m footbridge...\n");
+  shm::MonitoringCampaign campaign(cfg);
+  const shm::CampaignResult r = campaign.run();
+
+  std::printf("\nday-by-day summary:\n");
+  std::printf("day  acc_env(m/s^2)  stress(MPa)  humidity(%%)  worst PAO\n");
+  const std::size_t per_day = 24 * 60;
+  for (int d = 0; d < 7; ++d) {
+    const std::size_t a = static_cast<std::size_t>(d) * per_day;
+    const auto acc = r.acceleration.stats(a, a + per_day);
+    const auto st = r.stress.stats(a, a + per_day);
+    const auto hum = r.humidity.stats(a, a + per_day);
+    const auto pao = r.pao.stats(a, a + per_day);
+    std::printf("%3d  %13.4f  %11.1f  %11.0f  %9.1f\n", d + 1, acc.stddev,
+                st.mean, hum.mean, pao.min);
+  }
+
+  std::printf("\nanomaly windows:\n");
+  if (r.anomalies.empty()) std::printf("  none\n");
+  for (const auto& a : r.anomalies) {
+    std::printf("  day %.1f -> %.1f (peak z = %.1f) — storm response\n",
+                a.start_day + 1.0, a.end_day + 1.0, a.peak_zscore);
+  }
+
+  std::printf("\nhealth histogram (minutes per grade):\n");
+  for (const auto& [section, hist] : r.health_histogram) {
+    std::printf("  section %c:", section);
+    for (const auto& [letter, count] : hist) {
+      std::printf("  %c=%d", letter, count);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nstructural limit violations: %d\n", r.limit_violations);
+  std::printf("EcoCapsule cross-check readings collected: %zu\n",
+              r.capsule_readings.size());
+  return 0;
+}

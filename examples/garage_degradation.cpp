@@ -1,0 +1,90 @@
+// Garage degradation: the scenario that motivates the paper — the
+// Champlain Towers South collapse began with years of water penetration and
+// rebar corrosion in the ground-level parking garage. Here a garage slab is
+// cast with EcoCapsules; we simulate five years of chloride-driven
+// degradation and show the implanted sensors flagging it long before
+// failure, while surface inspection sees nothing.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/inventory_session.hpp"
+#include "shm/modal.hpp"
+
+using namespace ecocap;
+
+int main() {
+  // A 15 cm garage slab with four capsules along a drainage path.
+  core::InventorySession::Config cfg;
+  cfg.structure = channel::structures::s3_common_wall();
+  cfg.tx_voltage = 200.0;
+  cfg.seed = 77;
+  core::InventorySession session(cfg);
+  for (int i = 0; i < 4; ++i) {
+    core::DeployedNode n;
+    n.node_id = static_cast<std::uint16_t>(0x0D00 + i);
+    n.distance = 0.5 + 0.7 * i;
+    session.deploy(n);
+  }
+
+  std::printf("five-year monitoring of a garage slab (annual inspections)\n");
+  std::printf(
+      "year  humidity%%  strain_ue  stiffness_mode_hz  internal_verdict\n");
+
+  const double fs = 100.0;
+  const double f0 = 6.0;  // slab mode
+  const auto baseline_vib = shm::synthesize_vibration(f0, 0.03, fs, 600.0, 5);
+
+  for (int year = 0; year <= 5; ++year) {
+    // Chloride ingress: internal humidity climbs, corrosion swells the
+    // rebar (tensile strain), stiffness decays.
+    const double ingress = 1.0 - std::exp(-year / 2.5);
+    const double humidity = 78.0 + 18.0 * ingress;
+    const double strain = 40.0 + 450.0 * ingress;             // microstrain
+    const double stiffness_loss = 0.12 * ingress;             // fraction
+    const double f_now = f0 * std::sqrt(1.0 - stiffness_loss);
+
+    // Update the capsules' local environment and read them back through
+    // the full TDMA protocol.
+    for (int i = 0; i < 4; ++i) {
+      node::ConcreteEnvironment env;
+      env.relative_humidity = humidity + 2.0 * i;  // wetter near the drain
+      env.strain_x = strain * 1e-6;
+      session.set_environment(static_cast<std::uint16_t>(0x0D00 + i), env);
+    }
+    const auto readings = session.collect(
+        {static_cast<std::uint8_t>(node::SensorId::kHumidity),
+         static_cast<std::uint8_t>(node::SensorId::kStrainX)});
+    double rh = 0.0, ue = 0.0;
+    int nh = 0, ns = 0;
+    for (const auto& r : readings.readings) {
+      if (r.sensor_id == static_cast<std::uint8_t>(node::SensorId::kHumidity)) {
+        rh += r.value;
+        ++nh;
+      } else {
+        ue += r.value;
+        ++ns;
+      }
+    }
+    rh = nh ? rh / nh : 0.0;
+    ue = ns ? ue / ns : 0.0;
+
+    // Modal cross-check from the vibration record.
+    const auto vib = shm::synthesize_vibration(
+        f_now, 0.03, fs, 600.0, 50 + static_cast<std::uint64_t>(year));
+    const auto damage = shm::assess_damage(baseline_vib, vib, fs, 1.0, 20.0);
+
+    const bool humid_alarm = rh > 90.0;
+    const bool strain_alarm = ue > 300.0;
+    const char* verdict =
+        (damage.damaged || (humid_alarm && strain_alarm))
+            ? "DEGRADING - intervene"
+            : (humid_alarm || strain_alarm ? "watch" : "healthy");
+    std::printf("%4d  %8.1f  %9.0f  %17.2f  %s\n", year, rh, ue,
+                damage.current_hz > 0 ? damage.current_hz : f_now, verdict);
+  }
+  std::printf(
+      "\nthe in-concrete sensors see the moisture/strain trend years before\n"
+      "any surface symptom — the monitoring the Surfside garage never had.\n");
+  return 0;
+}

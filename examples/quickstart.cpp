@@ -1,0 +1,52 @@
+// Quickstart: power up one EcoCapsule embedded 15 cm deep in a normal
+// concrete block and read its temperature sensor through the full waveform
+// pipeline — the "hello world" of the library.
+
+#include <cstdio>
+
+#include "core/link_simulator.hpp"
+
+using namespace ecocap;
+
+int main() {
+  // 1. Describe the deployment: the default system is the paper's
+  //    prototype — 230 kHz carrier, 60-degree PLA prism, 1 kbps FM0 uplink
+  //    at a 4 kHz backscatter link frequency, NC test block.
+  core::SystemConfig config = core::default_system();
+  config.channel.distance = 0.15;     // node sits 15 cm from the reader
+  config.transmitter.tx_voltage = 100.0;
+  config.channel.noise_sigma = 1e-4;
+
+  // 2. The physical truth inside the concrete that the sensors will read.
+  node::ConcreteEnvironment env;
+  env.temperature_c = 26.8;
+  env.relative_humidity = 88.0;
+
+  // 3. Run a full interrogation: CBW charging, PIE/FSK downlink commands
+  //    (Query -> Ack -> Read), FM0 backscatter uplink, ML decoding.
+  core::LinkSimulator link(config);
+  const core::InterrogationResult r =
+      link.interrogate(node::SensorId::kTemperature, env);
+
+  std::printf("node powered:        %s\n", r.node_powered ? "yes" : "no");
+  std::printf("storage cap voltage: %.2f V\n", r.cap_voltage);
+  std::printf("command decoded:     %s\n", r.command_decoded ? "yes" : "no");
+  std::printf("carrier estimate:    %.1f kHz\n", r.carrier_estimate / 1e3);
+  std::printf("uplink SNR:          %.1f dB\n", r.uplink_snr_db);
+  if (r.sensor_value) {
+    std::printf("temperature read:    %.2f degC (truth: %.2f)\n",
+                *r.sensor_value, env.temperature_c);
+  } else {
+    std::printf("temperature read:    <failed>\n");
+    return 1;
+  }
+
+  // 4. Bonus: where exactly is the capsule? Time-of-flight ranging off the
+  //    backscatter round trip (the paper's §3.2 unknown-position problem).
+  const auto range = link.estimate_node_distance();
+  if (range.valid) {
+    std::printf("ranged distance:     %.2f m (truth: %.2f m)\n",
+                range.distance, config.channel.distance);
+  }
+  return 0;
+}

@@ -1,0 +1,4 @@
+#include "baseline/pab.hpp"
+
+// Header-only definitions; this translation unit anchors the library.
+namespace ecocap::baseline {}

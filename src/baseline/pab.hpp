@@ -1,0 +1,52 @@
+#pragma once
+
+#include "channel/link_budget.hpp"
+#include "channel/snr_models.hpp"
+#include "channel/structures.hpp"
+
+namespace ecocap::baseline {
+
+using dsp::Real;
+
+/// The PAB underwater piezo-acoustic backscatter baseline (Jang & Adib,
+/// SIGCOMM'19), which the paper compares against in Figs. 12, 15 and 16.
+/// PAB operates at 15 kHz in water — a single-mode (P-only) medium — with a
+/// narrowband transducer and an envelope-threshold decoder.
+struct PabSystem {
+  Real carrier = 15.0e3;  // Hz
+  /// Decoder implementation penalty vs the coherent ML FM0 reader: the
+  /// Fig. 15 curves show PAB needing ~3 dB more SNR for the same BER.
+  Real decoder_penalty_db = 3.0;
+
+  /// Uplink SNR vs bitrate model (knee ~2.6 kHz; Fig. 16's 3 kbps limit).
+  channel::UplinkSnrModel snr_model() const {
+    return channel::UplinkSnrModel::pab();
+  }
+
+  /// The two pools PAB was evaluated in (Fig. 12 comparison curves).
+  static channel::Structure pool1() { return channel::structures::pab_pool1(); }
+  static channel::Structure pool2() { return channel::structures::pab_pool2(); }
+
+  /// Power-up link budget in a pool.
+  channel::LinkBudget link_budget(const channel::Structure& pool) const {
+    return channel::LinkBudget(pool, /*activation_voltage=*/0.5,
+                               /*hra_gain=*/1.0);
+  }
+
+  /// BER at a given SNR through the PAB decode chain.
+  Real ber(Real snr_db) const {
+    return channel::fm0_ber(snr_db, decoder_penalty_db);
+  }
+};
+
+/// The U2B ultra-wideband underwater backscatter baseline (Ghaffarivardavagh
+/// et al., SIGCOMM'20): piezoelectric metamaterials give a much wider
+/// usable band at slightly lower peak SNR, overtaking EcoCapsule above
+/// ~9 kbps in Fig. 16.
+struct U2bSystem {
+  channel::UplinkSnrModel snr_model() const {
+    return channel::UplinkSnrModel::u2b();
+  }
+};
+
+}  // namespace ecocap::baseline

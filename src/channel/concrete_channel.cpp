@@ -1,0 +1,166 @@
+#include "channel/concrete_channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "dsp/oscillator.hpp"
+#include "dsp/signal_ops.hpp"
+#include "wave/attenuation.hpp"
+#include "wave/snell.hpp"
+
+namespace ecocap::channel {
+
+ConcreteChannel::ConcreteChannel(Structure structure, ChannelConfig config)
+    : structure_(std::move(structure)),
+      config_(std::move(config)),
+      prism_(wave::materials::pla(), structure_.material,
+             wave::deg_to_rad(config_.prism_angle_deg)) {
+  if (config_.fs <= 0.0 || config_.distance < 0.0) {
+    throw std::invalid_argument("ConcreteChannel: invalid config");
+  }
+  if (!config_.scatterers.empty()) {
+    scatterer_field_.emplace(config_.scatterers, structure_.material);
+  }
+}
+
+Real ConcreteChannel::scatterer_gain(Real frequency) const {
+  if (!scatterer_field_) return 1.0;
+  // The reader sits at x = 0 mid-thickness; the node at the configured
+  // distance along the structure.
+  const wave::Point2 reader{0.0, structure_.thickness / 2.0};
+  const wave::Point2 node{config_.distance, structure_.thickness / 2.0};
+  return scatterer_field_->path_gain(reader, node, frequency);
+}
+
+Real ConcreteChannel::path_gain() const {
+  return std::exp(-structure_.effective_attenuation * config_.distance) *
+         scatterer_gain(config_.carrier_for_scatterers);
+}
+
+std::vector<wave::Tap> ConcreteChannel::mode_taps() const {
+  std::vector<wave::Tap> taps;
+  const Real gain = path_gain();
+  const Real cs =
+      structure_.material.cs > 0.0 ? structure_.material.cs : structure_.material.cp;
+  const Real cp = structure_.material.cp;
+
+  if (config_.prism_angle_deg <= 1e-9 || structure_.material.is_fluid()) {
+    // Direct contact (or a fluid): a single P arrival.
+    taps.push_back(wave::Tap{config_.distance / cp, gain, 0});
+    return taps;
+  }
+
+  const wave::ModeAmplitudes amps = prism_.conducted_amplitudes();
+  // The S copy is the intended carrier; the P copy (when the incident angle
+  // is below the first critical angle) arrives earlier and carries the same
+  // data — the intra-symbol interference the prism design eliminates.
+  if (amps.s > 1e-6) {
+    taps.push_back(wave::Tap{config_.distance / cs, amps.s * gain, 0});
+  }
+  if (amps.p > 1e-6) {
+    taps.push_back(wave::Tap{config_.distance / cp, amps.p * gain, 0});
+  }
+
+  if (config_.use_multipath && !structure_.material.is_fluid()) {
+    wave::RayTracer::Config rc;
+    rc.length = structure_.length;
+    rc.thickness = structure_.thickness;
+    rc.frequency = config_.concrete_resonance;
+    rc.rays = config_.multipath_rays;
+    const wave::RayTracer tracer(structure_.material, rc);
+    const Real launch = prism_.refraction().theta_s.value_or(
+        wave::deg_to_rad(45.0));
+    const auto ray_taps = tracer.trace(
+        0.0, launch, wave::Point2{config_.distance, structure_.thickness / 2.0});
+    // The direct mode taps above carry the calibrated total gain; the ray
+    // taps add the reverberant tail, scaled to sit below the direct path.
+    Real direct_amp = 0.0;
+    for (const auto& t : ray_taps) direct_amp = std::max(direct_amp, std::abs(t.amplitude));
+    if (direct_amp > 0.0) {
+      for (const auto& t : ray_taps) {
+        if (t.bounces == 0) continue;  // direct path already modeled
+        taps.push_back(wave::Tap{t.delay, 0.4 * gain * t.amplitude / direct_amp,
+                                 t.bounces});
+      }
+    }
+  }
+
+  std::sort(taps.begin(), taps.end(),
+            [](const wave::Tap& a, const wave::Tap& b) {
+              return a.delay < b.delay;
+            });
+  return taps;
+}
+
+Signal ConcreteChannel::apply_taps(std::span<const Real> x,
+                                   const std::vector<wave::Tap>& taps) const {
+  if (taps.empty()) return Signal(x.size(), 0.0);
+  const Real base_delay =
+      config_.preserve_absolute_delay ? 0.0 : taps.front().delay;
+  Signal out(x.size(), 0.0);
+  for (const auto& t : taps) {
+    const auto shift = static_cast<std::size_t>(
+        std::llround((t.delay - base_delay) * config_.fs));
+    for (std::size_t i = shift; i < out.size(); ++i) {
+      out[i] += t.amplitude * x[i - shift];
+    }
+  }
+  return out;
+}
+
+Signal ConcreteChannel::apply_resonance(std::span<const Real> x) const {
+  dsp::Biquad bp = dsp::Biquad::bandpass(config_.fs, config_.concrete_resonance,
+                                         config_.concrete_q);
+  const Real g0 = bp.magnitude_at(config_.fs, config_.concrete_resonance);
+  Signal out = bp.process(x);
+  if (g0 > 0.0) dsp::scale(out, 1.0 / g0);
+  return out;
+}
+
+Signal ConcreteChannel::downlink(std::span<const Real> tx_acoustic,
+                                 dsp::Rng& rng) const {
+  Signal y = apply_taps(tx_acoustic, mode_taps());
+  y = apply_resonance(y);
+  dsp::add_awgn(y, config_.noise_sigma, rng);
+  return y;
+}
+
+Signal ConcreteChannel::uplink(std::span<const Real> node_emission,
+                               Real carrier_frequency, dsp::Rng& rng) const {
+  // The uplink path carries only the S-reflections back (the node radiates
+  // from inside the bulk; the prism mode split does not apply).
+  const Real gain = path_gain();
+  Signal y;
+  if (config_.preserve_absolute_delay) {
+    const Real cs = structure_.material.cs > 0.0 ? structure_.material.cs
+                                                 : structure_.material.cp;
+    const auto shift = static_cast<std::size_t>(
+        std::llround(config_.distance / cs * config_.fs));
+    y.assign(node_emission.size() + shift, 0.0);
+    for (std::size_t i = 0; i < node_emission.size(); ++i) {
+      y[i + shift] = node_emission[i];
+    }
+  } else {
+    y.assign(node_emission.begin(), node_emission.end());
+  }
+  dsp::scale(y, gain);
+  y = apply_resonance(y);
+
+  // Self-interference: the CBW leaks into the receiving PZT at an amplitude
+  // config_.self_interference_gain times the *backscatter* amplitude (§3.4:
+  // "10x stronger than the backscattered signals").
+  const Real bs_rms = dsp::rms(y);
+  dsp::Oscillator cw(config_.fs, carrier_frequency);
+  // A random starting phase decorrelates SI from the carrier snapshot the
+  // node reflected.
+  cw.reset_phase(rng.uniform(0.0, 2.0 * dsp::kPi));
+  for (Real& v : y) {
+    v += cw.next(config_.self_interference_gain * bs_rms * std::sqrt(2.0));
+  }
+  dsp::add_awgn(y, config_.noise_sigma, rng);
+  return y;
+}
+
+}  // namespace ecocap::channel

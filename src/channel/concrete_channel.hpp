@@ -1,0 +1,99 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "channel/link_budget.hpp"
+#include "channel/scatterers.hpp"
+#include "channel/structures.hpp"
+#include "dsp/biquad.hpp"
+#include "dsp/rng.hpp"
+#include "dsp/types.hpp"
+#include "wave/prism.hpp"
+#include "wave/ray_tracer.hpp"
+
+namespace ecocap::channel {
+
+using dsp::Real;
+using dsp::Signal;
+
+/// Configuration of a waveform-level acoustic link through a structure.
+struct ChannelConfig {
+  Real fs = 2.0e6;                 // simulation sample rate (Hz)
+  Real distance = 1.0;             // reader -> node path length (m)
+  Real prism_angle_deg = 60.0;     // injection angle (0 = no prism)
+  Real concrete_resonance = 230.0e3;  // Hz, center of the carrier band
+  Real concrete_q = 10.0;          // resonator Q of the concrete+PZT path
+  /// Acoustic noise floor at the receiving PZT, as an absolute sample
+  /// standard deviation relative to a unit-amplitude carrier at 1 m.
+  Real noise_sigma = 3.0e-3;
+  /// Self-interference power ratio: CBW leakage + surface waves are ~10x
+  /// stronger in amplitude than the backscatter at the reader RX (§3.4).
+  Real self_interference_gain = 10.0;
+  /// When true, convolve with ray-traced boundary-reflection taps instead
+  /// of only the direct mode arrivals.
+  bool use_multipath = false;
+  int multipath_rays = 48;
+  /// When true, keep the absolute propagation delay in the output instead
+  /// of normalizing to the first arrival — required for time-of-flight
+  /// ranging of nodes at unknown positions (§3.2's discovery problem).
+  bool preserve_absolute_delay = false;
+  /// Foreign objects inside the concrete (§3.5): when non-empty, the link
+  /// gain is additionally scaled by the scatterer field's
+  /// frequency-selective path gain at `carrier_for_scatterers`.
+  std::vector<Scatterer> scatterers;
+  Real carrier_for_scatterers = 230.0e3;
+};
+
+/// End-to-end acoustic channel through a concrete structure. Downlink takes
+/// the reader's transmitted acoustic waveform and produces the waveform at
+/// the node's PZT; uplink takes the node's backscatter emission and produces
+/// the waveform at the reader's receiving PZT, including the CBW
+/// self-interference (paper §3.2-3.4).
+class ConcreteChannel {
+ public:
+  ConcreteChannel(Structure structure, ChannelConfig config);
+
+  /// Propagate the reader's acoustic output to the node. Applies:
+  ///  * prism mode split (an early P copy + the main S copy when the
+  ///    incident angle is below the first critical angle),
+  ///  * the concrete/PZT band resonance ("FSK in, OOK out" physics),
+  ///  * distance attenuation per the structure's range law,
+  ///  * additive Gaussian acoustic noise.
+  Signal downlink(std::span<const Real> tx_acoustic, dsp::Rng& rng) const;
+
+  /// Propagate the node's backscatter emission to the reader RX, adding
+  /// the self-interference carrier leakage.
+  /// @param carrier_frequency frequency of the CBW for SI synthesis
+  Signal uplink(std::span<const Real> node_emission, Real carrier_frequency,
+                dsp::Rng& rng) const;
+
+  /// Amplitude scale of the direct path at the configured distance (the
+  /// same quantity the link budget computes, normalized to TX amplitude 1),
+  /// including any scatterer-field fading at the configured carrier.
+  Real path_gain() const;
+
+  /// Scatterer fading factor alone at frequency f (1.0 when no scatterers
+  /// are configured). Exposed so a reader can implement the §3.5 carrier
+  /// fine-tuning against the actual deployment.
+  Real scatterer_gain(Real frequency) const;
+
+  /// The mode tap set actually used (delay seconds, amplitude).
+  std::vector<wave::Tap> mode_taps() const;
+
+  const Structure& structure() const { return structure_; }
+  const ChannelConfig& config() const { return config_; }
+
+ private:
+  Signal apply_taps(std::span<const Real> x,
+                    const std::vector<wave::Tap>& taps) const;
+  Signal apply_resonance(std::span<const Real> x) const;
+
+  Structure structure_;
+  ChannelConfig config_;
+  wave::WavePrism prism_;
+  std::optional<ScattererField> scatterer_field_;
+};
+
+}  // namespace ecocap::channel

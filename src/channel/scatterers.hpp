@@ -1,0 +1,61 @@
+#pragma once
+
+#include <vector>
+
+#include "dsp/rng.hpp"
+#include "wave/material.hpp"
+#include "wave/ray_tracer.hpp"
+
+namespace ecocap::channel {
+
+using dsp::Real;
+
+/// Foreign objects inside the concrete (paper §3.5): rebar, gravel and air
+/// voids reflect/diffract the acoustic wave like reflectors do to RF. They
+/// occupy a small volume fraction, so they perturb rather than destroy the
+/// channel — and the paper notes that fine-tuning the carrier frequency
+/// restores a degraded channel.
+struct Scatterer {
+  wave::Point2 position;   // m in the wall cross-section
+  Real radius = 0.008;     // m (rebar: ~8-16 mm)
+  /// Fraction of a crossing ray's amplitude removed (scattered away).
+  Real blockage = 0.5;
+};
+
+/// Frequency-selective multipath perturbation from a scatterer field.
+/// For a given carrier frequency the scattered contributions superpose with
+/// a deterministic pseudo-random phase (a function of geometry and
+/// wavelength); some frequencies fade, neighbours recover — which is what
+/// makes the paper's "fine-tune the frequency" advice work.
+class ScattererField {
+ public:
+  ScattererField(std::vector<Scatterer> scatterers, const wave::Material& medium);
+
+  /// Generate `count` rebar-like scatterers uniformly over a wall section.
+  static ScattererField random_rebar(int count, Real length, Real thickness,
+                                     const wave::Material& medium,
+                                     dsp::Rng& rng);
+
+  /// Channel amplitude gain (<= 1) for a straight path from `from` to `to`
+  /// at the given frequency: direct blockage by intersected scatterers plus
+  /// frequency-selective interference from near-path scattered copies.
+  Real path_gain(wave::Point2 from, wave::Point2 to, Real frequency) const;
+
+  /// Search [f_lo, f_hi] in `steps` for the best carrier for this path —
+  /// the §3.5 "fine-tuning" knob. Returns (frequency, gain).
+  struct Tuning {
+    Real frequency = 0.0;
+    Real gain = 0.0;
+  };
+  Tuning best_frequency(wave::Point2 from, wave::Point2 to, Real f_lo,
+                        Real f_hi, int steps = 41) const;
+
+  std::size_t count() const { return scatterers_.size(); }
+  const std::vector<Scatterer>& scatterers() const { return scatterers_; }
+
+ private:
+  std::vector<Scatterer> scatterers_;
+  Real wave_speed_;
+};
+
+}  // namespace ecocap::channel

@@ -1,0 +1,119 @@
+#include "channel/snr_models.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/signal_ops.hpp"
+#include "wave/snell.hpp"
+
+namespace ecocap::channel {
+
+Real UplinkSnrModel::snr_db(Real bitrate) const {
+  // Fraction of the backscatter spectrum the channel passes: a Butterworth
+  // magnitude-squared response with knee at carrier_bandwidth / 2.
+  const Real knee = carrier_bandwidth / 2.0;
+  const Real x = bitrate / knee;
+  const Real captured = 1.0 / (1.0 + std::pow(x, 2.0 * rolloff_order));
+  return snr0_db + dsp::to_db(captured);
+}
+
+UplinkSnrModel UplinkSnrModel::ecocapsule(const wave::Material& concrete) {
+  UplinkSnrModel m;
+  m.system = "EcoCapsule-" + concrete.name;
+  // Material coupling: stronger concrete conducts elastic waves better
+  // (Fig. 5 / Fig. 17). +~1.4 dB for UHPC-class strengths over NC.
+  constexpr Real kRefStrength = 54.1e6;
+  Real coupling_db = 0.0;
+  if (concrete.compressive_strength > 0.0) {
+    coupling_db =
+        5.0 * std::log10(concrete.compressive_strength / kRefStrength);
+  }
+  m.snr0_db = 15.0 + std::min(coupling_db, 4.0);
+  m.carrier_bandwidth = 20.0e3;  // 230 kHz carrier / Q ~ 11.5
+  m.rolloff_order = 3.0;
+  return m;
+}
+
+UplinkSnrModel UplinkSnrModel::pab() {
+  UplinkSnrModel m;
+  m.system = "PAB";
+  m.snr0_db = 15.0;
+  m.carrier_bandwidth = 5.2e3;  // 15 kHz carrier / Q ~ 2.9
+  m.rolloff_order = 3.0;
+  return m;
+}
+
+UplinkSnrModel UplinkSnrModel::u2b() {
+  UplinkSnrModel m;
+  m.system = "U2B";
+  // The metamaterial transducer trades peak SNR for a much wider band.
+  m.snr0_db = 13.5;
+  m.carrier_bandwidth = 50.0e3;
+  m.rolloff_order = 3.0;
+  return m;
+}
+
+namespace {
+Real q_function(Real x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+}  // namespace
+
+Real fm0_ber(Real snr_db, Real penalty_db) {
+  const Real snr = dsp::from_db(snr_db - penalty_db);
+  const Real ber = q_function(std::sqrt(2.0 * snr));
+  return std::clamp<Real>(ber, 0.0, 0.5);
+}
+
+Real goodput(const UplinkSnrModel& model, Real bitrate, Real penalty_db) {
+  return bitrate * (1.0 - fm0_ber(model.snr_db(bitrate), penalty_db));
+}
+
+ThroughputResult max_throughput(const UplinkSnrModel& model, Real bitrate_lo,
+                                Real bitrate_hi, Real penalty_db) {
+  ThroughputResult best;
+  const int steps = 400;
+  for (int i = 0; i <= steps; ++i) {
+    const Real r =
+        bitrate_lo + (bitrate_hi - bitrate_lo) * static_cast<Real>(i) / steps;
+    // A practical link only counts packets that survive; approximate with a
+    // 64-bit packet success probability to penalize marginal SNR operation.
+    const Real ber = fm0_ber(model.snr_db(r), penalty_db);
+    const Real packet_ok = std::pow(1.0 - ber, 64.0);
+    const Real gp = r * packet_ok;
+    if (gp > best.throughput) {
+      best.throughput = gp;
+      best.best_bitrate = r;
+    }
+  }
+  return best;
+}
+
+Real DownlinkAngleModel::snr_db(Real theta) const {
+  const Real noise = dsp::from_db(-peak_snr_db);  // vs unit signal power
+
+  if (theta <= 1e-9) {
+    // Direct contact, no prism: only P-waves, no mode interference, but the
+    // P-mode attenuates more over the path (alpha_p > alpha_s) and the beam
+    // only fills a narrow cone. Model as a fixed P-path deficit.
+    const Real p_deficit_db = 3.0;  // calibrated to Fig. 19's ~11-12 dB
+    return peak_snr_db - p_deficit_db;
+  }
+
+  const wave::ModeAmplitudes amps =
+      wave::transmitted_mode_amplitudes(prism_material, concrete, theta);
+  const Real a_sig = std::max(amps.p, amps.s);
+  const Real a_int = std::min(amps.p, amps.s);
+  constexpr Real kSMax = 0.9;  // plateau amplitude of the S mode
+  if (a_sig <= 1e-9) return -20.0;  // past the second critical angle
+
+  const Real sig = (a_sig * a_sig) / (kSMax * kSMax);  // normalized power
+  const Real isi = (a_int * a_int) / (kSMax * kSMax) * mode_overlap * isi_boost;
+  return dsp::to_db(sig / (isi + noise));
+}
+
+DownlinkAngleModel DownlinkAngleModel::paper_default() {
+  DownlinkAngleModel m{wave::materials::pla(),
+                       wave::materials::reference_concrete()};
+  return m;
+}
+
+}  // namespace ecocap::channel

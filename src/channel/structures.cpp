@@ -1,0 +1,117 @@
+#include "channel/structures.hpp"
+
+namespace ecocap::channel::structures {
+
+Structure s1_slab() {
+  Structure s;
+  s.name = "S1-slab";
+  s.kind = StructureKind::kSlab;
+  s.material = wave::materials::normal_concrete();
+  s.length = 1.50;
+  s.thickness = 0.15;
+  // 50 V -> 1.30 m: gamma = 0.36, C = 50 * exp(-0.36 * 1.30) = 31.3 V.
+  s.effective_attenuation = 0.36;
+  s.coupling_voltage = 31.3;
+  s.spreading = wave::Spreading::kCylindrical;
+  return s;
+}
+
+Structure s2_column() {
+  Structure s;
+  s.name = "S2-column";
+  s.kind = StructureKind::kColumn;
+  s.material = wave::materials::normal_concrete();
+  s.length = 2.50;
+  s.thickness = 0.70;
+  // 50 V -> 0.56 m and 200 V -> 2.35 m: gamma = ln(4)/1.79 = 0.774,
+  // C = 50 * exp(-0.774 * 0.56) = 32.4 V. The thick cross-section spreads
+  // energy in 3-D, hence the steep decay.
+  s.effective_attenuation = 0.774;
+  s.coupling_voltage = 32.4;
+  s.spreading = wave::Spreading::kSpherical;
+  return s;
+}
+
+Structure s3_common_wall() {
+  Structure s;
+  s.name = "S3-common-wall";
+  s.kind = StructureKind::kWall;
+  s.material = wave::materials::normal_concrete();
+  s.length = 20.0;
+  s.thickness = 0.20;
+  // 50 V -> 1.34 m: gamma = 0.35, C = 50 * exp(-0.35 * 1.34) = 31.3 V.
+  // 200 V -> 5.3 m and 250 V -> 5.9 m follow, matching the ~5 m / ~6 m
+  // paper anchors. The 20 cm wall waveguides the S-reflections.
+  s.effective_attenuation = 0.35;
+  s.coupling_voltage = 31.3;
+  s.spreading = wave::Spreading::kWaveguide;
+  return s;
+}
+
+Structure s4_protective_wall() {
+  Structure s;
+  s.name = "S4-protective-wall";
+  s.kind = StructureKind::kWall;
+  s.material = wave::materials::normal_concrete();
+  s.length = 20.0;
+  s.thickness = 0.50;
+  // 50 V -> 0.60 m and 200 V -> 3.85 m: gamma = ln(4)/3.25 = 0.427,
+  // C = 50 * exp(-0.427 * 0.60) = 38.7 V.
+  s.effective_attenuation = 0.427;
+  s.coupling_voltage = 38.7;
+  s.spreading = wave::Spreading::kWaveguide;
+  return s;
+}
+
+Structure pab_pool1() {
+  Structure s;
+  s.name = "PAB-pool-1";
+  s.kind = StructureKind::kPool;
+  s.material = wave::materials::water();
+  s.length = 10.0;
+  s.thickness = 1.5;
+  // 50 V -> 0.19 m and 200 V -> 2.0 m: gamma = ln(4)/1.81 = 0.766,
+  // C = 50 * exp(-0.766 * 0.19) = 43.2 V. Open water: spherical spreading
+  // dominates, and the lighter medium conducts elastic energy worse than
+  // concrete (the paper's finding (3)).
+  s.effective_attenuation = 0.766;
+  s.coupling_voltage = 43.2;
+  s.spreading = wave::Spreading::kSpherical;
+  return s;
+}
+
+Structure pab_pool2() {
+  Structure s;
+  s.name = "PAB-pool-2";
+  s.kind = StructureKind::kPool;
+  s.material = wave::materials::water();
+  s.length = 18.0;
+  s.thickness = 1.0;
+  // The anomaly: 84 V barely reaches 0.23 m (poor coupling into the narrow
+  // corridor) but 125 V reaches 6.5 m (corridor waveguiding makes the decay
+  // nearly flat): gamma = ln(125/84)/6.27 = 0.063, C = 82.8 V.
+  s.effective_attenuation = 0.063;
+  s.coupling_voltage = 82.8;
+  s.spreading = wave::Spreading::kWaveguide;
+  return s;
+}
+
+std::vector<Structure> figure12_structures() {
+  return {s1_slab(),  s2_column(), s3_common_wall(),
+          s4_protective_wall(), pab_pool1(), pab_pool2()};
+}
+
+Structure test_block(const wave::Material& concrete, Real thickness) {
+  Structure s;
+  s.name = "block-" + concrete.name;
+  s.kind = StructureKind::kSlab;
+  s.material = concrete;
+  s.length = 0.15;
+  s.thickness = thickness;
+  s.effective_attenuation = concrete.alpha_s_ref;
+  s.coupling_voltage = 30.0;
+  s.spreading = wave::Spreading::kCylindrical;
+  return s;
+}
+
+}  // namespace ecocap::channel::structures

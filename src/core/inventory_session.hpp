@@ -1,0 +1,70 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "channel/link_budget.hpp"
+#include "reader/inventory.hpp"
+
+namespace ecocap::core {
+
+using dsp::Real;
+
+/// A capsule deployed at a position inside a structure.
+struct DeployedNode {
+  std::uint16_t node_id = 0;
+  Real distance = 0.5;  // m from the reader along the structure
+  node::ConcreteEnvironment environment;
+};
+
+/// Protocol-level multi-node session over a structure: per-node SNR derives
+/// from the structure's range law (the backscatter round-trip attenuates
+/// twice), then the TDMA inventory engine collects readings. This is the
+/// layer the SHM application drives on every monitoring pass.
+class InventorySession {
+ public:
+  struct Config {
+    channel::Structure structure;
+    Real tx_voltage = 200.0;
+    Real snr_at_contact_db = 24.0;  // uplink SNR with the node at the reader
+    reader::InventoryEngine::Config inventory;
+    phy::Fm0Params uplink;
+    std::uint64_t seed = 1;
+  };
+
+  explicit InventorySession(Config config);
+
+  /// Add a node at a position; creates its firmware instance.
+  void deploy(const DeployedNode& node);
+
+  /// Uplink SNR for a node at `distance`: contact SNR minus the round-trip
+  /// exponential attenuation of the structure.
+  Real snr_for_distance(Real distance) const;
+
+  /// True when a node at `distance` can be powered at the configured TX
+  /// voltage (link-budget check).
+  bool node_reachable(Real distance) const;
+
+  /// Run one full inventory pass and collect the sensor readings.
+  reader::InventoryResult collect(
+      const std::vector<std::uint8_t>& sensor_ids);
+
+  /// Update a node's local environment (the SHM layer calls this as the
+  /// structure's state evolves).
+  void set_environment(std::uint16_t node_id,
+                       const node::ConcreteEnvironment& env);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  dsp::Rng rng_;
+  struct Slot {
+    DeployedNode info;
+    std::unique_ptr<node::Firmware> firmware;
+  };
+  std::vector<Slot> nodes_;
+};
+
+}  // namespace ecocap::core

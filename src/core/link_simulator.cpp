@@ -1,0 +1,238 @@
+#include "core/link_simulator.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "dsp/signal_ops.hpp"
+
+namespace ecocap::core {
+
+SystemConfig default_system() {
+  SystemConfig c;
+  c.structure = channel::structures::test_block(
+      wave::materials::normal_concrete());
+  c.channel.distance = 0.20;
+  c.channel.fs = 2.0e6;
+  c.channel.prism_angle_deg = 60.0;
+  c.transmitter.carrier.fs = c.channel.fs;
+  c.transmitter.tx_voltage = 100.0;
+  c.receiver.fs = c.channel.fs;
+  c.receiver.blf = 4000.0;
+  c.receiver.uplink.bitrate = 1000.0;
+  c.capsule.firmware.node_id = 0x0001;
+  c.capsule.firmware.uplink.bitrate = 1000.0;
+  c.capsule.firmware.blf = 4000.0;
+  return c;
+}
+
+LinkSimulator::LinkSimulator(SystemConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      transmitter_(config_.transmitter),
+      receiver_(config_.receiver),
+      channel_(config_.structure, config_.channel),
+      capsule_(config_.capsule, config_.channel.fs, config_.seed ^ 0x9e3779b9) {}
+
+bool LinkSimulator::power_up() {
+  // Stream CBW in 20 ms blocks until the MCU boots or 500 ms elapse.
+  const node::ConcreteEnvironment env;
+  for (int i = 0; i < 25; ++i) {
+    const dsp::Signal cw = transmitter_.continuous_wave(0.020);
+    const dsp::Signal at_node = channel_.downlink(cw, rng_);
+    // Scale by the reader drive voltage: the transmitter emits normalized
+    // amplitude; the channel calibration maps volts to node voltage.
+    dsp::Signal scaled = at_node;
+    dsp::scale(scaled, config_.transmitter.tx_voltage /
+                           config_.structure.coupling_voltage * 0.5);
+    const auto r = capsule_.receive(scaled, env);
+    if (r.powered) return true;
+  }
+  return false;
+}
+
+InterrogationResult LinkSimulator::charge(Real duration) {
+  InterrogationResult result;
+  const node::ConcreteEnvironment env;
+  const dsp::Signal cw = transmitter_.continuous_wave(duration);
+  dsp::Signal at_node = channel_.downlink(cw, rng_);
+  dsp::scale(at_node, config_.transmitter.tx_voltage /
+                          config_.structure.coupling_voltage * 0.5);
+  const auto r = capsule_.receive(at_node, env);
+  result.node_powered = r.powered;
+  result.cap_voltage = r.cap_voltage;
+  return result;
+}
+
+InterrogationResult LinkSimulator::interrogate(
+    node::SensorId sensor, const node::ConcreteEnvironment& env) {
+  InterrogationResult result;
+  if (!power_up()) return result;
+  result.node_powered = true;
+  result.cap_voltage = capsule_.harvester().cap_voltage();
+
+  const Real fs = config_.channel.fs;
+  const Real volts_scale = config_.transmitter.tx_voltage /
+                           config_.structure.coupling_voltage * 0.5;
+
+  auto exchange = [&](const phy::Command& cmd,
+                      std::size_t reply_bits) -> std::optional<phy::Bits> {
+    // 1. Downlink the command.
+    const dsp::Signal tx = transmitter_.transmit_command(cmd);
+    dsp::Signal at_node = channel_.downlink(tx, rng_);
+    dsp::scale(at_node, volts_scale);
+    const auto rx = capsule_.receive(at_node, env);
+    if (!rx.powered) return std::nullopt;
+    if (!rx.frames.empty()) result.command_decoded = true;
+    if (rx.frames.empty()) return phy::Bits{};  // command ok, no reply due
+
+    // 2. The node backscatters its frame off a fresh CBW.
+    const node::UplinkFrame& frame = rx.frames.front();
+    const Real frame_time =
+        (static_cast<Real>(frame.payload.size()) +
+         static_cast<Real>(phy::fm0_preamble(config_.capsule.firmware.uplink)
+                               .size()) + 4.0) /
+        frame.bitrate;
+    const dsp::Signal cw = transmitter_.continuous_wave(frame_time);
+    dsp::Signal carrier_at_node = channel_.downlink(cw, rng_);
+    dsp::scale(carrier_at_node, volts_scale);
+    const dsp::Signal emission = capsule_.backscatter(frame, carrier_at_node);
+    const dsp::Signal at_reader = channel_.uplink(
+        emission, config_.transmitter.carrier.f_resonant, rng_);
+
+    // 3. Decode.
+    receiver_.set_blf(frame.blf);
+    receiver_.set_bitrate(frame.bitrate);
+    const reader::UplinkDecode dec = receiver_.decode(at_reader, reply_bits);
+    result.uplink_snr_db = dec.snr_db;
+    result.carrier_estimate = dec.carrier_estimate;
+    if (!dec.valid) return std::nullopt;
+    (void)fs;
+    return dec.payload;
+  };
+
+  // Query with Q=0: the node replies in the immediate slot.
+  const auto rn16_bits = exchange(phy::Command{phy::QueryCommand{0}},
+                                  phy::rn16_response_bits());
+  if (!rn16_bits || rn16_bits->size() != phy::rn16_response_bits()) {
+    return result;
+  }
+  const auto rn16 = phy::parse_rn16_response(*rn16_bits);
+  if (!rn16) return result;
+  result.uplink_decoded = true;
+  result.uplink_payload = *rn16_bits;
+
+  // Ack -> Id response.
+  const auto id_bits = exchange(phy::Command{phy::AckCommand{rn16->rn16}},
+                                phy::id_response_bits());
+  if (!id_bits || !phy::parse_id_response(*id_bits)) return result;
+
+  // Read the sensor.
+  const auto data_bits = exchange(
+      phy::Command{phy::ReadCommand{rn16->rn16,
+                                    static_cast<std::uint8_t>(sensor)}},
+      phy::data_response_bits());
+  if (!data_bits) return result;
+  if (const auto data = phy::parse_data_response(*data_bits)) {
+    result.sensor_value = phy::from_milli(data->milli_value);
+  }
+  return result;
+}
+
+InterrogationResult LinkSimulator::uplink_once(const phy::Bits& payload) {
+  InterrogationResult result;
+  if (!power_up()) return result;
+  result.node_powered = true;
+
+  const Real volts_scale = config_.transmitter.tx_voltage /
+                           config_.structure.coupling_voltage * 0.5;
+  node::UplinkFrame frame;
+  frame.payload = payload;
+  frame.bitrate = config_.capsule.firmware.uplink.bitrate;
+  frame.blf = config_.capsule.firmware.blf;
+
+  const Real frame_time =
+      (static_cast<Real>(payload.size()) +
+       static_cast<Real>(
+           phy::fm0_preamble(config_.capsule.firmware.uplink).size()) + 4.0) /
+      frame.bitrate;
+  const dsp::Signal cw = transmitter_.continuous_wave(frame_time);
+  dsp::Signal carrier_at_node = channel_.downlink(cw, rng_);
+  dsp::scale(carrier_at_node, volts_scale);
+  const dsp::Signal emission = capsule_.backscatter(frame, carrier_at_node);
+  const dsp::Signal at_reader =
+      channel_.uplink(emission, config_.transmitter.carrier.f_resonant, rng_);
+
+  receiver_.set_blf(frame.blf);
+  receiver_.set_bitrate(frame.bitrate);
+  const reader::UplinkDecode dec =
+      receiver_.decode(at_reader, payload.size());
+  result.uplink_snr_db = dec.snr_db;
+  result.carrier_estimate = dec.carrier_estimate;
+  result.uplink_decoded = dec.valid;
+  if (dec.valid) result.uplink_payload = dec.payload;
+  return result;
+}
+
+LinkSimulator::RangeEstimate LinkSimulator::estimate_node_distance() {
+  RangeEstimate est;
+  if (!power_up()) return est;
+
+  // Delay-preserving copy of the channel for the ranging exchange.
+  channel::ChannelConfig abs_cfg = config_.channel;
+  abs_cfg.preserve_absolute_delay = true;
+  const channel::ConcreteChannel abs_channel(config_.structure, abs_cfg);
+
+  const Real fs = config_.channel.fs;
+  const Real volts_scale = config_.transmitter.tx_voltage /
+                           config_.structure.coupling_voltage * 0.5;
+  phy::Fm0Params line = config_.capsule.firmware.uplink;
+  dsp::Rng payload_rng(config_.seed ^ 0x5157);
+  const phy::Bits payload = phy::random_bits(16, payload_rng);
+
+  const Real frame_time =
+      (static_cast<Real>(payload.size() + phy::fm0_preamble(line).size()) +
+       4.0) /
+      line.bitrate;
+  // Extra room for the round trip.
+  const Real margin = 2.0 * config_.structure.length /
+                      std::max(config_.structure.material.cs, 500.0);
+  const dsp::Signal cw = transmitter_.continuous_wave(frame_time + margin);
+  dsp::Signal at_node = abs_channel.downlink(cw, rng_);
+  dsp::scale(at_node, volts_scale);
+
+  // The node triggers its switching when the CBW actually reaches it.
+  const Real pk = dsp::peak(at_node);
+  std::size_t arrival = 0;
+  while (arrival < at_node.size() &&
+         std::abs(at_node[arrival]) < 0.25 * pk) {
+    ++arrival;
+  }
+  dsp::Signal switching(arrival, -1.0);  // absorptive until triggered
+  const dsp::Signal frame_wave = phy::fm0_encode_frame(payload, line, fs);
+  switching.insert(switching.end(), frame_wave.begin(), frame_wave.end());
+  if (switching.size() > at_node.size()) {
+    switching.resize(at_node.size());
+  }
+
+  phy::BackscatterParams bp = config_.capsule.backscatter;
+  bp.f_blf = config_.capsule.firmware.blf;
+  const dsp::Signal emission =
+      phy::backscatter_modulate(at_node, switching, fs, bp);
+  const dsp::Signal at_reader = abs_channel.uplink(
+      emission, config_.transmitter.carrier.f_resonant, rng_);
+
+  receiver_.set_blf(bp.f_blf);
+  receiver_.set_bitrate(line.bitrate);
+  const reader::UplinkDecode dec =
+      receiver_.decode(at_reader, payload.size());
+  if (!dec.valid) return est;
+  est.valid = true;
+  est.round_trip_s = dec.frame_start_s;
+  const Real cs = config_.structure.material.cs > 0.0
+                      ? config_.structure.material.cs
+                      : config_.structure.material.cp;
+  est.distance = 0.5 * dec.frame_start_s * cs;
+  return est;
+}
+
+}  // namespace ecocap::core

@@ -1,0 +1,175 @@
+#include "core/multinode_link.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "dsp/signal_ops.hpp"
+
+namespace ecocap::core {
+
+MultiNodeLink::MultiNodeLink(Config config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      transmitter_(config_.transmitter),
+      receiver_(config_.receiver) {}
+
+void MultiNodeLink::deploy(const NodePlacement& placement) {
+  Deployed d;
+  d.placement = placement;
+  node::CapsuleConfig cc = config_.capsule;
+  cc.firmware.node_id = placement.node_id;
+  d.capsule = std::make_unique<node::EcoCapsule>(
+      cc, config_.channel.fs, config_.seed ^ placement.node_id);
+  channel::ChannelConfig ch = config_.channel;
+  ch.distance = placement.distance;
+  d.channel =
+      std::make_unique<channel::ConcreteChannel>(config_.structure, ch);
+  nodes_.push_back(std::move(d));
+}
+
+std::vector<std::pair<MultiNodeLink::Deployed*, node::UplinkFrame>>
+MultiNodeLink::broadcast(const phy::Command& cmd) {
+  std::vector<std::pair<Deployed*, node::UplinkFrame>> responders;
+  const dsp::Signal tx = transmitter_.transmit_command(cmd);
+  const Real volts_scale = config_.transmitter.tx_voltage /
+                           config_.structure.coupling_voltage * 0.5;
+  for (auto& n : nodes_) {
+    dsp::Signal at_node = n.channel->downlink(tx, rng_);
+    dsp::scale(at_node, volts_scale);
+    const auto rx = n.capsule->receive(at_node, n.placement.environment);
+    if (!rx.powered) continue;
+    for (const auto& frame : rx.frames) {
+      responders.emplace_back(&n, frame);
+    }
+  }
+  return responders;
+}
+
+reader::UplinkDecode MultiNodeLink::receive_slot(
+    const std::vector<std::pair<Deployed*, node::UplinkFrame>>& responders,
+    std::size_t reply_bits) {
+  reader::UplinkDecode none;
+  if (responders.empty()) return none;
+
+  const Real volts_scale = config_.transmitter.tx_voltage /
+                           config_.structure.coupling_voltage * 0.5;
+  // The slot's CBW must cover the longest frame.
+  Real frame_time = 0.0;
+  for (const auto& [n, frame] : responders) {
+    const Real t =
+        (static_cast<Real>(frame.payload.size()) +
+         static_cast<Real>(
+             phy::fm0_preamble(config_.capsule.firmware.uplink).size()) +
+         4.0) /
+        frame.bitrate;
+    frame_time = std::max(frame_time, t);
+  }
+  const dsp::Signal cw = transmitter_.continuous_wave(frame_time);
+
+  dsp::Signal at_reader;
+  Real blf = config_.capsule.firmware.blf;
+  Real bitrate = config_.capsule.firmware.uplink.bitrate;
+  for (const auto& [n, frame] : responders) {
+    dsp::Signal carrier_at_node = n->channel->downlink(cw, rng_);
+    dsp::scale(carrier_at_node, volts_scale);
+    const dsp::Signal emission =
+        n->capsule->backscatter(frame, carrier_at_node);
+    dsp::Signal contribution = n->channel->uplink(
+        emission, config_.transmitter.carrier.f_resonant, rng_);
+    if (at_reader.empty()) {
+      at_reader = std::move(contribution);
+    } else {
+      const std::size_t m = std::min(at_reader.size(), contribution.size());
+      for (std::size_t i = 0; i < m; ++i) at_reader[i] += contribution[i];
+    }
+    blf = frame.blf;
+    bitrate = frame.bitrate;
+  }
+  receiver_.set_blf(blf);
+  receiver_.set_bitrate(bitrate);
+  return receiver_.decode(at_reader, reply_bits);
+}
+
+MultiNodeLink::Result MultiNodeLink::run_inventory() {
+  Result result;
+
+  // 1. Charge everyone with CBW until powered (or clearly unreachable).
+  const Real volts_scale = config_.transmitter.tx_voltage /
+                           config_.structure.coupling_voltage * 0.5;
+  const node::ConcreteEnvironment quiet_env;
+  for (auto& n : nodes_) {
+    for (int i = 0; i < 25 && !n.capsule->harvester().mcu_powered(); ++i) {
+      const dsp::Signal cw = transmitter_.continuous_wave(0.020);
+      dsp::Signal at_node = n.channel->downlink(cw, rng_);
+      dsp::scale(at_node, volts_scale);
+      n.capsule->receive(at_node, n.placement.environment);
+      (void)quiet_env;
+    }
+  }
+
+  // 2. Inventory rounds at the waveform level.
+  for (int round = 0; round < config_.max_rounds; ++round) {
+    const bool all_done = std::all_of(
+        nodes_.begin(), nodes_.end(),
+        [](const Deployed& n) { return n.identified; });
+    if (all_done) break;
+
+    auto slot_replies =
+        broadcast(phy::Command{phy::QueryCommand{config_.q}});
+    const int slots = 1 << config_.q;
+    for (int slot = 0; slot < slots; ++slot) {
+      if (slot > 0) {
+        slot_replies = broadcast(phy::Command{phy::QueryRepCommand{}});
+      }
+      // Already-identified nodes still answer the air protocol; drop their
+      // frames (the Gen2 analog is the inventoried-flag session state).
+      std::erase_if(slot_replies,
+                    [](const auto& p) { return p.first->identified; });
+      ++result.slots;
+      if (slot_replies.empty()) {
+        ++result.empty_slots;
+        continue;
+      }
+      if (slot_replies.size() > 1) {
+        ++result.collisions;
+        continue;  // superposed frames: don't even try (validated in tests)
+      }
+
+      // Singleton: decode the RN16 off the summed (single) waveform.
+      const auto dec =
+          receive_slot(slot_replies, phy::rn16_response_bits());
+      if (!dec.valid) {
+        ++result.decode_failures;
+        continue;
+      }
+      const auto rn16 = phy::parse_rn16_response(dec.payload);
+      if (!rn16) {
+        ++result.decode_failures;
+        continue;
+      }
+
+      // Ack -> Id, still at the waveform level.
+      Deployed* node = slot_replies.front().first;
+      auto ack_replies =
+          broadcast(phy::Command{phy::AckCommand{rn16->rn16}});
+      std::erase_if(ack_replies,
+                    [](const auto& p) { return p.first->identified; });
+      if (ack_replies.size() != 1) continue;  // wrong node matched
+      const auto id_dec = receive_slot(ack_replies, phy::id_response_bits());
+      if (!id_dec.valid) {
+        ++result.decode_failures;
+        continue;
+      }
+      const auto id = phy::parse_id_response(id_dec.payload);
+      if (!id) {
+        ++result.decode_failures;
+        continue;
+      }
+      node->identified = true;
+      result.inventoried_ids.push_back(id->node_id);
+    }
+  }
+  return result;
+}
+
+}  // namespace ecocap::core

@@ -1,0 +1,105 @@
+#include "dsp/biquad.hpp"
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+namespace ecocap::dsp {
+
+Biquad::Biquad(Real b0, Real b1, Real b2, Real a1, Real a2)
+    : b0_(b0), b1_(b1), b2_(b2), a1_(a1), a2_(a2) {}
+
+namespace {
+struct RbjPrelude {
+  Real w0, cw, sw, alpha;
+};
+RbjPrelude rbj(Real fs, Real f0, Real q) {
+  if (fs <= 0.0 || f0 <= 0.0 || f0 >= fs / 2.0 || q <= 0.0) {
+    throw std::invalid_argument("Biquad: invalid design parameters");
+  }
+  RbjPrelude p{};
+  p.w0 = kTwoPi * f0 / fs;
+  p.cw = std::cos(p.w0);
+  p.sw = std::sin(p.w0);
+  p.alpha = p.sw / (2.0 * q);
+  return p;
+}
+}  // namespace
+
+Biquad Biquad::lowpass(Real fs, Real f0, Real q) {
+  const auto p = rbj(fs, f0, q);
+  const Real a0 = 1.0 + p.alpha;
+  return Biquad(((1.0 - p.cw) / 2.0) / a0, (1.0 - p.cw) / a0,
+                ((1.0 - p.cw) / 2.0) / a0, (-2.0 * p.cw) / a0,
+                (1.0 - p.alpha) / a0);
+}
+
+Biquad Biquad::highpass(Real fs, Real f0, Real q) {
+  const auto p = rbj(fs, f0, q);
+  const Real a0 = 1.0 + p.alpha;
+  return Biquad(((1.0 + p.cw) / 2.0) / a0, (-(1.0 + p.cw)) / a0,
+                ((1.0 + p.cw) / 2.0) / a0, (-2.0 * p.cw) / a0,
+                (1.0 - p.alpha) / a0);
+}
+
+Biquad Biquad::bandpass(Real fs, Real f0, Real q) {
+  const auto p = rbj(fs, f0, q);
+  const Real a0 = 1.0 + p.alpha;
+  return Biquad(p.alpha / a0, 0.0, -p.alpha / a0, (-2.0 * p.cw) / a0,
+                (1.0 - p.alpha) / a0);
+}
+
+Biquad Biquad::notch(Real fs, Real f0, Real q) {
+  const auto p = rbj(fs, f0, q);
+  const Real a0 = 1.0 + p.alpha;
+  return Biquad(1.0 / a0, (-2.0 * p.cw) / a0, 1.0 / a0, (-2.0 * p.cw) / a0,
+                (1.0 - p.alpha) / a0);
+}
+
+Real Biquad::process(Real x) {
+  const Real y = b0_ * x + b1_ * x1_ + b2_ * x2_ - a1_ * y1_ - a2_ * y2_;
+  x2_ = x1_;
+  x1_ = x;
+  y2_ = y1_;
+  y1_ = y;
+  return y;
+}
+
+Signal Biquad::process(std::span<const Real> x) {
+  Signal out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = process(x[i]);
+  return out;
+}
+
+void Biquad::reset() { x1_ = x2_ = y1_ = y2_ = 0.0; }
+
+Real Biquad::magnitude_at(Real fs, Real f) const {
+  const Real w = kTwoPi * f / fs;
+  const std::complex<Real> z = std::polar<Real>(1.0, -w);
+  const std::complex<Real> z2 = z * z;
+  const std::complex<Real> num = b0_ + b1_ * z + b2_ * z2;
+  const std::complex<Real> den =
+      std::complex<Real>(1.0, 0.0) + a1_ * z + a2_ * z2;
+  return std::abs(num / den);
+}
+
+OnePoleLowpass::OnePoleLowpass(Real fs, Real cutoff) {
+  if (fs <= 0.0 || cutoff <= 0.0 || cutoff >= fs / 2.0) {
+    throw std::invalid_argument("OnePoleLowpass: invalid cutoff");
+  }
+  // Exact impulse-invariant mapping of an RC pole.
+  alpha_ = 1.0 - std::exp(-kTwoPi * cutoff / fs);
+}
+
+Real OnePoleLowpass::process(Real x) {
+  state_ += alpha_ * (x - state_);
+  return state_;
+}
+
+Signal OnePoleLowpass::process(std::span<const Real> x) {
+  Signal out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = process(x[i]);
+  return out;
+}
+
+}  // namespace ecocap::dsp

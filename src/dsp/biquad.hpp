@@ -1,0 +1,58 @@
+#pragma once
+
+#include <span>
+
+#include "dsp/types.hpp"
+
+namespace ecocap::dsp {
+
+/// Second-order IIR section (direct form I), designed with the RBJ audio-EQ
+/// cookbook formulas. Biquads model the *analog* parts of the system — the
+/// PZT mechanical resonance and the envelope-detector RC — where a long FIR
+/// would be the wrong physical abstraction.
+class Biquad {
+ public:
+  /// Raw coefficients (already normalized by a0).
+  Biquad(Real b0, Real b1, Real b2, Real a1, Real a2);
+
+  /// Resonant low-pass with quality factor q at frequency f0.
+  static Biquad lowpass(Real fs, Real f0, Real q);
+
+  /// Resonant high-pass.
+  static Biquad highpass(Real fs, Real f0, Real q);
+
+  /// Constant-peak band-pass centered on f0.
+  static Biquad bandpass(Real fs, Real f0, Real q);
+
+  /// Notch rejecting f0.
+  static Biquad notch(Real fs, Real f0, Real q);
+
+  Real process(Real x);
+  Signal process(std::span<const Real> x);
+  void reset();
+
+  /// Magnitude response at frequency f (Hz) for sample rate fs.
+  Real magnitude_at(Real fs, Real f) const;
+
+ private:
+  Real b0_, b1_, b2_, a1_, a2_;
+  Real x1_ = 0.0, x2_ = 0.0, y1_ = 0.0, y2_ = 0.0;
+};
+
+/// Single-pole RC low-pass, the behavioural model of the envelope detector's
+/// smoothing capacitor on the EcoCapsule motherboard.
+class OnePoleLowpass {
+ public:
+  /// @param fs sample rate, @param cutoff -3 dB corner in Hz
+  OnePoleLowpass(Real fs, Real cutoff);
+
+  Real process(Real x);
+  Signal process(std::span<const Real> x);
+  void reset() { state_ = 0.0; }
+
+ private:
+  Real alpha_;
+  Real state_ = 0.0;
+};
+
+}  // namespace ecocap::dsp

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <span>
+
+#include "dsp/types.hpp"
+
+namespace ecocap::dsp {
+
+/// Anti-aliased decimation by an integer factor: low-pass at 0.8 * new
+/// Nyquist with a windowed-sinc FIR, then keep every `factor`-th sample.
+/// Factor 1 returns a copy.
+Signal decimate(std::span<const Real> x, Real fs, std::size_t factor,
+                std::size_t taps = 127);
+
+/// Moving-average smoother (box filter) with the given odd window length,
+/// zero-phase. Handy for envelope post-processing and SHM series smoothing.
+Signal moving_average(std::span<const Real> x, std::size_t window);
+
+}  // namespace ecocap::dsp

@@ -1,0 +1,44 @@
+#include "dsp/envelope.hpp"
+
+#include <cmath>
+
+namespace ecocap::dsp {
+
+EnvelopeDetector::EnvelopeDetector(Real fs, Real cutoff) : lp_(fs, cutoff) {}
+
+Real EnvelopeDetector::process(Real x) { return lp_.process(std::abs(x)); }
+
+Signal EnvelopeDetector::process(std::span<const Real> x) {
+  Signal out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = process(x[i]);
+  return out;
+}
+
+HysteresisSlicer::HysteresisSlicer(Real high, Real low, Real peak_decay)
+    : high_(high), low_(low), decay_(peak_decay) {}
+
+bool HysteresisSlicer::process(Real x) {
+  const Real a = std::abs(x);
+  tracked_peak_ = std::max(a, tracked_peak_ * decay_);
+  if (tracked_peak_ <= 0.0) {
+    state_ = false;
+    return state_;
+  }
+  const Real ratio = a / tracked_peak_;
+  if (!state_ && ratio >= high_) state_ = true;
+  if (state_ && ratio <= low_) state_ = false;
+  return state_;
+}
+
+std::vector<bool> HysteresisSlicer::process(std::span<const Real> x) {
+  std::vector<bool> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = process(x[i]);
+  return out;
+}
+
+void HysteresisSlicer::reset() {
+  tracked_peak_ = 0.0;
+  state_ = false;
+}
+
+}  // namespace ecocap::dsp

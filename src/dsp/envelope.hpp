@@ -1,0 +1,48 @@
+#pragma once
+
+#include <span>
+
+#include "dsp/biquad.hpp"
+#include "dsp/types.hpp"
+
+namespace ecocap::dsp {
+
+/// Diode-rectifier + RC envelope detector, the behavioural model of the
+/// voltage-multiplier front end an EcoCapsule reuses for demodulation (§4.2).
+/// Full-wave rectification followed by a one-pole RC low-pass.
+class EnvelopeDetector {
+ public:
+  /// @param fs sample rate (Hz)
+  /// @param cutoff RC corner, chosen well below the carrier but above the
+  ///        baseband symbol rate.
+  EnvelopeDetector(Real fs, Real cutoff);
+
+  Real process(Real x);
+  Signal process(std::span<const Real> x);
+  void reset() { lp_.reset(); }
+
+ private:
+  OnePoleLowpass lp_;
+};
+
+/// Binarize an envelope with hysteresis, modeling the level-shifter
+/// (TXB0302) that squares up the demodulated baseband on the node.
+/// Thresholds are fractions of the running peak.
+class HysteresisSlicer {
+ public:
+  /// @param high rising threshold as a fraction of the tracked peak
+  /// @param low falling threshold as a fraction of the tracked peak
+  /// @param peak_decay per-sample decay of the tracked peak (slow AGC)
+  HysteresisSlicer(Real high = 0.6, Real low = 0.4, Real peak_decay = 0.99999);
+
+  bool process(Real x);
+  std::vector<bool> process(std::span<const Real> x);
+  void reset();
+
+ private:
+  Real high_, low_, decay_;
+  Real tracked_peak_ = 0.0;
+  bool state_ = false;
+};
+
+}  // namespace ecocap::dsp

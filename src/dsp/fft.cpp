@@ -1,0 +1,120 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ecocap::dsp {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_inplace(ComplexSignal& x, bool inverse) {
+  const std::size_t n = x.size();
+  if (n == 0) return;
+  if ((n & (n - 1)) != 0) {
+    throw std::invalid_argument("fft_inplace: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const Real ang = (inverse ? kTwoPi : -kTwoPi) / static_cast<Real>(len);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = x[i + k];
+        const Complex v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (Complex& v : x) v /= static_cast<Real>(n);
+  }
+}
+
+ComplexSignal fft_real(std::span<const Real> x, std::size_t min_size) {
+  const std::size_t n = next_pow2(std::max(x.size(), std::max<std::size_t>(min_size, 1)));
+  ComplexSignal buf(n, Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < x.size(); ++i) buf[i] = Complex(x[i], 0.0);
+  fft_inplace(buf);
+  return buf;
+}
+
+Signal magnitude_spectrum(std::span<const Real> x, std::size_t min_size) {
+  const ComplexSignal spec = fft_real(x, min_size);
+  const std::size_t half = spec.size() / 2 + 1;
+  Signal mag(half);
+  for (std::size_t i = 0; i < half; ++i) mag[i] = std::abs(spec[i]);
+  return mag;
+}
+
+Real bin_frequency(std::size_t k, std::size_t fft_size, Real fs) {
+  return fs * static_cast<Real>(k) / static_cast<Real>(fft_size);
+}
+
+std::size_t peak_bin_in_band(std::span<const Real> spectrum,
+                             std::size_t fft_size, Real fs, Real f_lo,
+                             Real f_hi) {
+  std::size_t best = 0;
+  Real best_mag = -1.0;
+  for (std::size_t k = 0; k < spectrum.size(); ++k) {
+    const Real f = bin_frequency(k, fft_size, fs);
+    if (f < f_lo || f > f_hi) continue;
+    if (spectrum[k] > best_mag) {
+      best_mag = spectrum[k];
+      best = k;
+    }
+  }
+  return best;
+}
+
+Real estimate_tone_frequency(std::span<const Real> x, Real fs, Real f_lo,
+                             Real f_hi) {
+  if (x.empty()) return 0.0;
+  const std::size_t n = next_pow2(std::max<std::size_t>(x.size(), 1024));
+  const Signal mag = magnitude_spectrum(x, n);
+  const std::size_t k = peak_bin_in_band(mag, n, fs, f_lo, f_hi);
+  if (k == 0 || k + 1 >= mag.size()) return bin_frequency(k, n, fs);
+  // Parabolic interpolation around the peak bin.
+  const Real a = mag[k - 1];
+  const Real b = mag[k];
+  const Real c = mag[k + 1];
+  const Real denom = a - 2.0 * b + c;
+  Real delta = 0.0;
+  if (std::abs(denom) > 1e-30) delta = 0.5 * (a - c) / denom;
+  if (delta > 0.5) delta = 0.5;
+  if (delta < -0.5) delta = -0.5;
+  return bin_frequency(k, n, fs) + delta * fs / static_cast<Real>(n);
+}
+
+Real band_power(std::span<const Real> x, Real fs, Real f_lo, Real f_hi) {
+  if (x.empty()) return 0.0;
+  const std::size_t n = next_pow2(std::max<std::size_t>(x.size(), 1024));
+  const ComplexSignal spec = fft_real(x, n);
+  const std::size_t half = n / 2;
+  Real sum = 0.0;
+  for (std::size_t k = 0; k <= half; ++k) {
+    const Real f = bin_frequency(k, n, fs);
+    if (f < f_lo || f > f_hi) continue;
+    const Real m2 = std::norm(spec[k]);
+    // One-sided: double interior bins to account for negative frequencies.
+    const bool interior = (k != 0 && k != half);
+    sum += (interior ? 2.0 : 1.0) * m2;
+  }
+  // Parseval: total power = sum |X|^2 / N^2 when averaged per sample of the
+  // padded frame; normalize by the original length so tone power is stable.
+  return sum / (static_cast<Real>(n) * static_cast<Real>(x.size()));
+}
+
+}  // namespace ecocap::dsp

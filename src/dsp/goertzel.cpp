@@ -1,0 +1,39 @@
+#include "dsp/goertzel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ecocap::dsp {
+
+Real goertzel_power(std::span<const Real> x, Real fs, Real f) {
+  if (x.empty()) return 0.0;
+  const Real w = kTwoPi * f / fs;
+  const Real coeff = 2.0 * std::cos(w);
+  Real s1 = 0.0, s2 = 0.0;
+  for (Real v : x) {
+    const Real s0 = v + coeff * s1 - s2;
+    s2 = s1;
+    s1 = s0;
+  }
+  return s1 * s1 + s2 * s2 - coeff * s1 * s2;
+}
+
+Goertzel::Goertzel(Real fs, Real f, std::size_t block_size)
+    : coeff_(2.0 * std::cos(kTwoPi * f / fs)), block_size_(block_size) {
+  if (block_size == 0) throw std::invalid_argument("Goertzel: empty block");
+}
+
+bool Goertzel::push(Real sample) {
+  const Real s0 = sample + coeff_ * s1_ - s2_;
+  s2_ = s1_;
+  s1_ = s0;
+  if (++count_ == block_size_) {
+    power_ = s1_ * s1_ + s2_ * s2_ - coeff_ * s1_ * s2_;
+    s1_ = s2_ = 0.0;
+    count_ = 0;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace ecocap::dsp

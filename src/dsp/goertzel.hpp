@@ -1,0 +1,37 @@
+#pragma once
+
+#include <span>
+
+#include "dsp/types.hpp"
+
+namespace ecocap::dsp {
+
+/// Goertzel single-bin DFT: cheap per-tone power measurement. This mirrors
+/// what an MCU-class receiver can afford, and is used by the node-side FSK
+/// discrimination tests and by narrowband SNR probes.
+///
+/// Returns the squared magnitude of the DFT bin nearest `f` over the block.
+Real goertzel_power(std::span<const Real> x, Real fs, Real f);
+
+/// Streaming Goertzel over fixed-length blocks.
+class Goertzel {
+ public:
+  Goertzel(Real fs, Real f, std::size_t block_size);
+
+  /// Push one sample; returns true when a block completed (power() is fresh).
+  bool push(Real sample);
+
+  /// Squared magnitude of the last completed block.
+  Real power() const { return power_; }
+
+  std::size_t block_size() const { return block_size_; }
+
+ private:
+  Real coeff_;
+  std::size_t block_size_;
+  std::size_t count_ = 0;
+  Real s1_ = 0.0, s2_ = 0.0;
+  Real power_ = 0.0;
+};
+
+}  // namespace ecocap::dsp

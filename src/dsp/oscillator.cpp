@@ -1,0 +1,54 @@
+#include "dsp/oscillator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ecocap::dsp {
+
+Oscillator::Oscillator(Real fs, Real frequency)
+    : fs_(fs), frequency_(frequency), step_(kTwoPi * frequency / fs) {
+  if (fs <= 0.0) throw std::invalid_argument("Oscillator: fs must be > 0");
+}
+
+void Oscillator::set_frequency(Real frequency) {
+  frequency_ = frequency;
+  step_ = kTwoPi * frequency / fs_;
+}
+
+Real Oscillator::next(Real amplitude) {
+  const Real v = amplitude * std::sin(phase_);
+  phase_ += step_;
+  if (phase_ >= kTwoPi) phase_ -= kTwoPi;
+  if (phase_ < 0.0) phase_ += kTwoPi;
+  return v;
+}
+
+Signal Oscillator::generate(std::size_t n, Real amplitude) {
+  Signal out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = next(amplitude);
+  return out;
+}
+
+Signal tone(Real fs, Real f, std::size_t n, Real amplitude, Real phase0) {
+  Signal out(n);
+  const Real step = kTwoPi * f / fs;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = amplitude * std::sin(phase0 + step * static_cast<Real>(i));
+  }
+  return out;
+}
+
+Signal chirp(Real fs, Real f0, Real f1, std::size_t n, Real amplitude) {
+  Signal out(n);
+  if (n == 0) return out;
+  const Real duration = static_cast<Real>(n) / fs;
+  const Real k = (f1 - f0) / duration;  // Hz per second
+  for (std::size_t i = 0; i < n; ++i) {
+    const Real t = static_cast<Real>(i) / fs;
+    const Real phase = kTwoPi * (f0 * t + 0.5 * k * t * t);
+    out[i] = amplitude * std::sin(phase);
+  }
+  return out;
+}
+
+}  // namespace ecocap::dsp

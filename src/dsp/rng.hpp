@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "dsp/types.hpp"
+
+namespace ecocap::dsp {
+
+/// Deterministic random source for all stochastic models (noise, traffic,
+/// slot selection). Every experiment seeds its own Rng so runs are exactly
+/// reproducible; nothing in the library touches global random state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Standard-normal variate.
+  Real gaussian() { return normal_(engine_); }
+
+  /// Normal variate with the given standard deviation.
+  Real gaussian(Real sigma) { return sigma * normal_(engine_); }
+
+  /// Uniform in [0, 1).
+  Real uniform() { return uniform_(engine_); }
+
+  /// Uniform in [lo, hi).
+  Real uniform(Real lo, Real hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t index(std::uint64_t n) {
+    return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(Real p) { return uniform() < p; }
+
+  /// Poisson variate with the given mean.
+  int poisson(Real mean) {
+    return std::poisson_distribution<int>(mean)(engine_);
+  }
+
+  /// Access to the underlying engine for standard distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::normal_distribution<Real> normal_{0.0, 1.0};
+  std::uniform_real_distribution<Real> uniform_{0.0, 1.0};
+};
+
+}  // namespace ecocap::dsp

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <span>
+
+#include "dsp/rng.hpp"
+#include "dsp/types.hpp"
+
+namespace ecocap::dsp {
+
+/// Mean of a waveform (0 for empty input).
+Real mean(std::span<const Real> x);
+
+/// Mean square power of a waveform (0 for empty input).
+Real power(std::span<const Real> x);
+
+/// Root-mean-square amplitude.
+Real rms(std::span<const Real> x);
+
+/// Largest absolute sample value.
+Real peak(std::span<const Real> x);
+
+/// Total energy (sum of squares).
+Real energy(std::span<const Real> x);
+
+/// Linear power ratio -> decibels. Clamps to -300 dB for non-positive input.
+Real to_db(Real power_ratio);
+
+/// Decibels -> linear power ratio.
+Real from_db(Real db);
+
+/// Scale x in place so that its peak absolute value equals `target`.
+/// A silent buffer is left untouched.
+void normalize_peak(Signal& x, Real target = 1.0);
+
+/// Element-wise sum of two equally sized signals.
+Signal add(std::span<const Real> a, std::span<const Real> b);
+
+/// Element-wise product (e.g. mixing against a local oscillator).
+Signal multiply(std::span<const Real> a, std::span<const Real> b);
+
+/// Multiply every sample by `gain`.
+void scale(Signal& x, Real gain);
+
+/// Add white Gaussian noise with standard deviation `sigma` in place.
+void add_awgn(Signal& x, Real sigma, Rng& rng);
+
+/// Add white Gaussian noise such that the resulting SNR (relative to the
+/// current signal power) equals `snr_db`. Returns the noise sigma used.
+Real add_awgn_snr(Signal& x, Real snr_db, Rng& rng);
+
+/// Measured SNR in dB from a known clean reference and the noisy observation:
+/// 10*log10(P_ref / P_(obs-ref)). Inputs must be the same length.
+Real measure_snr_db(std::span<const Real> reference,
+                    std::span<const Real> observed);
+
+/// Concatenate b after a.
+Signal concat(std::span<const Real> a, std::span<const Real> b);
+
+/// Extract samples [start, start+count), zero-padding past the end.
+Signal slice(std::span<const Real> x, std::size_t start, std::size_t count);
+
+}  // namespace ecocap::dsp

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace ecocap::dsp {
+
+/// Sample type used throughout the DSP substrate. Double precision keeps
+/// Monte-Carlo BER sweeps numerically honest at the cost of memory we can
+/// afford offline.
+using Real = double;
+
+/// A sampled waveform. The sample rate is carried alongside by the caller;
+/// functions that need it take an explicit `fs` argument so a buffer can be
+/// re-interpreted (e.g. after decimation) without copying.
+using Signal = std::vector<Real>;
+
+/// Complex sample, used by the FFT and the digital downconverter.
+using Complex = std::complex<Real>;
+
+/// A complex baseband waveform.
+using ComplexSignal = std::vector<Complex>;
+
+inline constexpr Real kPi = 3.14159265358979323846;
+inline constexpr Real kTwoPi = 2.0 * kPi;
+
+}  // namespace ecocap::dsp

@@ -1,0 +1,40 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ecocap::dsp {
+
+Signal make_window(WindowKind kind, std::size_t n) {
+  Signal w(n, 1.0);
+  if (n <= 1) return w;
+  const Real denom = static_cast<Real>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Real x = static_cast<Real>(i) / denom;
+    switch (kind) {
+      case WindowKind::kRect:
+        w[i] = 1.0;
+        break;
+      case WindowKind::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(kTwoPi * x);
+        break;
+      case WindowKind::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(kTwoPi * x);
+        break;
+      case WindowKind::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(kTwoPi * x) +
+               0.08 * std::cos(2.0 * kTwoPi * x);
+        break;
+    }
+  }
+  return w;
+}
+
+void apply_window(Signal& x, const Signal& window) {
+  if (x.size() != window.size()) {
+    throw std::invalid_argument("apply_window: size mismatch");
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] *= window[i];
+}
+
+}  // namespace ecocap::dsp

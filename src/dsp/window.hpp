@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/types.hpp"
+
+namespace ecocap::dsp {
+
+/// Window functions used for FIR design and spectral estimation.
+enum class WindowKind { kRect, kHann, kHamming, kBlackman };
+
+/// Generate an n-point window of the given kind (symmetric form).
+Signal make_window(WindowKind kind, std::size_t n);
+
+/// Apply a window to a buffer in place. Sizes must match.
+void apply_window(Signal& x, const Signal& window);
+
+}  // namespace ecocap::dsp

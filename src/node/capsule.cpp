@@ -1,0 +1,63 @@
+#include "node/capsule.hpp"
+
+#include <algorithm>
+
+#include "dsp/signal_ops.hpp"
+
+namespace ecocap::node {
+
+EcoCapsule::EcoCapsule(CapsuleConfig config, double fs, std::uint64_t seed)
+    : config_(config),
+      fs_(fs),
+      shell_(config.shell),
+      hra_(wave::HelmholtzResonator::paper_prototype(), config.hra_cells),
+      harvester_(config.harvester),
+      frontend_(fs),
+      firmware_(config.firmware, seed) {}
+
+CapsuleRxResult EcoCapsule::receive(std::span<const dsp::Real> acoustic,
+                                    const ConcreteEnvironment& env) {
+  CapsuleRxResult result;
+  if (acoustic.empty()) return result;
+
+  // 1. Harvest: the HRA amplifies the arriving vibration before the PZT;
+  //    charge the storage cap in coarse time steps using the local peak
+  //    amplitude as the rectifier input.
+  const std::size_t chunk = static_cast<std::size_t>(fs_ / 1000.0);  // 1 ms
+  const PowerBreakdown draw = config_.power.standby();
+  const double rail = config_.harvester.ldo_output;
+  for (std::size_t i = 0; i < acoustic.size(); i += chunk) {
+    const std::size_t n = std::min(chunk, acoustic.size() - i);
+    const double amp =
+        dsp::peak(acoustic.subspan(i, n)) * config_.hra_gain;
+    const double load =
+        harvester_.mcu_powered() ? draw.total() / rail : 0.0;
+    harvester_.step(static_cast<double>(n) / fs_, amp, load);
+  }
+  result.cap_voltage = harvester_.cap_voltage();
+  result.powered = harvester_.mcu_powered();
+  if (result.powered) {
+    firmware_.power_on();
+  } else {
+    firmware_.power_off();
+    return result;
+  }
+
+  // 2. Demodulate and run the protocol.
+  const std::vector<bool> levels = frontend_.demodulate(acoustic);
+  result.frames = firmware_.process_downlink(levels, fs_, env);
+  return result;
+}
+
+dsp::Signal EcoCapsule::backscatter(
+    const UplinkFrame& frame, std::span<const dsp::Real> incident_carrier) {
+  phy::Fm0Params line = config_.firmware.uplink;
+  line.bitrate = frame.bitrate;
+  const dsp::Signal switching =
+      phy::fm0_encode_frame(frame.payload, line, fs_);
+  phy::BackscatterParams bp = config_.backscatter;
+  bp.f_blf = frame.blf;
+  return phy::backscatter_modulate(incident_carrier, switching, fs_, bp);
+}
+
+}  // namespace ecocap::node

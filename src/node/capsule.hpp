@@ -1,0 +1,71 @@
+#pragma once
+
+#include <memory>
+
+#include "node/firmware.hpp"
+#include "node/frontend.hpp"
+#include "node/harvester.hpp"
+#include "node/power_model.hpp"
+#include "node/shell.hpp"
+#include "phy/carrier.hpp"
+#include "wave/helmholtz.hpp"
+
+namespace ecocap::node {
+
+/// Full EcoCapsule assembly (paper §4, Fig. 8): the stressless shell, the
+/// Helmholtz resonator array in front of the 10 mm PZT, the battery-free
+/// motherboard (harvester + MCU + frontend) and the firmware image.
+struct CapsuleConfig {
+  FirmwareConfig firmware;
+  HarvesterConfig harvester;
+  ShellConfig shell;
+  PowerModel power;
+  phy::BackscatterParams backscatter;
+  /// HRA receive gain at the carrier frequency (ablation knob).
+  double hra_gain = 2.0;
+  int hra_cells = 7;
+};
+
+/// Result of a full interrogation round at the waveform level.
+struct CapsuleRxResult {
+  bool powered = false;
+  std::vector<UplinkFrame> frames;   // scheduled uplink transmissions
+  double cap_voltage = 0.0;
+};
+
+class EcoCapsule {
+ public:
+  /// @param fs acoustic simulation sample rate
+  EcoCapsule(CapsuleConfig config, double fs, std::uint64_t seed);
+
+  /// Process an incoming acoustic waveform at the capsule's PZT: harvest
+  /// (amplitude -> storage cap), demodulate, run the firmware, and return
+  /// any scheduled uplink frames. The environment is the local concrete
+  /// state for sensor reads.
+  CapsuleRxResult receive(std::span<const dsp::Real> acoustic,
+                          const ConcreteEnvironment& env);
+
+  /// Produce the backscatter emission for an uplink frame given the
+  /// incident carrier at the node (the switch modulates the reflection).
+  dsp::Signal backscatter(const UplinkFrame& frame,
+                          std::span<const dsp::Real> incident_carrier);
+
+  /// Direct access for tests and experiments.
+  Firmware& firmware() { return firmware_; }
+  Harvester& harvester() { return harvester_; }
+  const Shell& shell() const { return shell_; }
+  const wave::HelmholtzArray& hra() const { return hra_; }
+  const CapsuleConfig& config() const { return config_; }
+  double fs() const { return fs_; }
+
+ private:
+  CapsuleConfig config_;
+  double fs_;
+  Shell shell_;
+  wave::HelmholtzArray hra_;
+  Harvester harvester_;
+  AnalogFrontend frontend_;
+  Firmware firmware_;
+};
+
+}  // namespace ecocap::node

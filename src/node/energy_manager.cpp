@@ -1,0 +1,58 @@
+#include "node/energy_manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecocap::node {
+
+EnergyManager::EnergyManager(HarvesterConfig harvester, PowerModel power,
+                             Real conversion_efficiency)
+    : harvester_(harvester),
+      power_(power),
+      efficiency_(conversion_efficiency) {}
+
+Real EnergyManager::harvest_power(Real vin_peak) const {
+  const Real per_stage = std::max<Real>(vin_peak - harvester_.diode_drop, 0.0);
+  const Real voc = 2.0 * static_cast<Real>(harvester_.stages) * per_stage;
+  if (voc <= harvester_.ldo_output + harvester_.ldo_dropout) return 0.0;
+  // Matched-source power derated by the conversion efficiency.
+  return efficiency_ * voc * voc / (4.0 * harvester_.source_resistance);
+}
+
+Real EnergyManager::sustainable_duty(Real vin_peak, Real bitrate,
+                                     Real blf) const {
+  const Real h = harvest_power(vin_peak);
+  const Real p_active = power_.active(bitrate, blf).total();
+  const Real p_standby = power_.standby().total();
+  if (h <= p_standby) return 0.0;
+  if (h >= p_active) return 1.0;
+  return (h - p_standby) / (p_active - p_standby);
+}
+
+bool EnergyManager::continuous_operation(Real vin_peak, Real bitrate) const {
+  return harvest_power(vin_peak) >= power_.active(bitrate).total();
+}
+
+std::optional<Real> EnergyManager::recharge_time(Real vin_peak,
+                                                 Real tx_seconds,
+                                                 Real bitrate) const {
+  const Real h = harvest_power(vin_peak);
+  const Real p_standby = power_.standby().total();
+  if (h <= p_standby) return std::nullopt;
+  const Real p_active = power_.active(bitrate).total();
+  const Real deficit = std::max<Real>(p_active - h, 0.0) * tx_seconds;
+  return deficit / (h - p_standby);
+}
+
+Real EnergyManager::standby_threshold_voltage() const {
+  // Invert harvest_power(v) == P_standby.
+  const Real p_standby = power_.standby().total();
+  const Real voc_needed = std::sqrt(
+      4.0 * harvester_.source_resistance * p_standby / efficiency_);
+  const Real floor_voc = harvester_.ldo_output + harvester_.ldo_dropout;
+  const Real voc = std::max(voc_needed, floor_voc);
+  return voc / (2.0 * static_cast<Real>(harvester_.stages)) +
+         harvester_.diode_drop;
+}
+
+}  // namespace ecocap::node

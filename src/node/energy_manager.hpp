@@ -1,0 +1,56 @@
+#pragma once
+
+#include <optional>
+
+#include "node/harvester.hpp"
+#include "node/power_model.hpp"
+
+namespace ecocap::node {
+
+/// Harvest-aware duty cycling (§5.2 economics): an EcoCapsule harvests
+/// continuously from the CBW but transmitting costs ~4.5x standby, so a
+/// node deep in the wall may only afford intermittent responses. The
+/// energy manager answers: at this harvested input, what fraction of the
+/// time can the node be active, and how long must it recharge between
+/// transmissions?
+class EnergyManager {
+ public:
+  /// @param conversion_efficiency fraction of the matched-source power the
+  ///        multiplier + LDO actually deliver to the rail; microwatt-scale
+  ///        Dickson harvesters sit around a few percent.
+  EnergyManager(HarvesterConfig harvester = {}, PowerModel power = {},
+                Real conversion_efficiency = 0.05);
+
+  /// Continuous harvested power (W) at a PZT input amplitude `vin_peak`:
+  /// the matched-source power Voc^2 / (4 R) times the conversion
+  /// efficiency, gated on the LDO headroom.
+  Real harvest_power(Real vin_peak) const;
+
+  /// Maximum sustainable duty cycle of active transmission at the given
+  /// input amplitude and uplink bitrate: balance
+  ///   harvest = duty * P_active + (1 - duty) * P_standby.
+  /// Clamped to [0, 1]; 0 when even standby cannot be sustained.
+  Real sustainable_duty(Real vin_peak, Real bitrate, Real blf = 4000.0) const;
+
+  /// Can the node run continuously at this input?
+  bool continuous_operation(Real vin_peak, Real bitrate) const;
+
+  /// Recharge time needed between transmissions: after a burst of
+  /// `tx_seconds` active at `bitrate`, how long must the node sit in
+  /// standby for the storage cap to recover the spent charge? nullopt when
+  /// the input cannot even cover standby (the node will eventually brown
+  /// out).
+  std::optional<Real> recharge_time(Real vin_peak, Real tx_seconds,
+                                    Real bitrate) const;
+
+  /// Minimum input amplitude for indefinite standby (the "keep listening"
+  /// threshold, distinct from the Fig. 14 cold-start threshold).
+  Real standby_threshold_voltage() const;
+
+ private:
+  HarvesterConfig harvester_;
+  PowerModel power_;
+  Real efficiency_;
+};
+
+}  // namespace ecocap::node

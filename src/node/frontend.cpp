@@ -1,0 +1,29 @@
+#include "node/frontend.hpp"
+
+namespace ecocap::node {
+
+AnalogFrontend::AnalogFrontend(Real fs, Real envelope_cutoff)
+    : detector_(fs, envelope_cutoff), slicer_(0.55, 0.45, 0.999995) {}
+
+std::vector<bool> AnalogFrontend::demodulate(std::span<const Real> acoustic) {
+  std::vector<bool> out(acoustic.size());
+  for (std::size_t i = 0; i < acoustic.size(); ++i) {
+    out[i] = slicer_.process(detector_.process(acoustic[i]));
+  }
+  return out;
+}
+
+Signal AnalogFrontend::envelope(std::span<const Real> acoustic) {
+  Signal out(acoustic.size());
+  for (std::size_t i = 0; i < acoustic.size(); ++i) {
+    out[i] = detector_.process(acoustic[i]);
+  }
+  return out;
+}
+
+void AnalogFrontend::reset() {
+  detector_.reset();
+  slicer_.reset();
+}
+
+}  // namespace ecocap::node

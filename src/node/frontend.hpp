@@ -1,0 +1,40 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/envelope.hpp"
+#include "dsp/types.hpp"
+
+namespace ecocap::node {
+
+using dsp::Real;
+using dsp::Signal;
+
+/// The node's passive analog receive chain (paper §4.2): the voltage
+/// multiplier doubles as an envelope detector, and the TXB0302 level
+/// shifter binarizes the demodulated baseband for the MCU's timer-capture
+/// pin. Everything here runs from harvested power.
+class AnalogFrontend {
+ public:
+  /// @param fs sample rate of the acoustic input
+  /// @param envelope_cutoff RC corner of the detector; must sit between the
+  ///        PIE symbol rate and the carrier (default suits 1 ms taris under
+  ///        a 230 kHz carrier)
+  explicit AnalogFrontend(Real fs, Real envelope_cutoff = 20.0e3);
+
+  /// Demodulate an acoustic waveform at the PZT into the binarized
+  /// baseband the MCU sees.
+  std::vector<bool> demodulate(std::span<const Real> acoustic);
+
+  /// The analog envelope itself (for harvesting and diagnostics).
+  Signal envelope(std::span<const Real> acoustic);
+
+  void reset();
+
+ private:
+  dsp::EnvelopeDetector detector_;
+  dsp::HysteresisSlicer slicer_;
+};
+
+}  // namespace ecocap::node

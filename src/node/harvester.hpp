@@ -1,0 +1,65 @@
+#pragma once
+
+#include <optional>
+
+#include "dsp/types.hpp"
+
+namespace ecocap::node {
+
+using dsp::Real;
+
+/// Behavioural model of the EcoCapsule energy harvester (paper §4.2): a
+/// four-stage Dickson voltage multiplier rectifying the PZT's AC output into
+/// a storage capacitor, followed by a 1.8 V LDO (LP5900SD-1.8). The cold
+/// start (Fig. 14) is the RC charge of the storage capacitor up to the MCU
+/// activation threshold.
+struct HarvesterConfig {
+  int stages = 4;              // multiplier stages
+  Real diode_drop = 0.2;       // V per Schottky diode
+  Real storage_cap = 47e-6;    // F
+  Real source_resistance = 653.0;  // ohm, PZT + multiplier output impedance
+  Real mcu_start_voltage = 2.0;    // V on the storage cap that boots the MCU
+  Real ldo_output = 1.8;           // V regulated rail
+  Real ldo_dropout = 0.1;          // V minimum headroom above the rail
+};
+
+class Harvester {
+ public:
+  explicit Harvester(HarvesterConfig config = {});
+
+  /// Open-circuit DC voltage produced from a sinusoidal PZT amplitude
+  /// `vin_peak`: 2 * stages * (vin - diode_drop), clamped at 0.
+  Real open_circuit_voltage(Real vin_peak) const;
+
+  /// Cold-start time (s) from an empty capacitor at constant input
+  /// amplitude; nullopt when the input can never reach the MCU start
+  /// threshold (the paper's 500 mV activation floor).
+  std::optional<Real> cold_start_time(Real vin_peak) const;
+
+  /// Minimum PZT amplitude that can ever boot the MCU.
+  Real minimum_activation_voltage() const;
+
+  /// --- streaming simulation (used by the end-to-end link) ---
+
+  /// Advance the storage-cap state by dt seconds with the given input
+  /// amplitude and load current draw (A). Returns the new cap voltage.
+  Real step(Real dt, Real vin_peak, Real load_current = 0.0);
+
+  /// Storage capacitor voltage.
+  Real cap_voltage() const { return v_cap_; }
+
+  /// True once the cap passed the MCU start threshold (sticky until the cap
+  /// droops below the LDO dropout floor).
+  bool mcu_powered() const { return powered_; }
+
+  void reset();
+
+  const HarvesterConfig& config() const { return config_; }
+
+ private:
+  HarvesterConfig config_;
+  Real v_cap_ = 0.0;
+  bool powered_ = false;
+};
+
+}  // namespace ecocap::node

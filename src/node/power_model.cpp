@@ -1,0 +1,29 @@
+#include "node/power_model.hpp"
+
+namespace ecocap::node {
+
+PowerBreakdown PowerModel::standby() const {
+  PowerBreakdown p;
+  p.mcu = mcu_standby;
+  p.receiver = receiver;
+  return p;
+}
+
+PowerBreakdown PowerModel::active(Real bitrate, Real blf) const {
+  PowerBreakdown p;
+  p.mcu = mcu_active;
+  p.receiver = receiver;
+  // FM0 has at most 2 transitions per bit; the subcarrier adds 2 per cycle.
+  const Real transitions_per_s = 2.0 * bitrate + (blf > 0.0 ? 2.0 * blf : 0.0);
+  p.switch_drv = switch_driver + toggle_energy * transitions_per_s;
+  p.sensors = sensor_rail;
+  return p;
+}
+
+PowerBreakdown PowerModel::sleep() const {
+  PowerBreakdown p;
+  p.mcu = mcu_sleep;
+  return p;
+}
+
+}  // namespace ecocap::node

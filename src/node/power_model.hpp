@@ -1,0 +1,43 @@
+#pragma once
+
+#include "dsp/types.hpp"
+
+namespace ecocap::node {
+
+using dsp::Real;
+
+/// Power accounting for the EcoCapsule electronics (paper §5.2, Fig. 13,
+/// measured with TI EnergyTrace). The MSP430G2553 draws 414 uW active and
+/// 0.9 uW asleep; standby (LPM3 + envelope receiver armed) totals 80.1 uW;
+/// a transmitting node sits near 360 uW nearly independent of bitrate
+/// (the impedance switch is quasi-static and its toggle energy is tiny).
+struct PowerBreakdown {
+  Real mcu = 0.0;        // W
+  Real receiver = 0.0;   // W (level shifter + comparator)
+  Real switch_drv = 0.0; // W (impedance switch driver)
+  Real sensors = 0.0;    // W (quiescent sensor rail)
+
+  Real total() const { return mcu + receiver + switch_drv + sensors; }
+};
+
+struct PowerModel {
+  Real mcu_active = 280.0e-6;   // W, MSP430 running the protocol loop
+  Real mcu_sleep = 0.9e-6;      // W, LPM4
+  Real mcu_standby = 52.0e-6;   // W, LPM3 + timer capture armed
+  Real receiver = 28.1e-6;      // W, always on while powered
+  Real switch_driver = 36.0e-6; // W while backscattering
+  Real sensor_rail = 16.0e-6;   // W while a sensor is powered
+  Real toggle_energy = 0.6e-9;  // J per impedance-switch transition
+
+  /// Standby: waiting to receive/decode downlink (bitrate 0 in Fig. 13).
+  PowerBreakdown standby() const;
+
+  /// Active transmit at the given uplink bitrate (FM0: <= 2 transitions
+  /// per bit plus the BLF subcarrier toggles when enabled).
+  PowerBreakdown active(Real bitrate, Real blf = 0.0) const;
+
+  /// Deep sleep (between interrogation sessions).
+  PowerBreakdown sleep() const;
+};
+
+}  // namespace ecocap::node

@@ -1,0 +1,65 @@
+#include "node/sensors.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecocap::node {
+
+namespace {
+
+/// Quantize to a step size (ADC / digital word resolution).
+Real quantize(Real v, Real step) { return std::round(v / step) * step; }
+
+}  // namespace
+
+Real Aht10Temperature::sample(const ConcreteEnvironment& env,
+                              dsp::Rng& rng) const {
+  const Real clamped = std::clamp<Real>(env.temperature_c, -40.0, 85.0);
+  const Real noisy = clamped + rng.gaussian(0.1);  // +-0.3 C @ 3 sigma
+  // 20-bit word over the -50..150 C span -> ~0.0002 C steps; the datasheet
+  // resolution is 0.01 C after conversion.
+  return quantize(noisy, 0.01);
+}
+
+Real Aht10Humidity::sample(const ConcreteEnvironment& env,
+                           dsp::Rng& rng) const {
+  const Real clamped = std::clamp<Real>(env.relative_humidity, 0.0, 100.0);
+  const Real noisy = clamped + rng.gaussian(0.7);  // +-2 % @ 3 sigma
+  return std::clamp<Real>(quantize(noisy, 0.024), 0.0, 100.0);
+}
+
+Real BridgeStrainGauge::sample(const ConcreteEnvironment& env,
+                               dsp::Rng& rng) const {
+  const Real strain = axis_x_ ? env.strain_x : env.strain_y;
+  const Real microstrain = strain * 1.0e6;
+  // Full bridge, gauge factor 2, 1.8 V excitation into a 10-bit ADC over a
+  // +-2000 ue range -> ~3.9 ue per LSB; thermal noise ~1 ue rms.
+  const Real noisy = microstrain + rng.gaussian(1.0);
+  const Real clamped = std::clamp<Real>(noisy, -2000.0, 2000.0);
+  return quantize(clamped, 4000.0 / 1024.0);
+}
+
+Real Accelerometer::sample(const ConcreteEnvironment& env,
+                           dsp::Rng& rng) const {
+  const Real noisy = env.acceleration + rng.gaussian(0.002);
+  return quantize(std::clamp<Real>(noisy, -19.6, 19.6), 19.6 * 2.0 / 4096.0);
+}
+
+Real StressSensor::sample(const ConcreteEnvironment& env,
+                          dsp::Rng& rng) const {
+  const Real noisy = env.stress_mpa + rng.gaussian(0.05);
+  return quantize(noisy, 0.01);
+}
+
+std::vector<std::unique_ptr<Sensor>> default_sensor_suite() {
+  std::vector<std::unique_ptr<Sensor>> s;
+  s.push_back(std::make_unique<Aht10Temperature>());
+  s.push_back(std::make_unique<Aht10Humidity>());
+  s.push_back(std::make_unique<BridgeStrainGauge>(true));
+  s.push_back(std::make_unique<BridgeStrainGauge>(false));
+  s.push_back(std::make_unique<Accelerometer>());
+  s.push_back(std::make_unique<StressSensor>());
+  return s;
+}
+
+}  // namespace ecocap::node

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsp/rng.hpp"
+#include "dsp/types.hpp"
+
+namespace ecocap::node {
+
+using dsp::Real;
+
+/// Physical conditions inside the concrete at the capsule's location. The
+/// SHM application layer drives this; the sensor models read from it.
+struct ConcreteEnvironment {
+  Real temperature_c = 25.0;       // internal temperature
+  Real relative_humidity = 80.0;   // internal relative humidity, %
+  Real strain_x = 0.0;             // dimensionless strain (x direction)
+  Real strain_y = 0.0;             // dimensionless strain (y direction)
+  Real acceleration = 0.0;         // m/s^2 (structure vibration)
+  Real stress_mpa = 0.0;           // local stress, MPa
+};
+
+/// Sensor ids on the extensible peripheral interface (paper §4.2 tests
+/// temperature, humidity and strain; the pilot study also reports
+/// acceleration and stress from inside).
+enum class SensorId : std::uint8_t {
+  kTemperature = 1,  // AHT10
+  kHumidity = 2,     // AHT10
+  kStrainX = 3,      // BFH1K-3EB full bridge
+  kStrainY = 4,
+  kAcceleration = 5,
+  kStress = 6,
+};
+
+/// A sensor attached to the capsule's peripheral interface. Models quantize
+/// and add noise the way the real parts do.
+class Sensor {
+ public:
+  virtual ~Sensor() = default;
+  virtual SensorId id() const = 0;
+  virtual std::string name() const = 0;
+  /// One sample of the physical quantity, with device noise/quantization.
+  virtual Real sample(const ConcreteEnvironment& env, dsp::Rng& rng) const = 0;
+  /// Measurement unit, for reports.
+  virtual std::string unit() const = 0;
+};
+
+/// AHT10 integrated temperature + humidity sensor (I2C, 20-bit raw words).
+/// Temperature: -40..85 C, +-0.3 C accuracy. Humidity: 0..100 %, +-2 %.
+class Aht10Temperature : public Sensor {
+ public:
+  SensorId id() const override { return SensorId::kTemperature; }
+  std::string name() const override { return "AHT10-temperature"; }
+  std::string unit() const override { return "degC"; }
+  Real sample(const ConcreteEnvironment& env, dsp::Rng& rng) const override;
+};
+
+class Aht10Humidity : public Sensor {
+ public:
+  SensorId id() const override { return SensorId::kHumidity; }
+  std::string name() const override { return "AHT10-humidity"; }
+  std::string unit() const override { return "%RH"; }
+  Real sample(const ConcreteEnvironment& env, dsp::Rng& rng) const override;
+};
+
+/// BFH1K-3EB full-bridge foil strain gauge glued to the shell back,
+/// measuring two-directional internal strain through a 10-bit ADC.
+/// Reports microstrain.
+class BridgeStrainGauge : public Sensor {
+ public:
+  /// @param axis_x true: x direction, false: y direction
+  explicit BridgeStrainGauge(bool axis_x) : axis_x_(axis_x) {}
+  SensorId id() const override {
+    return axis_x_ ? SensorId::kStrainX : SensorId::kStrainY;
+  }
+  std::string name() const override {
+    return axis_x_ ? "BFH1K-strain-x" : "BFH1K-strain-y";
+  }
+  std::string unit() const override { return "ue"; }
+  Real sample(const ConcreteEnvironment& env, dsp::Rng& rng) const override;
+
+ private:
+  bool axis_x_;
+};
+
+/// MEMS accelerometer on the peripheral rail (pilot study, Fig. 21).
+class Accelerometer : public Sensor {
+ public:
+  SensorId id() const override { return SensorId::kAcceleration; }
+  std::string name() const override { return "accelerometer"; }
+  std::string unit() const override { return "m/s^2"; }
+  Real sample(const ConcreteEnvironment& env, dsp::Rng& rng) const override;
+};
+
+/// Derived stress reading: strain * elastic modulus of the surrounding
+/// concrete, reported in MPa (what Fig. 21(b) plots).
+class StressSensor : public Sensor {
+ public:
+  SensorId id() const override { return SensorId::kStress; }
+  std::string name() const override { return "stress"; }
+  std::string unit() const override { return "MPa"; }
+  Real sample(const ConcreteEnvironment& env, dsp::Rng& rng) const override;
+};
+
+/// The standard sensor suite soldered onto the prototype motherboard.
+std::vector<std::unique_ptr<Sensor>> default_sensor_suite();
+
+}  // namespace ecocap::node

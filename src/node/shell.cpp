@@ -1,0 +1,62 @@
+#include "node/shell.hpp"
+
+#include <stdexcept>
+
+namespace ecocap::node {
+
+ShellMaterial ShellMaterial::sla_resin() {
+  ShellMaterial m;
+  m.name = "SLA-resin";
+  m.tensile_strength = 65.0e6;
+  m.youngs_modulus = 2.2e9;
+  m.max_pressure_difference = 4.3e6;  // paper's FEA result
+  return m;
+}
+
+ShellMaterial ShellMaterial::alloy_steel() {
+  ShellMaterial m;
+  m.name = "alloy-steel";
+  m.tensile_strength = 550.0e6;
+  m.youngs_modulus = 200.0e9;
+  m.max_pressure_difference = 115.2e6;  // paper's FEA result
+  return m;
+}
+
+Shell::Shell(ShellConfig config) : config_(config) {
+  if (config_.diameter <= 0.0 || config_.wall_thickness <= 0.0) {
+    throw std::invalid_argument("Shell: invalid geometry");
+  }
+}
+
+Real Shell::pressure_difference(Real height, Real concrete_density) const {
+  if (height < 0.0) throw std::invalid_argument("Shell: negative height");
+  return concrete_density * kGravity * height - kStandardAtmosphere;
+}
+
+Real Shell::max_building_height(Real concrete_density) const {
+  return (config_.material.max_pressure_difference + kStandardAtmosphere) /
+         (concrete_density * kGravity);
+}
+
+bool Shell::survives(Real height, Real concrete_density) const {
+  return pressure_difference(height, concrete_density) <=
+         config_.material.max_pressure_difference;
+}
+
+Real Shell::membrane_stress(Real pressure_difference) const {
+  const Real r = config_.diameter / 2.0;
+  return pressure_difference * r / (2.0 * config_.wall_thickness);
+}
+
+Real Shell::deformation_fraction(Real pressure_difference,
+                                 Real poisson) const {
+  const Real sigma = membrane_stress(pressure_difference);
+  return sigma * (1.0 - poisson) / config_.material.youngs_modulus;
+}
+
+bool Shell::survives_casting(Real pour_depth, Real fresh_density) const {
+  const Real dp = fresh_density * kGravity * pour_depth;
+  return dp <= config_.material.max_pressure_difference;
+}
+
+}  // namespace ecocap::node

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <string>
+
+#include "dsp/types.hpp"
+
+namespace ecocap::node {
+
+using dsp::Real;
+
+/// Structural model of the EcoCapsule's spherical stressless shell
+/// (paper §4.1, Eq. 4, Fig. 8). The shell equalizes the surrounding
+/// concrete pressure; the pressure difference across the wall is
+///
+///   dP = rho * g * h - P_air                                  (Eq. 4)
+///
+/// and the shell survives while dP <= dP_max of its material/thickness.
+struct ShellMaterial {
+  std::string name;
+  Real tensile_strength = 0.0;  // Pa
+  Real youngs_modulus = 0.0;    // Pa
+  /// Maximum tolerable pressure difference for the 2 mm, 4.5 cm-diameter
+  /// shell at <= 5% deformation (the paper's Solidworks FEA result).
+  Real max_pressure_difference = 0.0;  // Pa
+
+  /// SLA printing resin: 65 MPa tensile, 2.2 GPa modulus, dP_max = 4.3 MPa.
+  static ShellMaterial sla_resin();
+  /// Alloy steel: dP_max = 115.2 MPa (for super-tall deployments).
+  static ShellMaterial alloy_steel();
+};
+
+struct ShellConfig {
+  ShellMaterial material = ShellMaterial::sla_resin();
+  Real diameter = 0.045;       // m (ping-pong size)
+  Real wall_thickness = 0.002; // m
+  Real max_deformation = 0.05; // fraction
+};
+
+inline constexpr Real kStandardAtmosphere = 101325.0;  // Pa
+inline constexpr Real kGravity = 9.81;                 // m/s^2
+
+class Shell {
+ public:
+  explicit Shell(ShellConfig config = {});
+
+  /// Pressure difference across the shell at depth `height` below the top
+  /// of a building of concrete density rho (Eq. 4).
+  Real pressure_difference(Real height, Real concrete_density = 2300.0) const;
+
+  /// Maximum building height this shell survives (paper: ~195 m for resin,
+  /// ~4985 m for alloy steel).
+  Real max_building_height(Real concrete_density = 2300.0) const;
+
+  /// True when the shell survives at the given height.
+  bool survives(Real height, Real concrete_density = 2300.0) const;
+
+  /// Analytic thin-shell estimate of the membrane stress at pressure
+  /// difference dP: sigma = dP * r / (2 t). Used to cross-check dP_max
+  /// against the material's tensile strength.
+  Real membrane_stress(Real pressure_difference) const;
+
+  /// Peak radial deformation fraction at dP (linear-elastic thin shell):
+  /// dr/r = sigma (1 - nu) / E with nu ~ 0.35 for the resin.
+  Real deformation_fraction(Real pressure_difference,
+                            Real poisson = 0.35) const;
+
+  /// Casting survival check: fresh self-compacting concrete exerts a
+  /// hydrostatic head of the pour depth; survives when the resulting dP is
+  /// within limits (what the CT scan verified on the real blocks).
+  bool survives_casting(Real pour_depth,
+                        Real fresh_density = 2400.0) const;
+
+  const ShellConfig& config() const { return config_; }
+
+ private:
+  ShellConfig config_;
+};
+
+}  // namespace ecocap::node

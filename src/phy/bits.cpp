@@ -1,0 +1,74 @@
+#include "phy/bits.hpp"
+
+#include <stdexcept>
+
+namespace ecocap::phy {
+
+Bits bits_from_bytes(std::span<const std::uint8_t> bytes) {
+  Bits bits;
+  bits.reserve(bytes.size() * 8);
+  for (std::uint8_t b : bytes) {
+    for (int i = 7; i >= 0; --i) {
+      bits.push_back(static_cast<std::uint8_t>((b >> i) & 1u));
+    }
+  }
+  return bits;
+}
+
+std::vector<std::uint8_t> bytes_from_bits(std::span<const std::uint8_t> bits) {
+  std::vector<std::uint8_t> bytes((bits.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] & 1u) {
+      bytes[i / 8] |= static_cast<std::uint8_t>(1u << (7 - (i % 8)));
+    }
+  }
+  return bytes;
+}
+
+Bits random_bits(std::size_t n, dsp::Rng& rng) {
+  Bits bits(n);
+  for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
+  return bits;
+}
+
+void append_uint(Bits& bits, std::uint32_t value, int width) {
+  if (width < 0 || width > 32) {
+    throw std::invalid_argument("append_uint: width out of [0, 32]");
+  }
+  for (int i = width - 1; i >= 0; --i) {
+    bits.push_back(static_cast<std::uint8_t>((value >> i) & 1u));
+  }
+}
+
+std::uint32_t read_uint(std::span<const std::uint8_t> bits, std::size_t offset,
+                        int width) {
+  if (width < 0 || width > 32 || offset + static_cast<std::size_t>(width) > bits.size()) {
+    throw std::out_of_range("read_uint: range does not fit");
+  }
+  std::uint32_t v = 0;
+  for (int i = 0; i < width; ++i) {
+    v = (v << 1) | static_cast<std::uint32_t>(bits[offset + static_cast<std::size_t>(i)] & 1u);
+  }
+  return v;
+}
+
+std::string to_string(std::span<const std::uint8_t> bits) {
+  std::string s;
+  s.reserve(bits.size());
+  for (auto b : bits) s.push_back((b & 1u) ? '1' : '0');
+  return s;
+}
+
+std::size_t hamming_distance(std::span<const std::uint8_t> a,
+                             std::span<const std::uint8_t> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("hamming_distance: size mismatch");
+  }
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if ((a[i] & 1u) != (b[i] & 1u)) ++d;
+  }
+  return d;
+}
+
+}  // namespace ecocap::phy

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dsp/rng.hpp"
+
+namespace ecocap::phy {
+
+/// A bit vector with one byte per bit (values 0/1). Chosen over
+/// std::vector<bool> so spans and spans-of-subranges work.
+using Bits = std::vector<std::uint8_t>;
+
+/// MSB-first expansion of bytes to bits.
+Bits bits_from_bytes(std::span<const std::uint8_t> bytes);
+
+/// MSB-first packing of bits to bytes. Trailing partial byte is zero-padded.
+std::vector<std::uint8_t> bytes_from_bits(std::span<const std::uint8_t> bits);
+
+/// n uniformly random bits.
+Bits random_bits(std::size_t n, dsp::Rng& rng);
+
+/// Append an unsigned value MSB-first using `width` bits.
+void append_uint(Bits& bits, std::uint32_t value, int width);
+
+/// Read an unsigned value MSB-first starting at `offset` (no bounds checks
+/// beyond an exception when the range does not fit).
+std::uint32_t read_uint(std::span<const std::uint8_t> bits, std::size_t offset,
+                        int width);
+
+/// "1011..." debug rendering.
+std::string to_string(std::span<const std::uint8_t> bits);
+
+/// Hamming distance between equal-length bit vectors.
+std::size_t hamming_distance(std::span<const std::uint8_t> a,
+                             std::span<const std::uint8_t> b);
+
+}  // namespace ecocap::phy

@@ -1,0 +1,74 @@
+#include "phy/carrier.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ecocap::phy {
+
+Signal modulate_downlink(std::span<const Real> baseband,
+                         const CarrierParams& params, DownlinkScheme scheme) {
+  if (params.fs <= 0.0) {
+    throw std::invalid_argument("modulate_downlink: bad sample rate");
+  }
+  dsp::Oscillator osc(params.fs, params.f_resonant);
+  Signal out(baseband.size());
+  switch (scheme) {
+    case DownlinkScheme::kOok:
+      for (std::size_t i = 0; i < baseband.size(); ++i) {
+        // Gate the drive; the oscillator keeps running so the phase stays
+        // continuous across gaps (as a gated signal generator does).
+        const Real c = osc.next(params.amplitude);
+        out[i] = (baseband[i] > 0.5) ? c : 0.0;
+      }
+      break;
+    case DownlinkScheme::kFskOffResonance:
+      for (std::size_t i = 0; i < baseband.size(); ++i) {
+        const Real f =
+            (baseband[i] > 0.5) ? params.f_resonant : params.f_off;
+        if (f != osc.frequency()) osc.set_frequency(f);
+        out[i] = osc.next(params.amplitude);
+      }
+      break;
+  }
+  return out;
+}
+
+Signal backscatter_modulate(std::span<const Real> incident_carrier,
+                            std::span<const Real> switching, Real fs,
+                            const BackscatterParams& params) {
+  if (switching.size() > incident_carrier.size()) {
+    throw std::invalid_argument("backscatter_modulate: switching too long");
+  }
+  const Signal sq = (params.f_blf > 0.0)
+                        ? blf_square(fs, params.f_blf, incident_carrier.size())
+                        : Signal();
+  Signal out(incident_carrier.size());
+  const Real mid = 0.5 * (params.reflective_gain + params.absorptive_gain);
+  const Real half = 0.5 * (params.reflective_gain - params.absorptive_gain);
+  for (std::size_t i = 0; i < incident_carrier.size(); ++i) {
+    // Before/after the data burst the switch rests in the absorptive state
+    // (harvest as much as possible, paper §2).
+    Real state = (i < switching.size()) ? switching[i] : -1.0;
+    if (!sq.empty() && i < switching.size()) {
+      state *= sq[i];  // bipolar XOR = product
+    }
+    const Real gain = mid + half * state;
+    out[i] = incident_carrier[i] * gain;
+  }
+  return out;
+}
+
+Signal blf_square(Real fs, Real f_blf, std::size_t n, std::size_t phase) {
+  if (f_blf <= 0.0 || fs <= 0.0) {
+    throw std::invalid_argument("blf_square: frequencies must be > 0");
+  }
+  Signal out(n);
+  const Real period = fs / f_blf;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Real t = std::fmod(static_cast<Real>(i + phase), period) / period;
+    out[i] = (t < 0.5) ? 1.0 : -1.0;
+  }
+  return out;
+}
+
+}  // namespace ecocap::phy

@@ -1,0 +1,38 @@
+#include "phy/crc.hpp"
+
+namespace ecocap::phy {
+
+std::uint8_t crc5(std::span<const std::uint8_t> bits) {
+  std::uint8_t reg = 0x09;  // Gen2 preset
+  for (auto bit : bits) {
+    const std::uint8_t in = static_cast<std::uint8_t>((bit & 1u) ^ ((reg >> 4) & 1u));
+    reg = static_cast<std::uint8_t>((reg << 1) & 0x1F);
+    if (in) reg ^= 0x09;
+  }
+  return reg;
+}
+
+std::uint16_t crc16(std::span<const std::uint8_t> bits) {
+  std::uint16_t reg = 0xFFFF;
+  for (auto bit : bits) {
+    const std::uint16_t in = static_cast<std::uint16_t>((bit & 1u) ^ ((reg >> 15) & 1u));
+    reg = static_cast<std::uint16_t>(reg << 1);
+    if (in) reg ^= 0x1021;
+  }
+  return static_cast<std::uint16_t>(reg ^ 0xFFFF);
+}
+
+void append_crc16(Bits& bits) {
+  const std::uint16_t c = crc16(bits);
+  append_uint(bits, c, 16);
+}
+
+bool check_crc16(std::span<const std::uint8_t> bits_with_crc) {
+  if (bits_with_crc.size() < 16) return false;
+  const std::size_t n = bits_with_crc.size() - 16;
+  const std::uint16_t expected = crc16(bits_with_crc.subspan(0, n));
+  const std::uint32_t stored = read_uint(bits_with_crc, n, 16);
+  return stored == expected;
+}
+
+}  // namespace ecocap::phy

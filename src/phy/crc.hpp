@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "phy/bits.hpp"
+
+namespace ecocap::phy {
+
+/// CRC-5 as used by the EPC Gen2 air protocol (poly x^5+x^3+1 = 0x09,
+/// preset 0x09), computed over a bit stream MSB-first.
+std::uint8_t crc5(std::span<const std::uint8_t> bits);
+
+/// CRC-16/CCITT as used by Gen2 (poly 0x1021, preset 0xFFFF, final XOR
+/// 0xFFFF), computed over a bit stream MSB-first.
+std::uint16_t crc16(std::span<const std::uint8_t> bits);
+
+/// Append crc16 of the current contents (16 bits, MSB-first).
+void append_crc16(Bits& bits);
+
+/// True when the trailing 16 bits are a valid CRC-16 of the preceding bits.
+bool check_crc16(std::span<const std::uint8_t> bits_with_crc);
+
+}  // namespace ecocap::phy

@@ -1,0 +1,141 @@
+#include "phy/miller.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace ecocap::phy {
+
+namespace {
+
+/// Baseband phase trajectory for one symbol given the entering phase and
+/// whether the previous bit was a 0: returns (first-half level,
+/// second-half level, exit phase). Gen2 Miller: data-1 inverts mid-symbol;
+/// the boundary between two data-0s inverts the phase.
+struct SymbolShape {
+  Real first;
+  Real second;
+  Real exit_level;
+};
+
+SymbolShape miller_symbol(Real enter_level, std::uint8_t bit,
+                          bool prev_was_zero) {
+  Real level = enter_level;
+  if (prev_was_zero && bit == 0) level = -level;  // 0->0 boundary inversion
+  SymbolShape s{};
+  s.first = level;
+  s.second = (bit & 1u) ? -level : level;  // data-1: mid-symbol inversion
+  s.exit_level = s.second;
+  return s;
+}
+
+}  // namespace
+
+Signal miller_encode(std::span<const std::uint8_t> bits, const MillerParams& p,
+                     Real fs) {
+  if (p.m != 2 && p.m != 4 && p.m != 8) {
+    throw std::invalid_argument("miller_encode: M must be 2, 4 or 8");
+  }
+  const Real spb = fs / p.bitrate;
+  if (spb < 4.0 * p.m) {
+    throw std::invalid_argument("miller_encode: need >= 4M samples per bit");
+  }
+  Signal out;
+  out.reserve(static_cast<std::size_t>(spb * static_cast<Real>(bits.size())) + 8);
+  Real level = 1.0;
+  bool prev_zero = false;
+  std::size_t produced = 0;
+  const Real sub_period = spb / static_cast<Real>(p.m);
+  for (std::size_t k = 0; k < bits.size(); ++k) {
+    const SymbolShape s = miller_symbol(level, bits[k], prev_zero);
+    const auto sym_start = static_cast<std::size_t>(
+        std::llround(spb * static_cast<Real>(k)));
+    const auto sym_mid = static_cast<std::size_t>(
+        std::llround(spb * (static_cast<Real>(k) + 0.5)));
+    const auto sym_end = static_cast<std::size_t>(
+        std::llround(spb * static_cast<Real>(k + 1)));
+    for (; produced < sym_end; ++produced) {
+      const Real base = (produced < sym_mid) ? s.first : s.second;
+      // Square subcarrier phase measured from the symbol start.
+      const Real t = static_cast<Real>(produced - sym_start);
+      const Real phase = std::fmod(t, sub_period) / sub_period;
+      const Real sub = (phase < 0.5) ? 1.0 : -1.0;
+      out.push_back(base * sub);
+    }
+    level = s.exit_level;
+    prev_zero = (bits[k] & 1u) == 0u;
+  }
+  return out;
+}
+
+Bits miller_decode(std::span<const Real> x, const MillerParams& p, Real fs,
+                   std::size_t bit_count) {
+  const Real spb = fs / p.bitrate;
+  const Real sub_period = spb / static_cast<Real>(p.m);
+
+  // Viterbi over (phase level, prev-was-zero): 4 states.
+  struct Path {
+    Real metric = -1e300;
+    std::vector<std::uint8_t> bits;
+  };
+  // state index: (level>0 ? 1 : 0) * 2 + (prev_zero ? 1 : 0)
+  std::array<Path, 4> paths;
+  paths[2].metric = 0.0;  // level +1, prev not zero (encoder start)
+  paths[0].metric = 0.0;  // allow inverted capture
+
+  for (std::size_t k = 0; k < bit_count; ++k) {
+    const auto sym_start = static_cast<std::size_t>(
+        std::llround(spb * static_cast<Real>(k)));
+    const auto sym_mid = static_cast<std::size_t>(
+        std::llround(spb * (static_cast<Real>(k) + 0.5)));
+    const auto sym_end = static_cast<std::size_t>(
+        std::llround(spb * static_cast<Real>(k + 1)));
+
+    // Subcarrier-correlated half-symbol statistics.
+    Real first = 0.0, second = 0.0;
+    for (std::size_t i = sym_start; i < sym_end && i < x.size(); ++i) {
+      const Real t = static_cast<Real>(i - sym_start);
+      const Real phase = std::fmod(t, sub_period) / sub_period;
+      const Real sub = (phase < 0.5) ? 1.0 : -1.0;
+      if (i < sym_mid) {
+        first += x[i] * sub;
+      } else {
+        second += x[i] * sub;
+      }
+    }
+
+    std::array<Path, 4> next;
+    for (int st = 0; st < 4; ++st) {
+      if (paths[static_cast<std::size_t>(st)].metric <= -1e299) continue;
+      const Real level = (st & 2) ? 1.0 : -1.0;
+      const bool prev_zero = (st & 1) != 0;
+      for (int b = 0; b < 2; ++b) {
+        const SymbolShape s =
+            miller_symbol(level, static_cast<std::uint8_t>(b), prev_zero);
+        const Real metric = paths[static_cast<std::size_t>(st)].metric +
+                            s.first * first + s.second * second;
+        const int ns = ((s.exit_level > 0.0) ? 2 : 0) | (b == 0 ? 1 : 0);
+        if (metric > next[static_cast<std::size_t>(ns)].metric) {
+          next[static_cast<std::size_t>(ns)].metric = metric;
+          next[static_cast<std::size_t>(ns)].bits =
+              paths[static_cast<std::size_t>(st)].bits;
+          next[static_cast<std::size_t>(ns)].bits.push_back(
+              static_cast<std::uint8_t>(b));
+        }
+      }
+    }
+    paths = std::move(next);
+  }
+
+  int best = 0;
+  for (int st = 1; st < 4; ++st) {
+    if (paths[static_cast<std::size_t>(st)].metric >
+        paths[static_cast<std::size_t>(best)].metric) {
+      best = st;
+    }
+  }
+  return paths[static_cast<std::size_t>(best)].bits;
+}
+
+}  // namespace ecocap::phy

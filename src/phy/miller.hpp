@@ -1,0 +1,37 @@
+#pragma once
+
+#include <span>
+
+#include "dsp/types.hpp"
+#include "phy/bits.hpp"
+
+namespace ecocap::phy {
+
+using dsp::Real;
+using dsp::Signal;
+
+/// Miller-modulated subcarrier line code (EPC Gen2's robust alternative to
+/// FM0; the paper's protocol follows Gen2, which offers M = 2/4/8). Miller
+/// baseband rules: a data-1 inverts phase mid-symbol; the phase also inverts
+/// at the boundary between two consecutive data-0s. The baseband is then
+/// multiplied by a square subcarrier of M cycles per symbol, which moves the
+/// spectrum away from the carrier — more self-interference headroom at the
+/// cost of M times the switching bandwidth.
+struct MillerParams {
+  Real bitrate = 1000.0;
+  int m = 4;               // subcarrier cycles per symbol (2, 4 or 8)
+  int preamble_bits = 10;  // leading data-1s (subcarrier pilot) + "010111"
+};
+
+/// Encode bits into the bipolar Miller waveform at sample rate fs.
+Signal miller_encode(std::span<const std::uint8_t> bits, const MillerParams& p,
+                     Real fs);
+
+/// Maximum-likelihood Miller decoder over soft bipolar samples: a 2-state
+/// (baseband phase) Viterbi whose branch templates include the subcarrier.
+/// Assumes symbol alignment (frame sync is handled by the caller, as with
+/// FM0).
+Bits miller_decode(std::span<const Real> x, const MillerParams& p, Real fs,
+                   std::size_t bit_count);
+
+}  // namespace ecocap::phy

@@ -1,0 +1,205 @@
+#include "phy/pie.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ecocap::phy {
+
+Real PieParams::power_duty(Real p1) const {
+  const Real t0 = tari;
+  const Real t1 = tari * one_length;
+  const Real high0 = zero_high();
+  const Real high1 = one_high();
+  const Real mean_high = (1.0 - p1) * high0 + p1 * high1;
+  const Real mean_total = (1.0 - p1) * t0 + p1 * t1;
+  return mean_high / mean_total;
+}
+
+namespace {
+
+void append_level(Signal& out, Real fs, Real duration, Real level) {
+  const auto n = static_cast<std::size_t>(std::llround(duration * fs));
+  out.insert(out.end(), n, level);
+}
+
+/// Run-length view of a binary level sequence with debouncing: runs shorter
+/// than `min_run` samples are merged into their predecessor (models the
+/// comparator's immunity to sub-pulse glitches).
+struct Run {
+  bool level;
+  std::size_t start;
+  std::size_t length;
+};
+
+std::vector<Run> to_runs(const std::vector<bool>& levels,
+                         std::size_t min_run) {
+  std::vector<Run> runs;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (!runs.empty() && runs.back().level == levels[i]) {
+      ++runs.back().length;
+    } else {
+      runs.push_back(Run{levels[i], i, 1});
+    }
+  }
+  // Debounce: absorb short runs.
+  std::vector<Run> clean;
+  for (const Run& r : runs) {
+    if (!clean.empty() && (r.length < min_run || clean.back().level == r.level)) {
+      clean.back().length += r.length;
+    } else {
+      clean.push_back(r);
+    }
+  }
+  return clean;
+}
+
+}  // namespace
+
+Signal pie_encode(const Bits& payload, const PieParams& params, Real fs,
+                  const PiePreamble& preamble) {
+  if (fs <= 0.0) throw std::invalid_argument("pie_encode: fs must be > 0");
+  Signal out;
+  // Leading CW so the node can charge and the delimiter is a clean 1->0.
+  append_level(out, fs, 2.0 * params.tari, 1.0);
+  const Real delimiter =
+      (preamble.delimiter > 0.0) ? preamble.delimiter : 3.0 * params.pw();
+  append_level(out, fs, delimiter, 0.0);
+  // data-0 reference symbol.
+  append_level(out, fs, params.zero_high(), 1.0);
+  append_level(out, fs, params.pw(), 0.0);
+  // R=>T cal: one high interval of (data0 + data1) - pw, then pw low.
+  append_level(out, fs, params.tari * (1.0 + params.one_length) - params.pw(),
+               1.0);
+  append_level(out, fs, params.pw(), 0.0);
+  for (auto bit : payload) {
+    const Real high = (bit & 1u) ? params.one_high() : params.zero_high();
+    append_level(out, fs, high, 1.0);
+    append_level(out, fs, params.pw(), 0.0);
+  }
+  // Return to CW for harvesting; long enough that the stream decoder sees
+  // an unambiguous end-of-frame (comfortably above the RTcal high interval,
+  // the longest in-frame high).
+  append_level(out, fs, (1.5 + params.one_length) * params.tari, 1.0);
+  return out;
+}
+
+std::optional<PieDecodeResult> pie_decode(const std::vector<bool>& levels,
+                                          Real fs, std::size_t expected_bits,
+                                          const PieParams& params) {
+  const auto min_run = static_cast<std::size_t>(params.pw() * fs * 0.25);
+  const std::vector<Run> runs = to_runs(levels, std::max<std::size_t>(min_run, 1));
+
+  // 1. Locate the delimiter: a low run much longer than a pw (>= 3 pw works
+  //    for the Gen2 62.5 us delimiter against pw >= 0.5 tari when tari is
+  //    sub-millisecond; we use a relative rule: longest low run before any
+  //    symbol activity whose length >= 2.5 * pw).
+  const Real pw_samples = params.pw() * fs;
+  std::size_t delim_idx = runs.size();
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (!runs[i].level &&
+        static_cast<Real>(runs[i].length) >= 2.5 * pw_samples) {
+      delim_idx = i;
+      break;
+    }
+  }
+  // The delimiter may be shorter than 2.5 pw for large tari; fall back to
+  // the first low run preceded by a high run.
+  if (delim_idx == runs.size()) {
+    for (std::size_t i = 1; i < runs.size(); ++i) {
+      if (!runs[i].level && runs[i - 1].level) {
+        delim_idx = i;
+        break;
+      }
+    }
+  }
+  if (delim_idx == runs.size() || delim_idx + 4 >= runs.size()) {
+    return std::nullopt;
+  }
+
+  // 2. Symbols are (high, low) run pairs after the delimiter. The interval
+  //    between consecutive rising edges is the symbol length — the quantity
+  //    the MSP430 measures with its timer capture unit.
+  std::vector<Real> symbol_lengths;
+  std::vector<std::size_t> symbol_ends;
+  std::size_t i = delim_idx + 1;  // first high run of data-0
+  while (i + 1 < runs.size() && symbol_lengths.size() < expected_bits + 2) {
+    if (!runs[i].level) return std::nullopt;  // malformed: expected high
+    const std::size_t len = runs[i].length + runs[i + 1].length;
+    if (runs[i + 1].level) return std::nullopt;
+    symbol_lengths.push_back(static_cast<Real>(len) / fs);
+    symbol_ends.push_back(runs[i + 1].start + runs[i + 1].length);
+    i += 2;
+  }
+  if (symbol_lengths.size() < expected_bits + 2) return std::nullopt;
+
+  // 3. First symbol = data-0 (tari), second = RTcal. pivot = RTcal / 2.
+  PieDecodeResult result;
+  result.rtcal = symbol_lengths[1];
+  result.pivot = result.rtcal / 2.0;
+  if (result.rtcal <= symbol_lengths[0]) return std::nullopt;
+
+  for (std::size_t k = 0; k < expected_bits; ++k) {
+    const Real len = symbol_lengths[2 + k];
+    result.payload.push_back(len > result.pivot ? 1 : 0);
+  }
+  result.end_index = symbol_ends[1 + expected_bits];
+  return result;
+}
+
+std::optional<PieDecodeResult> pie_decode_stream(
+    const std::vector<bool>& levels, Real fs, const PieParams& params,
+    std::size_t search_from) {
+  const auto min_run = static_cast<std::size_t>(params.pw() * fs * 0.25);
+  std::vector<bool> view(levels.begin() + static_cast<std::ptrdiff_t>(
+                             std::min(search_from, levels.size())),
+                         levels.end());
+  const std::vector<Run> runs = to_runs(view, std::max<std::size_t>(min_run, 1));
+
+  const Real pw_samples = params.pw() * fs;
+  std::size_t delim_idx = runs.size();
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    if (!runs[i].level && runs[i - 1].level &&
+        static_cast<Real>(runs[i].length) >= 2.0 * pw_samples) {
+      delim_idx = i;
+      break;
+    }
+  }
+  if (delim_idx == runs.size() || delim_idx + 4 >= runs.size()) {
+    return std::nullopt;
+  }
+
+  // Symbols end when a high run exceeds the trailing-CW threshold. The
+  // longest legitimate in-frame high is the RTcal interval
+  // (1 + one_length) * tari - pw; leave a quarter-tari of margin above it
+  // for channel smearing.
+  const Real cw_threshold =
+      ((1.0 + params.one_length) * params.tari - params.pw() +
+       0.25 * params.tari) *
+      fs;
+  std::vector<Real> symbol_lengths;
+  std::size_t end_in_view = 0;
+  std::size_t i = delim_idx + 1;
+  while (i < runs.size()) {
+    if (!runs[i].level) return std::nullopt;
+    if (static_cast<Real>(runs[i].length) > cw_threshold) break;  // done
+    if (i + 1 >= runs.size()) break;  // truncated frame
+    if (runs[i + 1].level) return std::nullopt;
+    symbol_lengths.push_back(
+        static_cast<Real>(runs[i].length + runs[i + 1].length) / fs);
+    end_in_view = runs[i + 1].start + runs[i + 1].length;
+    i += 2;
+  }
+  if (symbol_lengths.size() < 3) return std::nullopt;  // data0 + rtcal + >=1
+
+  PieDecodeResult result;
+  result.rtcal = symbol_lengths[1];
+  result.pivot = result.rtcal / 2.0;
+  if (result.rtcal <= symbol_lengths[0]) return std::nullopt;
+  for (std::size_t k = 2; k < symbol_lengths.size(); ++k) {
+    result.payload.push_back(symbol_lengths[k] > result.pivot ? 1 : 0);
+  }
+  result.end_index = std::min(search_from, levels.size()) + end_in_view;
+  return result;
+}
+
+}  // namespace ecocap::phy

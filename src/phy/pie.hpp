@@ -1,0 +1,75 @@
+#pragma once
+
+#include <optional>
+
+#include "dsp/types.hpp"
+#include "phy/bits.hpp"
+
+namespace ecocap::phy {
+
+using dsp::Real;
+using dsp::Signal;
+
+/// Pulse-interval-encoding timing (paper §3.3, Fig. 6; EPC Gen2 downlink).
+/// A data-0 is a short high interval followed by a low pulse; a data-1 is a
+/// long high interval followed by the same low pulse. The defaults give a
+/// 50% minimum power duty cycle for all-zeros streams, the property the
+/// paper highlights for battery-free harvesting.
+struct PieParams {
+  Real tari = 1.0e-3;      // s, duration of a data-0 symbol (high + low)
+  Real pw_fraction = 0.5;  // low pulse as a fraction of tari
+  Real one_length = 2.0;   // data-1 total length in taris
+
+  Real pw() const { return tari * pw_fraction; }
+  Real zero_high() const { return tari - pw(); }
+  Real one_high() const { return tari * one_length - pw(); }
+
+  /// Fraction of time the carrier is high for an infinite stream with
+  /// probability `p1` of a data-1 (energy delivery analytics, §3.3).
+  Real power_duty(Real p1) const;
+};
+
+/// The preamble the reader sends before PIE data so a node can self-calibrate
+/// its 0/1 pivot: delimiter (a long low announcing the frame), data-0, then
+/// R=>T cal (a high interval of length data0+data1). Mirrors the Gen2
+/// frame-sync structure; because acoustic taris run in the millisecond range
+/// the delimiter scales with the symbol timing (3 pw) instead of Gen2's
+/// fixed 12.5 us, so it stays distinguishable from ordinary low pulses.
+struct PiePreamble {
+  /// Delimiter low duration in seconds; <= 0 selects the automatic
+  /// 3 * pw scaling.
+  Real delimiter = 0.0;
+};
+
+/// Encode a PIE frame into a baseband level waveform (values 0/1) at sample
+/// rate fs. The frame is: delimiter low, data-0, RTcal, then the payload
+/// symbols, ending high (carrier returns to CW for harvesting).
+Signal pie_encode(const Bits& payload, const PieParams& params, Real fs,
+                  const PiePreamble& preamble = {});
+
+/// Result of decoding a PIE frame from binarized levels.
+struct PieDecodeResult {
+  Bits payload;
+  Real rtcal = 0.0;      // measured R=>T cal interval (s)
+  Real pivot = 0.0;      // decision threshold used (s)
+  std::size_t end_index = 0;  // sample index just past the frame
+};
+
+/// Decode a PIE frame from a binarized baseband (what the node's envelope
+/// detector + level shifter produce). Detects the delimiter, measures RTcal,
+/// and slices falling-edge intervals against the pivot = RTcal/2 — exactly
+/// the timer-interrupt algorithm the MSP430 firmware runs (§4.2).
+/// `expected_bits` bounds the payload length (frames are fixed-format).
+std::optional<PieDecodeResult> pie_decode(const std::vector<bool>& levels,
+                                          Real fs, std::size_t expected_bits,
+                                          const PieParams& params = {});
+
+/// Decode a whole PIE frame without knowing its length: symbols are sliced
+/// until the trailing CW (a high interval much longer than a data-1) is
+/// reached. This is how the node firmware consumes variable-length commands.
+/// `search_from` skips samples already consumed by earlier frames.
+std::optional<PieDecodeResult> pie_decode_stream(
+    const std::vector<bool>& levels, Real fs, const PieParams& params = {},
+    std::size_t search_from = 0);
+
+}  // namespace ecocap::phy

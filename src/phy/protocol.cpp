@@ -1,0 +1,160 @@
+#include "phy/protocol.hpp"
+
+#include <cmath>
+
+namespace ecocap::phy {
+
+namespace {
+
+void append_crc5(Bits& bits) {
+  const std::uint8_t c = crc5(bits);
+  append_uint(bits, c, 5);
+}
+
+bool check_crc5(std::span<const std::uint8_t> bits_with_crc) {
+  if (bits_with_crc.size() < 5) return false;
+  const std::size_t n = bits_with_crc.size() - 5;
+  return crc5(bits_with_crc.subspan(0, n)) ==
+         read_uint(bits_with_crc, n, 5);
+}
+
+}  // namespace
+
+Bits encode_command(const Command& cmd) {
+  Bits bits;
+  if (const auto* q = std::get_if<QueryCommand>(&cmd)) {
+    append_uint(bits, static_cast<std::uint32_t>(CommandCode::kQuery), 4);
+    append_uint(bits, q->q, 4);
+    append_crc5(bits);
+  } else if (std::get_if<QueryRepCommand>(&cmd)) {
+    append_uint(bits, static_cast<std::uint32_t>(CommandCode::kQueryRep), 4);
+    append_crc5(bits);
+  } else if (const auto* a = std::get_if<AckCommand>(&cmd)) {
+    append_uint(bits, static_cast<std::uint32_t>(CommandCode::kAck), 4);
+    append_uint(bits, a->rn16, 16);
+    append_crc16(bits);
+  } else if (const auto* r = std::get_if<ReadCommand>(&cmd)) {
+    append_uint(bits, static_cast<std::uint32_t>(CommandCode::kRead), 4);
+    append_uint(bits, r->rn16, 16);
+    append_uint(bits, r->sensor_id, 8);
+    append_crc16(bits);
+  } else if (const auto* s = std::get_if<SetBlfCommand>(&cmd)) {
+    append_uint(bits, static_cast<std::uint32_t>(CommandCode::kSetBlf), 4);
+    append_uint(bits, s->rn16, 16);
+    append_uint(bits, s->blf_centihz, 16);
+    append_crc16(bits);
+  } else if (const auto* sel = std::get_if<SelectCommand>(&cmd)) {
+    append_uint(bits, static_cast<std::uint32_t>(CommandCode::kSelect), 4);
+    append_uint(bits, sel->pattern, 16);
+    append_uint(bits, sel->mask, 16);
+    append_crc16(bits);
+  }
+  return bits;
+}
+
+std::optional<Command> parse_command(std::span<const std::uint8_t> bits) {
+  if (bits.size() < 9) return std::nullopt;
+  const auto code = static_cast<CommandCode>(read_uint(bits, 0, 4));
+  switch (code) {
+    case CommandCode::kQuery: {
+      if (bits.size() != 13 || !check_crc5(bits)) return std::nullopt;
+      QueryCommand q;
+      q.q = static_cast<std::uint8_t>(read_uint(bits, 4, 4));
+      return Command{q};
+    }
+    case CommandCode::kQueryRep: {
+      if (bits.size() != 9 || !check_crc5(bits)) return std::nullopt;
+      return Command{QueryRepCommand{}};
+    }
+    case CommandCode::kAck: {
+      if (bits.size() != 36 || !check_crc16(bits)) return std::nullopt;
+      AckCommand a;
+      a.rn16 = static_cast<std::uint16_t>(read_uint(bits, 4, 16));
+      return Command{a};
+    }
+    case CommandCode::kRead: {
+      if (bits.size() != 44 || !check_crc16(bits)) return std::nullopt;
+      ReadCommand r;
+      r.rn16 = static_cast<std::uint16_t>(read_uint(bits, 4, 16));
+      r.sensor_id = static_cast<std::uint8_t>(read_uint(bits, 20, 8));
+      return Command{r};
+    }
+    case CommandCode::kSetBlf: {
+      if (bits.size() != 52 || !check_crc16(bits)) return std::nullopt;
+      SetBlfCommand s;
+      s.rn16 = static_cast<std::uint16_t>(read_uint(bits, 4, 16));
+      s.blf_centihz = static_cast<std::uint16_t>(read_uint(bits, 20, 16));
+      return Command{s};
+    }
+    case CommandCode::kSelect: {
+      if (bits.size() != 52 || !check_crc16(bits)) return std::nullopt;
+      SelectCommand s;
+      s.pattern = static_cast<std::uint16_t>(read_uint(bits, 4, 16));
+      s.mask = static_cast<std::uint16_t>(read_uint(bits, 20, 16));
+      return Command{s};
+    }
+  }
+  return std::nullopt;
+}
+
+/// Downlink frame lengths by command code (bits incl. CRC); used by the
+/// node to know how many symbols to expect — not exposed publicly because
+/// the node decodes the whole PIE symbol stream instead.
+
+Bits encode_response(const Response& resp) {
+  Bits bits;
+  if (const auto* r = std::get_if<Rn16Response>(&resp)) {
+    append_uint(bits, r->rn16, 16);
+  } else if (const auto* id = std::get_if<IdResponse>(&resp)) {
+    append_uint(bits, id->node_id, 16);
+    append_crc16(bits);
+  } else if (const auto* d = std::get_if<DataResponse>(&resp)) {
+    append_uint(bits, d->sensor_id, 8);
+    append_uint(bits, static_cast<std::uint32_t>(d->milli_value), 32);
+    append_crc16(bits);
+  }
+  return bits;
+}
+
+std::size_t rn16_response_bits() { return 16; }
+std::size_t id_response_bits() { return 16 + 16; }
+std::size_t data_response_bits() { return 8 + 32 + 16; }
+
+std::optional<Rn16Response> parse_rn16_response(
+    std::span<const std::uint8_t> bits) {
+  if (bits.size() != 16) return std::nullopt;
+  Rn16Response r;
+  r.rn16 = static_cast<std::uint16_t>(read_uint(bits, 0, 16));
+  return r;
+}
+
+std::optional<IdResponse> parse_id_response(
+    std::span<const std::uint8_t> bits) {
+  if (bits.size() != id_response_bits() || !check_crc16(bits)) {
+    return std::nullopt;
+  }
+  IdResponse r;
+  r.node_id = static_cast<std::uint16_t>(read_uint(bits, 0, 16));
+  return r;
+}
+
+std::optional<DataResponse> parse_data_response(
+    std::span<const std::uint8_t> bits) {
+  if (bits.size() != data_response_bits() || !check_crc16(bits)) {
+    return std::nullopt;
+  }
+  DataResponse d;
+  d.sensor_id = static_cast<std::uint8_t>(read_uint(bits, 0, 8));
+  d.milli_value = static_cast<std::int32_t>(read_uint(bits, 8, 32));
+  return d;
+}
+
+std::int32_t to_milli(double value) {
+  return static_cast<std::int32_t>(std::llround(value * 1000.0));
+}
+
+double from_milli(std::int32_t milli) {
+  return static_cast<double>(milli) / 1000.0;
+}
+
+}  // namespace ecocap::phy

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+
+#include "phy/bits.hpp"
+#include "phy/crc.hpp"
+
+namespace ecocap::phy {
+
+/// Simplified EPC-Gen2-style air protocol (paper §5.1: "we design the
+/// downlink packet structure following the EPC UHF Gen2 protocol", §3.4:
+/// TDMA slotted access as in RFID Gen 2). Frames are bit-exact encodable /
+/// parseable; CRC-protected where Gen2 protects them.
+
+/// 4-bit command codes.
+enum class CommandCode : std::uint8_t {
+  kQuery = 0x1,     // start an inventory round: Q (slot-count exponent)
+  kQueryRep = 0x2,  // advance to the next slot
+  kAck = 0x3,       // acknowledge an RN16
+  kRead = 0x4,      // read a sensor value from the acked node
+  kSetBlf = 0x5,    // assign a backscatter link frequency to the acked node
+  kSelect = 0x6,    // pre-select nodes by id mask (Gen2 Select analog)
+};
+
+struct QueryCommand {
+  std::uint8_t q = 2;  // slots = 2^q
+};
+struct QueryRepCommand {};
+struct AckCommand {
+  std::uint16_t rn16 = 0;
+};
+struct ReadCommand {
+  std::uint16_t rn16 = 0;
+  std::uint8_t sensor_id = 0;
+};
+struct SetBlfCommand {
+  std::uint16_t rn16 = 0;
+  std::uint16_t blf_centihz = 0;  // BLF in units of 100 Hz
+};
+/// Gen2-style Select: only nodes whose id matches `pattern` on the bits set
+/// in `mask` participate in the following inventory rounds. mask = 0
+/// re-selects everyone.
+struct SelectCommand {
+  std::uint16_t pattern = 0;
+  std::uint16_t mask = 0;
+};
+
+using Command = std::variant<QueryCommand, QueryRepCommand, AckCommand,
+                             ReadCommand, SetBlfCommand, SelectCommand>;
+
+/// Encode a command into downlink payload bits (header + fields + CRC:
+/// CRC-5 for the short Query/QueryRep, CRC-16 for the rest, mirroring
+/// Gen2's split).
+Bits encode_command(const Command& cmd);
+
+/// Parse a downlink payload. Returns nullopt on bad header/CRC.
+std::optional<Command> parse_command(std::span<const std::uint8_t> bits);
+
+/// Node uplink responses.
+struct Rn16Response {
+  std::uint16_t rn16 = 0;
+};
+/// Sent after a matching ACK (the Gen2 "EPC" reply): the capsule's id.
+struct IdResponse {
+  std::uint16_t node_id = 0;
+};
+struct DataResponse {
+  std::uint8_t sensor_id = 0;
+  /// Fixed-point value: round(value * 1000), two's complement.
+  std::int32_t milli_value = 0;
+};
+
+using Response = std::variant<Rn16Response, IdResponse, DataResponse>;
+
+/// Uplink frame payloads (the FM0 preamble is added at the line-code
+/// layer). RN16 responses are bare (as in Gen2); data responses carry a
+/// 2-bit type header, sensor id, value and CRC-16.
+Bits encode_response(const Response& resp);
+
+/// Bit length of each response type as sent (needed by the reader to know
+/// how many payload bits to decode).
+std::size_t rn16_response_bits();
+std::size_t id_response_bits();
+std::size_t data_response_bits();
+
+/// Parse an RN16 response (16 bare bits).
+std::optional<Rn16Response> parse_rn16_response(
+    std::span<const std::uint8_t> bits);
+
+/// Parse an id response (16 bits + CRC-16).
+std::optional<IdResponse> parse_id_response(
+    std::span<const std::uint8_t> bits);
+
+/// Parse a data response; checks CRC-16.
+std::optional<DataResponse> parse_data_response(
+    std::span<const std::uint8_t> bits);
+
+/// Convert a physical value to/from the 32-bit fixed-point wire format.
+std::int32_t to_milli(double value);
+double from_milli(std::int32_t milli);
+
+}  // namespace ecocap::phy

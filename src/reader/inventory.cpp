@@ -1,0 +1,129 @@
+#include "reader/inventory.hpp"
+
+#include <algorithm>
+
+namespace ecocap::reader {
+
+InventoryEngine::InventoryEngine(Config config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+bool InventoryEngine::frame_survives(const InventoriedNode& n,
+                                     std::size_t bits) {
+  const double ber =
+      channel::fm0_ber(n.snr_db, config_.ber_penalty_db);
+  // Independent bit flips: the frame survives when no bit flips (flipped
+  // frames either fail CRC or, for bare RN16s, break the handshake).
+  const double p_ok = std::pow(1.0 - ber, static_cast<double>(bits));
+  return rng_.chance(p_ok);
+}
+
+InventoryResult InventoryEngine::run(std::vector<InventoriedNode>& nodes) {
+  InventoryResult result;
+  std::vector<bool> done(nodes.size(), false);
+
+  for (int round = 0; round < config_.max_rounds; ++round) {
+    if (std::all_of(done.begin(), done.end(), [](bool d) { return d; })) break;
+    ++result.stats.rounds;
+
+    // Query starts the round on every node that still needs inventorying;
+    // already-read nodes are told to sit out (modelled by skipping them —
+    // the Gen2 analog is the inventoried-flag/session mechanism).
+    const int slots = 1 << config_.q;
+    std::vector<std::optional<node::UplinkFrame>> pending(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (done[i]) continue;
+      pending[i] = nodes[i].firmware->handle_command(
+          phy::Command{phy::QueryCommand{config_.q}}, nodes[i].environment);
+    }
+
+    for (int slot = 0; slot < slots; ++slot) {
+      ++result.stats.slots;
+      if (slot > 0) {
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+          if (done[i]) continue;
+          pending[i] = nodes[i].firmware->handle_command(
+              phy::Command{phy::QueryRepCommand{}}, nodes[i].environment);
+        }
+      }
+
+      // Who answered this slot?
+      std::vector<std::size_t> responders;
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (!done[i] && pending[i].has_value()) responders.push_back(i);
+      }
+      for (auto& p : pending) p.reset();
+
+      if (responders.empty()) {
+        ++result.stats.empty_slots;
+        continue;
+      }
+      if (responders.size() > 1) {
+        // Colliding FM0 frames are mutually unintelligible; every collided
+        // node stays un-acked and retries next round (fresh Query).
+        ++result.stats.collisions;
+        continue;
+      }
+
+      ++result.stats.singleton_slots;
+      const std::size_t idx = responders.front();
+      InventoriedNode& n = nodes[idx];
+
+      // RN16 must survive the uplink for the ACK to echo it correctly.
+      if (!frame_survives(n, phy::rn16_response_bits())) continue;
+      const std::uint16_t rn16 = n.firmware->current_rn16();
+      const auto id_frame = n.firmware->handle_command(
+          phy::Command{phy::AckCommand{rn16}}, n.environment);
+      if (!id_frame || !frame_survives(n, phy::id_response_bits())) continue;
+      const auto id = phy::parse_id_response(id_frame->payload);
+      if (!id) continue;
+      ++result.stats.acked;
+      result.inventoried_ids.push_back(id->node_id);
+
+      for (std::uint8_t sensor : config_.sensors_to_read) {
+        const auto data_frame = n.firmware->handle_command(
+            phy::Command{phy::ReadCommand{rn16, sensor}}, n.environment);
+        if (!data_frame) continue;
+        if (!frame_survives(n, phy::data_response_bits())) {
+          ++result.stats.read_failed;
+          continue;
+        }
+        const auto data = phy::parse_data_response(data_frame->payload);
+        if (!data) {
+          ++result.stats.read_failed;
+          continue;
+        }
+        ++result.stats.read_ok;
+        result.readings.push_back(SensorReading{
+            id->node_id, data->sensor_id, phy::from_milli(data->milli_value)});
+      }
+      done[idx] = true;
+    }
+  }
+  return result;
+}
+
+std::vector<std::uint16_t> InventoryEngine::assign_blfs(
+    std::vector<InventoriedNode>& nodes, double base_blf, double step) {
+  std::vector<std::uint16_t> assigned;
+  double blf = base_blf;
+  for (auto& n : nodes) {
+    // Re-inventory each node alone (administrative channel), then SetBlf.
+    std::vector<InventoriedNode> single{n};
+    InventoryEngine solo(Config{0, 2, {}, config_.ber_penalty_db},
+                         rng_.engine()());
+    const InventoryResult r = solo.run(single);
+    if (r.inventoried_ids.empty()) continue;
+    const std::uint16_t rn16 = n.firmware->current_rn16();
+    n.firmware->handle_command(
+        phy::Command{phy::SetBlfCommand{
+            rn16, static_cast<std::uint16_t>(blf / 100.0)}},
+        n.environment);
+    if (n.firmware->config().blf == blf) {
+      assigned.push_back(n.firmware->config().node_id);
+    }
+    blf += step;
+  }
+  return assigned;
+}
+
+}  // namespace ecocap::reader

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "channel/snr_models.hpp"
+#include "dsp/rng.hpp"
+#include "node/firmware.hpp"
+#include "phy/protocol.hpp"
+
+namespace ecocap::reader {
+
+/// A node as seen by the protocol-level inventory engine: its firmware plus
+/// the link quality to the reader (which decides whether its frames decode)
+/// and the local environment its sensors report.
+struct InventoriedNode {
+  node::Firmware* firmware = nullptr;
+  double snr_db = 15.0;
+  node::ConcreteEnvironment environment;
+};
+
+/// One collected sensor reading.
+struct SensorReading {
+  std::uint16_t node_id = 0;
+  std::uint8_t sensor_id = 0;
+  double value = 0.0;
+};
+
+struct InventoryStats {
+  int rounds = 0;
+  int slots = 0;
+  int empty_slots = 0;
+  int collisions = 0;
+  int singleton_slots = 0;
+  int acked = 0;
+  int read_ok = 0;
+  int read_failed = 0;  // CRC failures from bit errors
+};
+
+struct InventoryResult {
+  std::vector<SensorReading> readings;
+  std::vector<std::uint16_t> inventoried_ids;
+  InventoryStats stats;
+};
+
+/// TDMA slotted-ALOHA inventory (paper §3.4: "TDMA as used in RFID Gen 2").
+/// The engine runs Query/QueryRep rounds; each powered node picks a random
+/// slot; singleton slots are ACKed and their sensors read. Collisions and
+/// bit errors (from each node's SNR through the FM0 BER model) are retried
+/// in later rounds. SHM tolerates the resulting latency — degradation takes
+/// days, not seconds (§3.4).
+class InventoryEngine {
+ public:
+  struct Config {
+    std::uint8_t q = 2;        // 2^q slots per round
+    int max_rounds = 8;
+    std::vector<std::uint8_t> sensors_to_read;  // sensor ids per node
+    double ber_penalty_db = 0.0;
+  };
+
+  InventoryEngine(Config config, std::uint64_t seed);
+
+  /// Run a full inventory over the given nodes.
+  InventoryResult run(std::vector<InventoriedNode>& nodes);
+
+  /// Assign staggered BLFs to already-inventoried nodes (SetBlf command).
+  /// Returns the ids that acknowledged the assignment (protocol level).
+  std::vector<std::uint16_t> assign_blfs(std::vector<InventoriedNode>& nodes,
+                                         double base_blf, double step);
+
+ private:
+  /// Corrupt a frame according to the node's SNR; returns true when the
+  /// frame survives (all bits intact or CRC catches nothing).
+  bool frame_survives(const InventoriedNode& n, std::size_t bits);
+
+  Config config_;
+  dsp::Rng rng_;
+};
+
+}  // namespace ecocap::reader

@@ -1,0 +1,204 @@
+#include "reader/receiver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/biquad.hpp"
+#include "dsp/correlate.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/signal_ops.hpp"
+#include "phy/carrier.hpp"
+
+namespace ecocap::reader {
+
+Receiver::Receiver(ReceiverConfig config) : config_(config) {}
+
+dsp::ComplexSignal Receiver::to_baseband(std::span<const Real> rx,
+                                         Real carrier) const {
+  dsp::ComplexSignal z = dsp::mix_down(rx, config_.fs, carrier);
+  // Low-pass both rails: wide enough for the subcarrier + data sidebands.
+  const Real cutoff =
+      std::max(2.5 * config_.uplink.bitrate + config_.blf, 8.0e3);
+  const Signal h = dsp::design_lowpass(config_.fs, cutoff, config_.lowpass_taps);
+  Signal re(z.size()), im(z.size());
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    re[i] = z[i].real();
+    im[i] = z[i].imag();
+  }
+  re = dsp::filter_zero_phase(h, re);
+  im = dsp::filter_zero_phase(h, im);
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    z[i] = dsp::Complex(re[i], im[i]);
+  }
+  return z;
+}
+
+Signal Receiver::phase_align(const dsp::ComplexSignal& z) const {
+  // The self-interference shows up as a (large) DC offset in the complex
+  // baseband; remove the mean first, then project onto the principal phase
+  // axis (0.5 * arg of the sum of squares).
+  dsp::Complex mean(0.0, 0.0);
+  for (const auto& v : z) mean += v;
+  mean /= static_cast<Real>(std::max<std::size_t>(z.size(), 1));
+
+  dsp::Complex sq(0.0, 0.0);
+  for (const auto& v : z) {
+    const dsp::Complex d = v - mean;
+    sq += d * d;
+  }
+  const Real theta = 0.5 * std::arg(sq);
+  const dsp::Complex rot = std::polar<Real>(1.0, -theta);
+  Signal out(z.size());
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    out[i] = ((z[i] - mean) * rot).real();
+  }
+  return out;
+}
+
+namespace {
+
+/// DC-block the complex baseband: the CBW self-interference lands within a
+/// few Hz of the estimated carrier (never exactly at it), so after mixing it
+/// is a slowly rotating, very large phasor. The BLF guard band (Appendix C)
+/// exists precisely so this can be filtered: subtract a one-pole low-pass
+/// track of each rail.
+void dc_block(dsp::ComplexSignal& z, Real fs, Real cutoff) {
+  dsp::OnePoleLowpass re_lp(fs, cutoff);
+  dsp::OnePoleLowpass im_lp(fs, cutoff);
+  // Prime the trackers with the initial mean so the transient is short.
+  dsp::Complex mean(0.0, 0.0);
+  const std::size_t warm = std::min<std::size_t>(z.size(), 256);
+  for (std::size_t i = 0; i < warm; ++i) mean += z[i];
+  if (warm > 0) mean /= static_cast<Real>(warm);
+  for (std::size_t i = 0; i < 4096; ++i) {
+    re_lp.process(mean.real());
+    im_lp.process(mean.imag());
+  }
+  for (auto& v : z) {
+    const Real re = re_lp.process(v.real());
+    const Real im = im_lp.process(v.imag());
+    v = dsp::Complex(v.real() - re, v.imag() - im);
+  }
+}
+
+/// Decimation factor bringing the baseband down to a rate that still holds
+/// >= 8 samples per subcarrier period and >= 16 per data bit.
+std::size_t pick_decimation(Real fs, Real blf, Real bitrate) {
+  Real fs2 = std::max({8.0 * blf, 16.0 * bitrate, 8.0e3});
+  const auto m = static_cast<std::size_t>(std::max(1.0, std::floor(fs / fs2)));
+  return m;
+}
+
+/// Decision-domain SNR of a decoded FM0 frame: integrate each half-bit of
+/// the demodulated baseband, fit the bipolar amplitude, and compare the
+/// residual scatter against it.
+Real decision_snr_db(std::span<const Real> demod, std::size_t frame_start,
+                     const phy::Bits& all_bits, Real spb) {
+  // Expected half-bit levels from the FM0 state machine.
+  std::vector<Real> expected;
+  Real level = 1.0;
+  for (auto bit : all_bits) {
+    level = -level;
+    expected.push_back(level);
+    if ((bit & 1u) == 0u) level = -level;
+    expected.push_back(level);
+  }
+  std::vector<Real> sums;
+  sums.reserve(expected.size());
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    const auto lo = frame_start + static_cast<std::size_t>(
+                                      std::llround(spb * 0.5 * static_cast<Real>(k)));
+    const auto hi = frame_start + static_cast<std::size_t>(std::llround(
+                                      spb * 0.5 * static_cast<Real>(k + 1)));
+    if (hi > demod.size()) return 0.0;
+    Real acc = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) acc += demod[i];
+    sums.push_back(acc / std::max<Real>(static_cast<Real>(hi - lo), 1.0));
+  }
+  // Least-squares bipolar amplitude and residual variance.
+  Real num = 0.0, den = 0.0;
+  for (std::size_t k = 0; k < sums.size(); ++k) {
+    num += sums[k] * expected[k];
+    den += expected[k] * expected[k];
+  }
+  const Real a = (den > 0.0) ? num / den : 0.0;
+  Real var = 0.0;
+  for (std::size_t k = 0; k < sums.size(); ++k) {
+    const Real r = sums[k] - a * expected[k];
+    var += r * r;
+  }
+  var /= std::max<Real>(static_cast<Real>(sums.size()), 1.0);
+  if (var <= 0.0) return 60.0;
+  return dsp::to_db(a * a / var);
+}
+
+}  // namespace
+
+Signal Receiver::demodulated_baseband(std::span<const Real> rx) const {
+  const Real carrier = dsp::estimate_tone_frequency(
+      rx, config_.fs, config_.carrier_search_lo, config_.carrier_search_hi);
+  return phase_align(to_baseband(rx, carrier));
+}
+
+UplinkDecode Receiver::decode(std::span<const Real> rx,
+                              std::size_t payload_bits) const {
+  UplinkDecode best;
+  if (rx.empty()) return best;
+
+  best.carrier_estimate = dsp::estimate_tone_frequency(
+      rx, config_.fs, config_.carrier_search_lo, config_.carrier_search_hi);
+  const dsp::ComplexSignal z = to_baseband(rx, best.carrier_estimate);
+
+  // Decimate the filtered complex baseband, then phase-align.
+  const std::size_t m =
+      pick_decimation(config_.fs, config_.blf, config_.uplink.bitrate);
+  dsp::ComplexSignal zd;
+  zd.reserve(z.size() / m + 1);
+  for (std::size_t i = 0; i < z.size(); i += m) zd.push_back(z[i]);
+  const Real fs2 = config_.fs / static_cast<Real>(m);
+  // Carve out the residual self-interference near DC; the data sits at
+  // +-BLF (or, without a subcarrier, around the DC-free FM0 band).
+  const Real dc_cutoff = (config_.blf > 0.0)
+                             ? std::max(300.0, 0.1 * config_.blf)
+                             : std::max(50.0, 0.05 * config_.uplink.bitrate);
+  dc_block(zd, fs2, dc_cutoff);
+  const Signal r = phase_align(zd);
+
+  // With a BLF subcarrier the switching waveform is fm0 XOR square; search
+  // the subcarrier phase at the decimated rate.
+  std::size_t period2 = 1;
+  int phase_steps = 1;
+  if (config_.blf > 0.0) {
+    period2 = static_cast<std::size_t>(std::max(2.0, fs2 / config_.blf));
+    phase_steps = static_cast<int>(std::min<std::size_t>(period2, 16));
+  }
+
+  phy::Bits preamble_plus;
+  for (int p = 0; p < phase_steps; ++p) {
+    Signal demod = r;
+    if (config_.blf > 0.0) {
+      const std::size_t offset = period2 * static_cast<std::size_t>(p) /
+                                 static_cast<std::size_t>(phase_steps);
+      const Signal sq = phy::blf_square(fs2, config_.blf, r.size(), offset);
+      demod = dsp::multiply(r, sq);
+    }
+    const phy::Fm0FrameDecode fd = phy::fm0_decode_frame(
+        demod, config_.uplink, fs2, payload_bits, config_.min_preamble_corr);
+    if (fd.preamble_correlation > best.preamble_correlation) {
+      best.preamble_correlation = fd.preamble_correlation;
+      if (!fd.payload.empty()) {
+        best.payload = fd.payload;
+        best.valid = true;
+        best.frame_start_s = static_cast<Real>(fd.frame_start) / fs2;
+        phy::Bits all = phy::fm0_preamble(config_.uplink);
+        all.insert(all.end(), fd.payload.begin(), fd.payload.end());
+        best.snr_db = decision_snr_db(demod, fd.frame_start, all,
+                                      fs2 / config_.uplink.bitrate);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace ecocap::reader

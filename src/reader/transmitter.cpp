@@ -1,0 +1,42 @@
+#include "reader/transmitter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dsp/oscillator.hpp"
+
+namespace ecocap::reader {
+
+Transmitter::Transmitter(TransmitterConfig config)
+    : config_(config),
+      pzt_(config.carrier.fs, config.pzt_resonance, config.pzt_q) {}
+
+void Transmitter::set_tx_voltage(Real volts) {
+  if (volts < 0.0 || volts > config_.max_voltage) {
+    throw std::invalid_argument("Transmitter: voltage beyond amplifier range");
+  }
+  config_.tx_voltage = volts;
+}
+
+Signal Transmitter::continuous_wave(Real duration) {
+  const auto n = static_cast<std::size_t>(duration * config_.carrier.fs);
+  dsp::Oscillator osc(config_.carrier.fs, config_.carrier.f_resonant);
+  Signal drive = osc.generate(n, 1.0);
+  return pzt_.drive(drive);
+}
+
+Signal Transmitter::modulated_baseband(const phy::Bits& payload) const {
+  const Signal baseband =
+      phy::pie_encode(payload, config_.pie, config_.carrier.fs);
+  return phy::modulate_downlink(baseband, config_.carrier, config_.scheme);
+}
+
+Signal Transmitter::transmit_bits(const phy::Bits& payload) {
+  return pzt_.drive(modulated_baseband(payload));
+}
+
+Signal Transmitter::transmit_command(const phy::Command& cmd) {
+  return transmit_bits(phy::encode_command(cmd));
+}
+
+}  // namespace ecocap::reader

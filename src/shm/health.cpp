@@ -1,0 +1,68 @@
+#include "shm/health.hpp"
+
+#include <stdexcept>
+
+namespace ecocap::shm {
+
+char health_letter(HealthLevel level) {
+  switch (level) {
+    case HealthLevel::kA: return 'A';
+    case HealthLevel::kB: return 'B';
+    case HealthLevel::kC: return 'C';
+    case HealthLevel::kD: return 'D';
+    case HealthLevel::kE: return 'E';
+    case HealthLevel::kF: return 'F';
+  }
+  throw std::logic_error("health_letter: bad level");
+}
+
+std::string region_name(Region region) {
+  switch (region) {
+    case Region::kUnitedStates: return "United States";
+    case Region::kHongKong: return "Hong Kong";
+    case Region::kBangkok: return "Bangkok";
+    case Region::kManila: return "Manila";
+  }
+  throw std::logic_error("region_name: bad region");
+}
+
+std::array<Real, 5> pao_thresholds(Region region) {
+  // Table 2: level boundaries in m^2/ped, A above the first value, F below
+  // the last.
+  switch (region) {
+    case Region::kUnitedStates:
+      return {3.85, 2.30, 1.39, 0.93, 0.46};
+    case Region::kHongKong:
+      return {3.25, 2.16, 1.40, 0.80, 0.52};
+    case Region::kBangkok:
+      return {2.38, 1.60, 0.98, 0.65, 0.37};
+    case Region::kManila:
+      return {3.25, 2.05, 1.65, 1.25, 0.56};
+  }
+  throw std::logic_error("pao_thresholds: bad region");
+}
+
+HealthLevel grade_pao(Real pao, Region region) {
+  if (pao < 0.0) throw std::invalid_argument("grade_pao: negative PAO");
+  const auto t = pao_thresholds(region);
+  if (pao > t[0]) return HealthLevel::kA;
+  if (pao > t[1]) return HealthLevel::kB;
+  if (pao > t[2]) return HealthLevel::kC;
+  if (pao > t[3]) return HealthLevel::kD;
+  if (pao > t[4]) return HealthLevel::kE;
+  return HealthLevel::kF;
+}
+
+LimitCheck check_limits(Real vertical_acc, Real lateral_acc, Real stress_pa,
+                        Real deflection_m, Real pao,
+                        const BridgeLimits& limits) {
+  LimitCheck c;
+  c.vertical_ok = std::abs(vertical_acc) <= limits.max_vertical_acceleration;
+  c.lateral_ok = std::abs(lateral_acc) <= limits.max_lateral_acceleration;
+  c.stress_ok = std::abs(stress_pa) <= limits.max_steel_stress;
+  c.deflection_ok = std::abs(deflection_m) <= limits.max_midspan_deflection;
+  c.pao_ok = pao >= limits.min_pao;
+  return c;
+}
+
+}  // namespace ecocap::shm

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "dsp/types.hpp"
+
+namespace ecocap::shm {
+
+using dsp::Real;
+
+/// Structural health level based on pedestrian area occupancy (PAO,
+/// m^2 per pedestrian) — paper §6 and Table 2 (after [40]). A is best; at
+/// H <= 1 m^2/ped the bridge is overloaded and may collapse.
+enum class HealthLevel { kA, kB, kC, kD, kE, kF };
+
+char health_letter(HealthLevel level);
+
+/// Regional level-of-service standards of Table 2.
+enum class Region { kUnitedStates, kHongKong, kBangkok, kManila };
+
+std::string region_name(Region region);
+
+/// The five PAO thresholds for a region: level is A above thresholds[0],
+/// B above thresholds[1], ... F below thresholds[4]. Values in m^2/ped.
+std::array<Real, 5> pao_thresholds(Region region);
+
+/// Grade a PAO value under a regional standard (Table 2).
+HealthLevel grade_pao(Real pao, Region region);
+
+/// Structural limit checks of the pilot footbridge (§6): the bridge is
+/// considered at risk when any instantaneous threshold is exceeded.
+struct BridgeLimits {
+  Real max_vertical_acceleration = 0.7;   // m/s^2
+  Real max_lateral_acceleration = 0.15;   // m/s^2
+  Real max_steel_stress = 355.0e6;        // Pa
+  Real max_midspan_deflection = 0.1083;   // m
+  Real min_pao = 1.0;                     // m^2 per pedestrian
+};
+
+struct LimitCheck {
+  bool vertical_ok = true;
+  bool lateral_ok = true;
+  bool stress_ok = true;
+  bool deflection_ok = true;
+  bool pao_ok = true;
+  bool all_ok() const {
+    return vertical_ok && lateral_ok && stress_ok && deflection_ok && pao_ok;
+  }
+};
+
+LimitCheck check_limits(Real vertical_acc, Real lateral_acc, Real stress_pa,
+                        Real deflection_m, Real pao,
+                        const BridgeLimits& limits = {});
+
+}  // namespace ecocap::shm

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/inventory_session.hpp"
+#include "shm/bridge.hpp"
+#include "shm/timeseries.hpp"
+
+namespace ecocap::shm {
+
+/// A per-minute health report row (what the dashboard of Fig. 21(c) shows:
+/// section, pedestrian count, health letter, walking speed).
+struct SectionReport {
+  char section = 'A';
+  int pedestrians = 0;
+  HealthLevel health = HealthLevel::kA;
+  Real walking_speed = 0.0;
+};
+
+/// An anomaly window flagged by the detector (the July 15-23 storm shows up
+/// as one of these).
+struct AnomalyWindow {
+  Real start_day = 0.0;
+  Real end_day = 0.0;
+  Real peak_zscore = 0.0;
+};
+
+/// Result of a monitoring campaign.
+struct CampaignResult {
+  TimeSeries acceleration;   // m/s^2, mid-span sensor
+  TimeSeries stress;         // MPa, mid-span sensor
+  TimeSeries stress_side;    // MPa, side-span sensor
+  TimeSeries humidity;       // %
+  TimeSeries temperature;    // degC
+  TimeSeries pressure;       // kPa
+  TimeSeries pao;            // m^2/ped, worst section
+  std::vector<std::array<SectionReport, 5>> minute_reports;  // sparse samples
+  std::map<char, std::map<char, int>> health_histogram;  // section -> letter -> count
+  std::vector<AnomalyWindow> anomalies;
+  int limit_violations = 0;
+  /// EcoCapsule cross-check readings collected over the protocol stack.
+  std::vector<reader::SensorReading> capsule_readings;
+};
+
+/// The long-term SHM campaign runner (paper §6): simulates the bridge +
+/// weather + traffic minute by minute, records the sensor channels the
+/// paper plots (Figs. 21, 26-36), grades per-section health every minute,
+/// runs the anomaly detector, and periodically interrogates the implanted
+/// EcoCapsules through the full protocol stack as a cross-check.
+class MonitoringCampaign {
+ public:
+  struct Config {
+    FootbridgeModel::Config bridge;
+    WeatherModel::Config weather;
+    Real days = 31.0;              // campaign length (July 2021)
+    Real step_minutes = 1.0;       // health update cadence (paper: 1 min)
+    Real zscore_threshold = 3.5;   // anomaly flag level
+    std::size_t baseline_window = 3 * 24 * 60;  // rolling baseline (3 days)
+    int capsule_count = 5;         // EcoCapsules deployed for the pilot
+    Real capsule_poll_hours = 6.0; // interrogation cadence
+    std::uint64_t seed = 2021;
+  };
+
+  explicit MonitoringCampaign(Config config);
+
+  CampaignResult run();
+
+ private:
+  Config config_;
+};
+
+}  // namespace ecocap::shm

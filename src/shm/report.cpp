@@ -1,0 +1,76 @@
+#include "shm/report.hpp"
+
+#include <cstdio>
+
+namespace ecocap::shm {
+
+namespace {
+
+/// printf into a std::string.
+template <typename... Args>
+void appendf(std::string& out, const char* fmt, Args... args) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  out += buf;
+}
+
+}  // namespace
+
+std::string render_dashboard(const std::array<SectionReport, 5>& sections) {
+  std::string out;
+  for (const auto& s : sections) {
+    appendf(out, "| Section %c  No. %-3d  Health %c  Speed %.1f m/s ",
+            s.section, s.pedestrians, health_letter(s.health),
+            s.walking_speed);
+  }
+  out += "|";
+  return out;
+}
+
+std::string render_campaign_report(const CampaignResult& result,
+                                   Real campaign_days) {
+  std::string out;
+  out += "=== SHM campaign report ===\n";
+  appendf(out, "duration: %.0f days, %zu samples per channel\n",
+          campaign_days, result.acceleration.size());
+
+  const auto acc = result.acceleration.stats();
+  const auto st = result.stress.stats();
+  appendf(out,
+          "acceleration: mean %.4f m/s^2, envelope (std) %.4f, peak %.3f\n",
+          acc.mean, acc.stddev, std::max(std::abs(acc.min), acc.max));
+  appendf(out, "mid-span stress: mean %.1f MPa, range [%.1f, %.1f]\n",
+          st.mean, st.min, st.max);
+
+  out += "health histogram (minutes per grade):\n";
+  for (const auto& [section, hist] : result.health_histogram) {
+    appendf(out, "  section %c:", section);
+    for (const auto& [letter, count] : hist) {
+      appendf(out, " %c=%d", letter, count);
+    }
+    out += "\n";
+  }
+
+  if (result.anomalies.empty()) {
+    out += "anomalies: none\n";
+  } else {
+    appendf(out, "anomalies: %zu window(s)\n", result.anomalies.size());
+    for (const auto& a : result.anomalies) {
+      appendf(out, "  day %.1f -> %.1f, peak z %.1f\n", a.start_day + 1.0,
+              a.end_day + 1.0, a.peak_zscore);
+    }
+  }
+  appendf(out, "limit violations: %d\n", result.limit_violations);
+  appendf(out, "capsule readings collected: %zu\n",
+          result.capsule_readings.size());
+  appendf(out, "verdict: %s\n", campaign_verdict(result).c_str());
+  return out;
+}
+
+std::string campaign_verdict(const CampaignResult& result) {
+  if (result.limit_violations > 0) return "ALARM";
+  if (!result.anomalies.empty()) return "WATCH";
+  return "OK";
+}
+
+}  // namespace ecocap::shm

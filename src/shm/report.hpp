@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+#include "shm/monitor.hpp"
+
+namespace ecocap::shm {
+
+/// Render the Fig. 21(c)-style per-section dashboard row: section letter,
+/// pedestrian count, health grade, walking speed.
+std::string render_dashboard(const std::array<SectionReport, 5>& sections);
+
+/// Render a whole campaign into a human-readable report: per-day summary
+/// table, health histogram, anomaly windows, limit violations, and the
+/// EcoCapsule cross-check digest. This is what the pilot study's operators
+/// would read every morning.
+std::string render_campaign_report(const CampaignResult& result,
+                                   Real campaign_days);
+
+/// One-line campaign verdict: "OK", "WATCH" (anomalies flagged) or "ALARM"
+/// (structural limit violations).
+std::string campaign_verdict(const CampaignResult& result);
+
+}  // namespace ecocap::shm

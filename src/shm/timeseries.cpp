@@ -1,0 +1,70 @@
+#include "shm/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace ecocap::shm {
+
+TimeSeries::TimeSeries(std::string name, Real dt, std::string unit)
+    : name_(std::move(name)), unit_(std::move(unit)), dt_(dt) {
+  if (dt <= 0.0) throw std::invalid_argument("TimeSeries: dt must be > 0");
+}
+
+TimeSeries::Stats TimeSeries::stats(std::size_t first,
+                                    std::size_t last) const {
+  Stats s;
+  last = std::min(last, values_.size());
+  if (first >= last) return s;
+  Real sum = 0.0;
+  s.min = values_[first];
+  s.max = values_[first];
+  for (std::size_t i = first; i < last; ++i) {
+    sum += values_[i];
+    s.min = std::min(s.min, values_[i]);
+    s.max = std::max(s.max, values_[i]);
+  }
+  const auto n = static_cast<Real>(last - first);
+  s.mean = sum / n;
+  Real var = 0.0;
+  for (std::size_t i = first; i < last; ++i) {
+    const Real d = values_[i] - s.mean;
+    var += d * d;
+  }
+  s.stddev = std::sqrt(var / n);
+  return s;
+}
+
+std::vector<Real> TimeSeries::rolling_stddev(std::size_t window) const {
+  if (window == 0) throw std::invalid_argument("rolling_stddev: empty window");
+  std::vector<Real> out(values_.size(), 0.0);
+  Real sum = 0.0, sum2 = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    sum += values_[i];
+    sum2 += values_[i] * values_[i];
+    if (i >= window) {
+      sum -= values_[i - window];
+      sum2 -= values_[i - window] * values_[i - window];
+    }
+    const std::size_t n = std::min(i + 1, window);
+    const Real mean = sum / static_cast<Real>(n);
+    const Real var =
+        std::max<Real>(sum2 / static_cast<Real>(n) - mean * mean, 0.0);
+    out[i] = std::sqrt(var);
+  }
+  return out;
+}
+
+TimeSeries TimeSeries::block_mean(std::size_t factor) const {
+  if (factor == 0) throw std::invalid_argument("block_mean: factor 0");
+  TimeSeries out(name_ + "-blockmean", dt_ * static_cast<Real>(factor), unit_);
+  for (std::size_t i = 0; i + factor <= values_.size(); i += factor) {
+    Real sum = 0.0;
+    for (std::size_t j = 0; j < factor; ++j) sum += values_[i + j];
+    out.push(sum / static_cast<Real>(factor));
+  }
+  return out;
+}
+
+}  // namespace ecocap::shm

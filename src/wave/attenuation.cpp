@@ -1,0 +1,55 @@
+#include "wave/attenuation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ecocap::wave {
+
+namespace {
+/// Scattering knee: below this the loss grows linearly with f (absorption),
+/// above it quartically steeper scattering kicks in. 260 kHz places the knee
+/// just above the carrier band, reproducing the sharp Fig. 5 roll-off.
+constexpr Real kScatteringKnee = 260.0e3;  // Hz
+}  // namespace
+
+Real attenuation_coefficient(const Material& m, WaveMode mode,
+                             Real frequency) {
+  if (frequency <= 0.0) {
+    throw std::invalid_argument("attenuation_coefficient: f must be > 0");
+  }
+  const Real alpha_ref =
+      (mode == WaveMode::kPrimary) ? m.alpha_p_ref : m.alpha_s_ref;
+  const Real fr = frequency / kAttenuationRefFrequency;
+  if (frequency <= kScatteringKnee) {
+    return alpha_ref * fr;  // absorption regime: ~linear in f
+  }
+  // Rayleigh scattering regime: continue the linear law to the knee, then
+  // grow with the 4th power of frequency (lambda^-4) beyond it.
+  const Real knee_ratio = kScatteringKnee / kAttenuationRefFrequency;
+  const Real excess = frequency / kScatteringKnee;
+  return alpha_ref * knee_ratio * std::pow(excess, 4.0);
+}
+
+Real attenuation_factor(const Material& m, WaveMode mode, Real frequency,
+                        Real distance) {
+  if (distance < 0.0) {
+    throw std::invalid_argument("attenuation_factor: negative distance");
+  }
+  return std::exp(-attenuation_coefficient(m, mode, frequency) * distance);
+}
+
+Real spreading_factor(Spreading spreading, Real r, Real r0,
+                      Real waveguide_leak_np_per_m) {
+  if (r <= r0) return 1.0;
+  switch (spreading) {
+    case Spreading::kSpherical:
+      return r0 / r;
+    case Spreading::kCylindrical:
+      return std::sqrt(r0 / r);
+    case Spreading::kWaveguide:
+      return std::exp(-waveguide_leak_np_per_m * (r - r0));
+  }
+  throw std::logic_error("spreading_factor: bad enum");
+}
+
+}  // namespace ecocap::wave

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "wave/material.hpp"
+
+namespace ecocap::wave {
+
+/// How wavefront energy spreads with distance from the source. Narrow
+/// structures act as waveguides (the Fig. 12 finding: walls outperform the
+/// thick column because internal reflections confine the energy).
+enum class Spreading {
+  kSpherical,    // free 3-D bulk: amplitude ~ 1/r
+  kCylindrical,  // plate-guided: amplitude ~ 1/sqrt(r)
+  kWaveguide,    // strongly confined corridor: amplitude ~ const * leak decay
+};
+
+/// Frequency-dependent amplitude attenuation coefficient (Np/m).
+/// Model: alpha(f) = alpha_ref * (f/f_ref)^n with n = 1 below the scattering
+/// knee and n = 2 above it (Rayleigh scattering off aggregates). The knee for
+/// concrete sits where the wavelength approaches the aggregate size, right
+/// above the paper's 200-250 kHz carrier band — this is what makes the
+/// Fig. 5 responses collapse past ~250 kHz.
+Real attenuation_coefficient(const Material& m, WaveMode mode, Real frequency);
+
+/// Amplitude decay factor exp(-alpha * distance) for a given path length.
+Real attenuation_factor(const Material& m, WaveMode mode, Real frequency,
+                        Real distance);
+
+/// Geometric amplitude spreading factor at distance r (m) given a reference
+/// distance r0 (the transducer radius scale). Clamped to 1 within r0.
+Real spreading_factor(Spreading spreading, Real r, Real r0 = 0.02,
+                      Real waveguide_leak_np_per_m = 0.05);
+
+}  // namespace ecocap::wave

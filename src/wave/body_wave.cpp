@@ -1,0 +1,46 @@
+#include "wave/body_wave.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ecocap::wave {
+
+LameParameters lame_from_youngs(Real youngs_modulus, Real poisson_ratio) {
+  if (youngs_modulus <= 0.0) {
+    throw std::invalid_argument("lame_from_youngs: E must be > 0");
+  }
+  if (poisson_ratio <= -1.0 || poisson_ratio >= 0.5) {
+    throw std::invalid_argument("lame_from_youngs: nu out of (-1, 0.5)");
+  }
+  LameParameters p{};
+  p.lambda = youngs_modulus * poisson_ratio /
+             ((1.0 + poisson_ratio) * (1.0 - 2.0 * poisson_ratio));
+  p.mu = youngs_modulus / (2.0 * (1.0 + poisson_ratio));
+  return p;
+}
+
+Real p_wave_velocity(const LameParameters& lame, Real density) {
+  if (density <= 0.0) {
+    throw std::invalid_argument("p_wave_velocity: density must be > 0");
+  }
+  return std::sqrt((lame.lambda + 2.0 * lame.mu) / density);
+}
+
+Real s_wave_velocity(const LameParameters& lame, Real density) {
+  if (density <= 0.0) {
+    throw std::invalid_argument("s_wave_velocity: density must be > 0");
+  }
+  return std::sqrt(lame.mu / density);
+}
+
+Real p_wave_velocity(Real youngs_modulus, Real poisson_ratio, Real density) {
+  return p_wave_velocity(lame_from_youngs(youngs_modulus, poisson_ratio),
+                         density);
+}
+
+Real s_wave_velocity(Real youngs_modulus, Real poisson_ratio, Real density) {
+  return s_wave_velocity(lame_from_youngs(youngs_modulus, poisson_ratio),
+                         density);
+}
+
+}  // namespace ecocap::wave

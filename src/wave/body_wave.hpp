@@ -1,0 +1,38 @@
+#pragma once
+
+#include "dsp/types.hpp"
+
+namespace ecocap::wave {
+
+using dsp::Real;
+
+/// Body-wave modes inside a solid (paper §3.1, Appendix A). Liquids carry
+/// only P-waves; solids carry both, which is the root of the intra-symbol
+/// interference problem the wave prism solves.
+enum class WaveMode {
+  kPrimary,    // P-wave: longitudinal push-pull, faster, attenuates sooner
+  kSecondary,  // S-wave: transverse shear, ~40% slower, travels further
+};
+
+/// Lamé parameters of an isotropic elastic solid.
+struct LameParameters {
+  Real lambda;  // Pa
+  Real mu;      // Pa (shear modulus)
+};
+
+/// Lamé parameters from Young's modulus E (Pa) and Poisson's ratio nu.
+LameParameters lame_from_youngs(Real youngs_modulus, Real poisson_ratio);
+
+/// P-wave velocity (Appendix A Eq. 8): sqrt((lambda + 2 mu) / rho).
+Real p_wave_velocity(const LameParameters& lame, Real density);
+
+/// S-wave velocity (Appendix A Eq. 10): sqrt(mu / rho).
+Real s_wave_velocity(const LameParameters& lame, Real density);
+
+/// P-wave velocity directly from engineering constants.
+Real p_wave_velocity(Real youngs_modulus, Real poisson_ratio, Real density);
+
+/// S-wave velocity directly from engineering constants.
+Real s_wave_velocity(Real youngs_modulus, Real poisson_ratio, Real density);
+
+}  // namespace ecocap::wave

@@ -1,0 +1,78 @@
+#include "wave/frequency_response.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace ecocap::wave {
+
+namespace {
+
+/// Second-order resonator magnitude (normalized to 1 at resonance).
+Real resonator_gain(Real f, Real f0, Real q) {
+  const Real r = f / f0;
+  const Real denom =
+      std::sqrt((1.0 - r * r) * (1.0 - r * r) + (r / q) * (r / q));
+  const Real at_res = q;  // |H| at f = f0 equals Q for this normalization
+  if (denom <= 0.0) return 1.0;
+  return (1.0 / denom) / at_res;
+}
+
+/// Coupling efficiency grows with compressive strength: tighter molecular
+/// packing conducts elastic waves better (paper's Fig. 5 explanation). A
+/// sqrt law keeps UHPC/UHPFRC ~2x NC in amplitude as measured.
+Real coupling_gain(const Material& m) {
+  constexpr Real kRefStrength = 54.1e6;  // NC
+  if (m.compressive_strength <= 0.0) return 1.0;
+  return std::sqrt(m.compressive_strength / kRefStrength);
+}
+
+}  // namespace
+
+ConcreteFrequencyResponse::ConcreteFrequencyResponse(Material material,
+                                                     Real thickness,
+                                                     Real pzt_resonance,
+                                                     Real pzt_q)
+    : material_(std::move(material)),
+      thickness_(thickness),
+      pzt_resonance_(pzt_resonance),
+      pzt_q_(pzt_q) {
+  if (thickness <= 0.0) {
+    throw std::invalid_argument("ConcreteFrequencyResponse: bad thickness");
+  }
+}
+
+Real ConcreteFrequencyResponse::gain(Real frequency) const {
+  if (frequency <= 0.0) return 0.0;
+  // TX and RX transducers are identical discs: resonance applies twice.
+  const Real pzt = resonator_gain(frequency, pzt_resonance_, pzt_q_);
+  const Real path = attenuation_factor(material_, WaveMode::kSecondary,
+                                       frequency, thickness_);
+  return pzt * pzt * path * coupling_gain(material_);
+}
+
+Real ConcreteFrequencyResponse::amplitude_mv(Real frequency,
+                                             Real drive_volts) const {
+  // Electromechanical conversion scale calibrated so that a 100 V drive into
+  // 15 cm NC yields a ~2 V peak at resonance, matching Fig. 5(b).
+  constexpr Real kConversionMvPerVolt = 24.0;
+  return kConversionMvPerVolt * drive_volts * gain(frequency);
+}
+
+Real ConcreteFrequencyResponse::resonant_frequency(Real f_lo,
+                                                   Real f_hi) const {
+  Real best_f = f_lo;
+  Real best_g = -1.0;
+  const int steps = 1000;
+  for (int i = 0; i <= steps; ++i) {
+    const Real f = f_lo + (f_hi - f_lo) * static_cast<Real>(i) / steps;
+    const Real g = gain(f);
+    if (g > best_g) {
+      best_g = g;
+      best_f = f;
+    }
+  }
+  return best_f;
+}
+
+}  // namespace ecocap::wave

@@ -1,0 +1,52 @@
+#pragma once
+
+#include "wave/attenuation.hpp"
+#include "wave/material.hpp"
+
+namespace ecocap::wave {
+
+/// Model of the transducer-to-transducer frequency response of a concrete
+/// block (paper §3.3, Fig. 5): a 100 V sinusoid is driven into one face
+/// through a 45-degree prism and the received amplitude is measured on the
+/// opposite face while sweeping 20-400 kHz.
+///
+/// The response is the product of three physical factors:
+///  * the transmitting/receiving PZT electromechanical resonance (disc
+///    thickness mode at ~230 kHz, quality factor Q),
+///  * material coupling (denser, higher-strength concrete conducts elastic
+///    waves better — the Fig. 5 finding that UHPC/UHPFRC dwarf NC),
+///  * path attenuation exp(-alpha(f) * thickness) with the scattering knee
+///    just above the carrier band causing the steep high-side roll-off.
+class ConcreteFrequencyResponse {
+ public:
+  /// @param material concrete under test
+  /// @param thickness propagation path length (m)
+  /// @param pzt_resonance transducer resonant frequency (Hz)
+  /// @param pzt_q transducer quality factor
+  ConcreteFrequencyResponse(Material material, Real thickness,
+                            Real pzt_resonance = 230.0e3, Real pzt_q = 5.0);
+
+  /// Received amplitude (mV) when driving at `frequency` with `drive_volts`
+  /// peak voltage (the paper uses 100 V).
+  Real amplitude_mv(Real frequency, Real drive_volts = 100.0) const;
+
+  /// Dimensionless channel gain |H(f)| (amplitude out / amplitude in at the
+  /// mechanical interface). Used by the channel simulator as the spectral
+  /// shaping of the concrete path.
+  Real gain(Real frequency) const;
+
+  /// Frequency of the maximum response over [f_lo, f_hi] by dense scan.
+  Real resonant_frequency(Real f_lo = 20.0e3, Real f_hi = 400.0e3) const;
+
+  const Material& material() const { return material_; }
+  Real thickness() const { return thickness_; }
+  Real pzt_resonance() const { return pzt_resonance_; }
+
+ private:
+  Material material_;
+  Real thickness_;
+  Real pzt_resonance_;
+  Real pzt_q_;
+};
+
+}  // namespace ecocap::wave

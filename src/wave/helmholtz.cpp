@@ -1,0 +1,69 @@
+#include "wave/helmholtz.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ecocap::wave {
+
+namespace {
+constexpr Real kPi = 3.14159265358979323846;
+}
+
+Real HelmholtzResonator::resonant_frequency(Real cs) const {
+  if (neck_area <= 0.0 || neck_length <= 0.0 || cavity_volume <= 0.0 ||
+      cs <= 0.0) {
+    throw std::invalid_argument("HelmholtzResonator: invalid geometry");
+  }
+  return cs / (2.0 * kPi) *
+         std::sqrt(3.0 * neck_area / (4.0 * cavity_volume * neck_length));
+}
+
+Real HelmholtzResonator::gain(Real f, Real cs, Real q, Real peak_gain) const {
+  const Real f0 = resonant_frequency(cs);
+  const Real r = f / f0;
+  const Real denom =
+      std::sqrt((1.0 - r * r) * (1.0 - r * r) + (r / q) * (r / q));
+  // |H| of a 2nd-order resonator is q at resonance; rescale so the peak is
+  // `peak_gain` and the low-frequency asymptote is 1.
+  const Real raw = (denom <= 0.0) ? q : 1.0 / denom;
+  const Real scaled = 1.0 + (peak_gain - 1.0) * (raw - 1.0) / (q - 1.0);
+  return std::max<Real>(scaled, 0.0);
+}
+
+Real HelmholtzResonator::solve_neck_area(Real target_f, Real cs,
+                                         Real cavity_volume,
+                                         Real neck_length) {
+  if (target_f <= 0.0 || cs <= 0.0) {
+    throw std::invalid_argument("solve_neck_area: invalid inputs");
+  }
+  // Invert Eq. 5: A_n = (2 pi f / cs)^2 * 4 V_c H_n / 3.
+  const Real k = 2.0 * kPi * target_f / cs;
+  return k * k * 4.0 * cavity_volume * neck_length / 3.0;
+}
+
+HelmholtzResonator HelmholtzResonator::paper_prototype() {
+  return HelmholtzResonator{0.78e-6, 0.8e-3, 2.76e-9};
+}
+
+HelmholtzArray::HelmholtzArray(HelmholtzResonator base, int cells,
+                               Real detune_fraction) {
+  if (cells <= 0) throw std::invalid_argument("HelmholtzArray: no cells");
+  cells_.reserve(static_cast<std::size_t>(cells));
+  for (int i = 0; i < cells; ++i) {
+    HelmholtzResonator cell = base;
+    if (cells > 1) {
+      const Real x = -1.0 + 2.0 * static_cast<Real>(i) / (cells - 1);
+      cell.cavity_volume = base.cavity_volume * (1.0 + detune_fraction * x);
+    }
+    cells_.push_back(cell);
+  }
+}
+
+Real HelmholtzArray::gain(Real f, Real cs) const {
+  Real sum = 0.0;
+  for (const auto& c : cells_) sum += c.gain(f, cs);
+  return sum / static_cast<Real>(cells_.size());
+}
+
+}  // namespace ecocap::wave

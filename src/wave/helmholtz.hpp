@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+#include "wave/material.hpp"
+
+namespace ecocap::wave {
+
+/// A single Helmholtz resonator cell of the EcoCapsule's resonator array
+/// (paper §4.1, Fig. 8(d)). The cell is a neck + cavity machined into the
+/// shell in front of the receiving PZT; media "springiness" in the cavity
+/// amplifies vibration near the resonant frequency (Eq. 5):
+///
+///   f_r = (C_s / 2 pi) * sqrt(3 A_n / (4 V_c H_n))
+struct HelmholtzResonator {
+  Real neck_area;     // A_n, m^2
+  Real neck_length;   // H_n, m
+  Real cavity_volume; // V_c, m^3
+
+  /// Undamped resonant frequency (Eq. 5) for S-waves of speed cs (m/s).
+  Real resonant_frequency(Real cs) const;
+
+  /// Amplitude gain of the resonator at frequency f: a second-order
+  /// resonance of quality factor q, normalized to `peak_gain` at f_r and to
+  /// ~1 far from resonance.
+  Real gain(Real f, Real cs, Real q = 8.0, Real peak_gain = 3.0) const;
+
+  /// Solve for the neck area that places the resonance at `target_f` with
+  /// the given cavity volume / neck length and medium speed. Documents the
+  /// geometry actually needed for the 230 kHz carrier (see DESIGN.md).
+  static Real solve_neck_area(Real target_f, Real cs, Real cavity_volume,
+                              Real neck_length);
+
+  /// The paper's printed prototype geometry (A_n = 0.78 mm^2,
+  /// V_c = 2.76 mm^3, H_n = 0.8 mm).
+  static HelmholtzResonator paper_prototype();
+};
+
+/// The array of resonator cells in front of the receiving PZT. Cells are
+/// slightly detuned so the aggregate gain covers the whole carrier band.
+class HelmholtzArray {
+ public:
+  /// @param base base cell geometry
+  /// @param cells number of cells
+  /// @param detune_fraction per-cell geometric detuning (+-)
+  HelmholtzArray(HelmholtzResonator base, int cells, Real detune_fraction = 0.03);
+
+  /// Average amplitude gain over all cells at frequency f.
+  Real gain(Real f, Real cs) const;
+
+  int cell_count() const { return static_cast<int>(cells_.size()); }
+  const std::vector<HelmholtzResonator>& cells() const { return cells_; }
+
+ private:
+  std::vector<HelmholtzResonator> cells_;
+};
+
+}  // namespace ecocap::wave

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wave/body_wave.hpp"
+
+namespace ecocap::wave {
+
+/// Concrete mix proportions in kg per m^3 (Table 1 of the paper, Appendix B).
+struct MixProportions {
+  Real cement = 0.0;
+  Real silica_fume = 0.0;
+  Real fly_ash = 0.0;
+  Real quartz_powder = 0.0;
+  Real sand = 0.0;
+  Real granite = 0.0;
+  Real steel_fiber = 0.0;
+  Real water = 0.0;
+  Real hrwr = 0.0;  // high-range water reducer
+
+  /// Sum of all constituents = fresh density estimate (kg/m^3).
+  Real total() const;
+};
+
+/// An acoustic propagation medium. Solids carry P and S waves; fluids carry
+/// only P (cs == 0). Velocities can either be supplied (measured) or derived
+/// from elastic constants via the Appendix-A relations.
+struct Material {
+  std::string name;
+  Real density = 0.0;        // kg/m^3
+  Real cp = 0.0;             // P-wave velocity, m/s
+  Real cs = 0.0;             // S-wave velocity, m/s (0 for fluids)
+  Real youngs_modulus = 0.0; // Pa (0 if not applicable/known)
+  Real poisson_ratio = 0.0;
+  Real compressive_strength = 0.0;  // Pa (concretes only)
+  Real peak_strain = 0.0;           // strain at f_co (concretes only)
+  /// Base amplitude attenuation at the reference frequency (Np/m) for each
+  /// mode; frequency scaling handled by wave::attenuation_coefficient.
+  Real alpha_p_ref = 0.0;
+  Real alpha_s_ref = 0.0;
+  MixProportions mix;  // zero for non-concretes
+
+  bool is_fluid() const { return cs <= 0.0; }
+
+  /// Specific acoustic impedance Z = rho * c for the given mode (kg/m^2 s).
+  Real impedance(WaveMode mode = WaveMode::kPrimary) const;
+
+  /// Velocity of the given mode (m/s).
+  Real velocity(WaveMode mode) const;
+
+  /// Lamé parameters implied by the stored velocities and density.
+  LameParameters lame_from_velocities() const;
+};
+
+/// Reference frequency for the attenuation model (the carrier band center).
+inline constexpr Real kAttenuationRefFrequency = 230.0e3;  // Hz
+
+/// Material catalog. Concrete velocities for the Table-1 mixes are derived
+/// from their elastic constants; `reference_concrete()` instead carries the
+/// measured velocities (Cp = 3338 m/s, Cs = 1941 m/s) the paper quotes from
+/// [41] and is what the Snell / critical-angle experiments use.
+namespace materials {
+
+/// The paper's quoted measured concrete (Cp 3338, Cs 1941 m/s).
+Material reference_concrete();
+
+/// Normal concrete, Table 1 column "NC" (f_co = 54.1 MPa).
+Material normal_concrete();
+
+/// Ultra-high-performance concrete, Table 1 "UHPC" (f_co = 195.3 MPa).
+Material uhpc();
+
+/// Ultra-high-performance fiber-reinforced concrete, Table 1 "UHPSSC/UHPFRC"
+/// (f_co = 215.0 MPa, the strongest standard-cured concrete on record).
+Material uhpfrc();
+
+/// Polylactic-acid prism material. Longitudinal velocity calibrated to
+/// 1865 m/s so the first/second critical angles into reference concrete land
+/// on the paper's 34 deg / 73 deg (see DESIGN.md calibration note).
+Material pla();
+
+/// Air at standard conditions (Z = 4.15e2 kg/m^2 s, paper §3.2).
+Material air();
+
+/// Fresh water (for the PAB underwater baseline).
+Material water();
+
+/// Structural steel (rebar, shells).
+Material steel();
+
+/// SLA printing resin used for the EcoCapsule shell (65 MPa tensile,
+/// 2.2 GPa Young's modulus, §4.1).
+Material sla_resin();
+
+/// All concretes of Table 1 in paper order.
+std::vector<Material> table1_concretes();
+
+}  // namespace materials
+
+}  // namespace ecocap::wave

@@ -1,0 +1,54 @@
+#include "wave/prism.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace ecocap::wave {
+
+WavePrism::WavePrism(Material prism, Material concrete,
+                     Real incident_angle_rad)
+    : prism_(std::move(prism)),
+      concrete_(std::move(concrete)),
+      incident_angle_(incident_angle_rad) {}
+
+Refraction WavePrism::refraction() const {
+  return refract(prism_, concrete_, incident_angle_);
+}
+
+ModeAmplitudes WavePrism::conducted_amplitudes() const {
+  ModeAmplitudes a =
+      transmitted_mode_amplitudes(prism_, concrete_, incident_angle_);
+  const Real t = interface_energy_transmittance();
+  // Amplitude scales with sqrt of transmitted energy fraction.
+  const Real ta = std::sqrt(t);
+  a.p *= ta;
+  a.s *= ta;
+  a.surface *= ta;
+  return a;
+}
+
+bool WavePrism::s_only() const {
+  const auto ca1 = first_critical();
+  const auto ca2 = second_critical();
+  if (!ca1) return false;
+  const Real hi = ca2.value_or(1.5707963267948966);
+  return incident_angle_ >= *ca1 && incident_angle_ < hi;
+}
+
+Real WavePrism::interface_energy_transmittance() const {
+  return energy_transmittance(prism_, concrete_);
+}
+
+std::optional<Real> WavePrism::first_critical() const {
+  return first_critical_angle(prism_, concrete_);
+}
+
+std::optional<Real> WavePrism::second_critical() const {
+  return second_critical_angle(prism_, concrete_);
+}
+
+WavePrism WavePrism::default_for(const Material& concrete) {
+  return WavePrism(materials::pla(), concrete, deg_to_rad(60.0));
+}
+
+}  // namespace ecocap::wave

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <optional>
+
+#include "wave/boundary.hpp"
+#include "wave/snell.hpp"
+
+namespace ecocap::wave {
+
+/// The polymer wave prism placed between the transmitting PZT and the
+/// concrete surface (paper §3.2, Fig. 3). It injects the PZT's P-wave at a
+/// configurable incident angle; between the two critical angles only the
+/// mode-converted S-wave survives inside the concrete, which removes the
+/// dual-mode intra-symbol interference.
+class WavePrism {
+ public:
+  /// @param prism prism material (default PLA)
+  /// @param concrete target medium
+  /// @param incident_angle_rad inclined-plane angle in radians
+  WavePrism(Material prism, Material concrete, Real incident_angle_rad);
+
+  Real incident_angle() const { return incident_angle_; }
+  const Material& prism_material() const { return prism_; }
+  const Material& concrete() const { return concrete_; }
+
+  /// Snell outcome for the configured angle.
+  Refraction refraction() const;
+
+  /// Relative amplitudes of the modes conducted into the concrete at the
+  /// configured angle, including the prism/concrete interface energy loss
+  /// (Eq. 1: ~67% of the P-wave energy crosses a PLA/concrete boundary).
+  ModeAmplitudes conducted_amplitudes() const;
+
+  /// True when only the S-wave survives (incident angle within
+  /// [first critical, second critical)).
+  bool s_only() const;
+
+  /// Fraction of the PZT's energy conducted through the prism/concrete
+  /// interface (1 - R^2 at normal incidence as the paper approximates).
+  Real interface_energy_transmittance() const;
+
+  /// First/second critical angles for this material pair, radians.
+  std::optional<Real> first_critical() const;
+  std::optional<Real> second_critical() const;
+
+  /// The paper's default operating point: 60 degrees with a PLA prism.
+  static WavePrism default_for(const Material& concrete);
+
+ private:
+  Material prism_;
+  Material concrete_;
+  Real incident_angle_;
+};
+
+}  // namespace ecocap::wave

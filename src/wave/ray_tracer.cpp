@@ -1,0 +1,178 @@
+#include "wave/ray_tracer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace ecocap::wave {
+
+namespace {
+
+/// Distance from segment a->b to point p, and the arc-length position along
+/// the segment of the closest approach.
+struct ClosestApproach {
+  Real distance;
+  Real along;  // in [0, |b-a|]
+};
+
+ClosestApproach closest_approach(Point2 a, Point2 b, Point2 p) {
+  const Real dx = b.x - a.x;
+  const Real dy = b.y - a.y;
+  const Real len2 = dx * dx + dy * dy;
+  if (len2 <= 0.0) {
+    const Real ddx = p.x - a.x;
+    const Real ddy = p.y - a.y;
+    return {std::sqrt(ddx * ddx + ddy * ddy), 0.0};
+  }
+  Real t = ((p.x - a.x) * dx + (p.y - a.y) * dy) / len2;
+  t = std::clamp<Real>(t, 0.0, 1.0);
+  const Real cx = a.x + t * dx;
+  const Real cy = a.y + t * dy;
+  const Real ddx = p.x - cx;
+  const Real ddy = p.y - cy;
+  return {std::sqrt(ddx * ddx + ddy * ddy), t * std::sqrt(len2)};
+}
+
+}  // namespace
+
+RayTracer::RayTracer(Material medium, Config config)
+    : medium_(std::move(medium)), config_(config) {
+  if (config_.length <= 0.0 || config_.thickness <= 0.0) {
+    throw std::invalid_argument("RayTracer: invalid domain");
+  }
+  if (config_.rays <= 0) {
+    throw std::invalid_argument("RayTracer: need at least one ray");
+  }
+  if (medium_.velocity(config_.mode) <= 0.0) {
+    throw std::invalid_argument("RayTracer: medium does not carry this mode");
+  }
+}
+
+std::vector<Tap> RayTracer::trace(Real source_x, Real launch_angle,
+                                  Point2 receiver,
+                                  Real capture_radius) const {
+  std::vector<Tap> taps;
+  const Real c = medium_.velocity(config_.mode);
+  const Real alpha =
+      attenuation_coefficient(medium_, config_.mode, config_.frequency);
+
+  for (int ri = 0; ri < config_.rays; ++ri) {
+    // Fan of rays around the central launch angle; amplitude is weighted by
+    // a raised-cosine beam profile.
+    Real offset = 0.0;
+    Real weight = 1.0;
+    if (config_.rays > 1) {
+      const Real u =
+          -1.0 + 2.0 * static_cast<Real>(ri) / (config_.rays - 1);
+      offset = u * config_.fan_half_angle;
+      weight = 0.5 * (1.0 + std::cos(u * 3.14159265358979323846 / 2.0));
+    }
+    const Real angle = launch_angle + offset;
+
+    // Direction from the surface normal (y axis) tilted toward +x.
+    Real dir_x = std::sin(angle);
+    Real dir_y = std::cos(angle);
+    Point2 pos{source_x, 0.0};
+    Real amplitude = weight / std::sqrt(static_cast<Real>(config_.rays));
+    Real path = 0.0;
+    int bounces = 0;
+
+    while (bounces <= config_.max_bounces &&
+           std::abs(amplitude) > config_.amplitude_floor) {
+      // Find the nearest boundary along the current direction.
+      Real t_hit = 1e30;
+      int wall = -1;  // 0: y=0, 1: y=T, 2: x=0, 3: x=L
+      if (dir_y > 1e-12) {
+        const Real t = (config_.thickness - pos.y) / dir_y;
+        if (t < t_hit) { t_hit = t; wall = 1; }
+      } else if (dir_y < -1e-12) {
+        const Real t = (0.0 - pos.y) / dir_y;
+        if (t < t_hit) { t_hit = t; wall = 0; }
+      }
+      if (dir_x > 1e-12) {
+        const Real t = (config_.length - pos.x) / dir_x;
+        if (t < t_hit) { t_hit = t; wall = 3; }
+      } else if (dir_x < -1e-12) {
+        const Real t = (0.0 - pos.x) / dir_x;
+        if (t < t_hit) { t_hit = t; wall = 2; }
+      }
+      if (wall < 0 || t_hit >= 1e29) break;  // degenerate direction
+
+      const Point2 next{pos.x + dir_x * t_hit, pos.y + dir_y * t_hit};
+
+      // Capture check against this segment.
+      const auto ca = closest_approach(pos, next, receiver);
+      if (ca.distance <= capture_radius) {
+        const Real hit_path = path + ca.along;
+        const Real geom = spreading_factor(config_.spreading,
+                                           std::max<Real>(hit_path, 1e-6));
+        const Real att = std::exp(-alpha * hit_path);
+        taps.push_back(Tap{hit_path / c, amplitude * geom * att, bounces});
+      }
+
+      // Advance to the wall and reflect. The concrete/air boundary is a
+      // free surface: a displacement antinode, so the reflected wave keeps
+      // the sign of the incident displacement (what a PZT embedded nearby
+      // senses constructively — the Fig. 18 margin advantage).
+      path += t_hit;
+      pos = next;
+      amplitude *= config_.boundary_reflectance;
+      ++bounces;
+      if (wall == 0 || wall == 1) {
+        dir_y = -dir_y;
+      } else {
+        dir_x = -dir_x;
+      }
+    }
+  }
+
+  std::sort(taps.begin(), taps.end(),
+            [](const Tap& a, const Tap& b) { return a.delay < b.delay; });
+  return taps;
+}
+
+Real RayTracer::energy_at(Real source_x, Real launch_angle, Point2 receiver,
+                          Real capture_radius) const {
+  Real e = 0.0;
+  for (const Tap& t : trace(source_x, launch_angle, receiver, capture_radius)) {
+    e += t.amplitude * t.amplitude;
+  }
+  return e;
+}
+
+Real RayTracer::coherent_energy_at(Real source_x, Real launch_angle,
+                                   Point2 receiver, Real capture_radius,
+                                   Real coherence_window) const {
+  const std::vector<Tap> taps =
+      trace(source_x, launch_angle, receiver, capture_radius);
+  Real energy = 0.0;
+  std::size_t i = 0;
+  while (i < taps.size()) {
+    Real amp = 0.0;
+    const Real window_start = taps[i].delay;
+    while (i < taps.size() && taps[i].delay - window_start < coherence_window) {
+      amp += taps[i].amplitude;
+      ++i;
+    }
+    energy += amp * amp;
+  }
+  return energy;
+}
+
+std::vector<Real> RayTracer::energy_map(Real source_x, Real launch_angle,
+                                        std::size_t nx, std::size_t ny,
+                                        Real capture_radius) const {
+  std::vector<Real> map(nx * ny, 0.0);
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const Point2 p{
+          config_.length * (static_cast<Real>(ix) + 0.5) / static_cast<Real>(nx),
+          config_.thickness * (static_cast<Real>(iy) + 0.5) / static_cast<Real>(ny)};
+      map[iy * nx + ix] = energy_at(source_x, launch_angle, p, capture_radius);
+    }
+  }
+  return map;
+}
+
+}  // namespace ecocap::wave

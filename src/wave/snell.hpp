@@ -1,0 +1,56 @@
+#pragma once
+
+#include <optional>
+
+#include "wave/material.hpp"
+
+namespace ecocap::wave {
+
+/// Result of refracting a P-wave from a prism into a solid (paper Eq. 2/3).
+struct Refraction {
+  /// Refracted P-wave angle in radians; empty past the first critical angle.
+  std::optional<Real> theta_p;
+  /// Refracted (mode-converted) S-wave angle; empty past the second critical
+  /// angle.
+  std::optional<Real> theta_s;
+};
+
+/// Snell refraction of an incident P-wave (velocity = from.cp) crossing into
+/// `into` at `incident_angle` radians.
+Refraction refract(const Material& from, const Material& into,
+                   Real incident_angle);
+
+/// First critical angle: incidence beyond which the refracted P-wave no
+/// longer exists in `into` (arcsin(c_from_p / c_into_p)); empty if the P-wave
+/// never becomes evanescent (c_from >= c_into).
+std::optional<Real> first_critical_angle(const Material& from,
+                                         const Material& into);
+
+/// Second critical angle: incidence beyond which the refracted S-wave no
+/// longer exists either (arcsin(c_from_p / c_into_s)).
+std::optional<Real> second_critical_angle(const Material& from,
+                                          const Material& into);
+
+/// Relative amplitudes of the two transmitted body-wave modes as a function
+/// of incident angle — the model behind Fig. 4. P starts at full strength at
+/// normal incidence and vanishes at the first critical angle; the
+/// mode-converted S grows from zero, dominates between the critical angles,
+/// and vanishes at the second. Amplitudes are normalized to the P amplitude
+/// at normal incidence.
+struct ModeAmplitudes {
+  Real p = 0.0;
+  Real s = 0.0;
+  /// Leaked surface-wave amplitude (grows past the second critical angle as
+  /// the body waves become evanescent; shown dashed in Fig. 4).
+  Real surface = 0.0;
+};
+
+ModeAmplitudes transmitted_mode_amplitudes(const Material& from,
+                                           const Material& into,
+                                           Real incident_angle);
+
+/// Degrees <-> radians helpers used across the experiment harnesses.
+Real deg_to_rad(Real degrees);
+Real rad_to_deg(Real radians);
+
+}  // namespace ecocap::wave

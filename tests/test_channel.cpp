@@ -1,0 +1,345 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/concrete_channel.hpp"
+#include "channel/scatterers.hpp"
+#include "channel/link_budget.hpp"
+#include "channel/snr_models.hpp"
+#include "channel/structures.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/oscillator.hpp"
+#include "dsp/signal_ops.hpp"
+
+namespace ecocap::channel {
+namespace {
+
+TEST(Structures, Figure12SetComplete) {
+  const auto all = structures::figure12_structures();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all[0].name, "S1-slab");
+  EXPECT_EQ(all[5].name, "PAB-pool-2");
+  EXPECT_TRUE(all[4].is_pool());
+  EXPECT_FALSE(all[2].is_pool());
+}
+
+TEST(LinkBudget, Figure12AnchorPoints) {
+  // The calibrated structures must reproduce the paper's measured ranges.
+  struct Anchor {
+    Structure s;
+    Real volts;
+    Real range_m;
+    Real tol;
+  };
+  const std::vector<Anchor> anchors = {
+      {structures::s1_slab(), 50.0, 1.30, 0.08},
+      {structures::s2_column(), 50.0, 0.56, 0.05},
+      {structures::s2_column(), 200.0, 2.35, 0.12},
+      {structures::s3_common_wall(), 50.0, 1.34, 0.08},
+      {structures::s4_protective_wall(), 50.0, 0.60, 0.05},
+      {structures::s4_protective_wall(), 200.0, 3.85, 0.2},
+      {structures::pab_pool1(), 50.0, 0.19, 0.04},
+      {structures::pab_pool1(), 200.0, 2.00, 0.12},
+      {structures::pab_pool2(), 125.0, 6.50, 0.4},
+  };
+  for (const auto& a : anchors) {
+    const LinkBudget budget(a.s);
+    const auto range = budget.max_powerup_range(a.volts);
+    ASSERT_TRUE(range.has_value()) << a.s.name << " @ " << a.volts;
+    EXPECT_NEAR(*range, a.range_m, a.tol) << a.s.name << " @ " << a.volts;
+  }
+}
+
+TEST(LinkBudget, SixMeterHeadline) {
+  // Headline result: power-up range up to ~6 m (S3 at 250 V).
+  const LinkBudget budget(structures::s3_common_wall());
+  const auto range = budget.max_powerup_range(250.0);
+  ASSERT_TRUE(range.has_value());
+  EXPECT_GT(*range, 5.5);
+}
+
+TEST(LinkBudget, RangeMonotoneInVoltage) {
+  const LinkBudget budget(structures::s3_common_wall());
+  Real prev = 0.0;
+  for (Real v : {50.0, 100.0, 150.0, 200.0, 250.0}) {
+    const auto r = budget.max_powerup_range(v);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_GE(*r, prev);
+    prev = *r;
+  }
+}
+
+TEST(LinkBudget, BelowCouplingVoltageNoPowerUp) {
+  const LinkBudget budget(structures::s3_common_wall());
+  EXPECT_FALSE(budget.max_powerup_range(10.0).has_value());
+}
+
+TEST(LinkBudget, RangeCappedAtStructureLength) {
+  Structure s = structures::s1_slab();  // 1.5 m long
+  const LinkBudget budget(s);
+  const auto r = budget.max_powerup_range(250.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_LE(*r, s.length + 1e-9);
+}
+
+TEST(LinkBudget, RequiredVoltageInvertsRange) {
+  const LinkBudget budget(structures::s4_protective_wall());
+  const Real v = budget.required_voltage(2.0);
+  const auto r = budget.max_powerup_range(v);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(*r, 2.0, 1e-6);
+}
+
+TEST(LinkBudget, HraGainExtendsRange) {
+  const LinkBudget with_hra(structures::s3_common_wall(), 0.5, 2.0);
+  const LinkBudget without(structures::s3_common_wall(), 0.5, 1.0);
+  EXPECT_GT(*with_hra.max_powerup_range(100.0),
+            *without.max_powerup_range(100.0));
+}
+
+TEST(LinkBudget, NodeVoltageDecaysExponentially) {
+  const Structure s = structures::s3_common_wall();
+  const LinkBudget budget(s);
+  const Real v1 = budget.node_voltage(100.0, 1.0);
+  const Real v2 = budget.node_voltage(100.0, 2.0);
+  EXPECT_NEAR(v2 / v1, std::exp(-s.effective_attenuation), 1e-9);
+}
+
+TEST(SnrModel, EcoCapsuleCollapsesPast13kbps) {
+  const auto m = UplinkSnrModel::ecocapsule(wave::materials::normal_concrete());
+  EXPECT_NEAR(m.snr_db(1000.0), 15.0, 0.5);
+  EXPECT_GT(m.snr_db(8000.0), 10.0);
+  EXPECT_LT(m.snr_db(14000.0), 8.0);   // rapid drop past 13 kbps
+  EXPECT_LT(m.snr_db(15000.0), 5.5);
+}
+
+TEST(SnrModel, PabLimitedTo3kbps) {
+  const auto m = UplinkSnrModel::pab();
+  EXPECT_GT(m.snr_db(1000.0), 12.0);
+  EXPECT_LT(m.snr_db(4000.0), 5.0);
+}
+
+TEST(SnrModel, U2bOvertakesEcoCapsulePast9kbps) {
+  const auto eco = UplinkSnrModel::ecocapsule(wave::materials::normal_concrete());
+  const auto u2b = UplinkSnrModel::u2b();
+  EXPECT_GT(eco.snr_db(4000.0), u2b.snr_db(4000.0));
+  EXPECT_GT(u2b.snr_db(11000.0), eco.snr_db(11000.0));
+}
+
+TEST(SnrModel, StrongerConcreteHigherSnr) {
+  const auto nc = UplinkSnrModel::ecocapsule(wave::materials::normal_concrete());
+  const auto uhpc = UplinkSnrModel::ecocapsule(wave::materials::uhpc());
+  EXPECT_GT(uhpc.snr0_db, nc.snr0_db);
+}
+
+TEST(SnrModel, FmoBerShape) {
+  // Deep in the noise the BER approaches coin-flip territory.
+  EXPECT_GT(fm0_ber(-10.0), 0.3);
+  EXPECT_LE(fm0_ber(-10.0), 0.5);
+  EXPECT_LT(fm0_ber(9.0), 1e-4);
+  EXPECT_GT(fm0_ber(9.0, 3.0), fm0_ber(9.0));  // penalty raises BER
+}
+
+TEST(SnrModel, ThroughputFig17Shape) {
+  // All >= 13 kbps; UHPC/UHPFRC ~2 kbps above NC.
+  const auto nc =
+      max_throughput(UplinkSnrModel::ecocapsule(wave::materials::normal_concrete()));
+  const auto uhpc =
+      max_throughput(UplinkSnrModel::ecocapsule(wave::materials::uhpc()));
+  const auto uhpfrc =
+      max_throughput(UplinkSnrModel::ecocapsule(wave::materials::uhpfrc()));
+  EXPECT_GT(nc.throughput, 11.0e3);
+  EXPECT_GT(uhpc.throughput, nc.throughput);
+  EXPECT_GE(uhpfrc.throughput, uhpc.throughput * 0.98);
+  EXPECT_LT(uhpfrc.throughput, 18.0e3);
+}
+
+TEST(DownlinkAngle, Fig19Shape) {
+  const auto m = DownlinkAngleModel::paper_default();
+  const Real at0 = m.snr_db(0.0);
+  const Real at15 = m.snr_db(wave::deg_to_rad(15.0));
+  const Real at30 = m.snr_db(wave::deg_to_rad(30.0));
+  const Real at50 = m.snr_db(wave::deg_to_rad(50.0));
+  const Real at60 = m.snr_db(wave::deg_to_rad(60.0));
+  const Real at75 = m.snr_db(wave::deg_to_rad(75.0));
+
+  // Peak ~15 dB in the S-only window.
+  EXPECT_NEAR(at50, 15.0, 1.5);
+  EXPECT_NEAR(at60, 15.0, 1.5);
+  // Deep dip at 15 degrees (paper: -73%), moderate at 30 (-30%).
+  EXPECT_LT(at15, 0.5 * at50);
+  EXPECT_LT(at30, at50);
+  EXPECT_GT(at30, at15);
+  // Direct contact: relatively high but below the S-only peak.
+  EXPECT_GT(at0, at15);
+  EXPECT_LT(at0, at50);
+  // Past the second critical angle: collapse.
+  EXPECT_LT(at75, at50);
+}
+
+TEST(ConcreteChannel, PathGainMatchesRangeLaw) {
+  ChannelConfig cfg;
+  cfg.distance = 2.0;
+  const Structure s = structures::s3_common_wall();
+  const ConcreteChannel ch(s, cfg);
+  EXPECT_NEAR(ch.path_gain(), std::exp(-s.effective_attenuation * 2.0), 1e-12);
+}
+
+TEST(ConcreteChannel, PrismProducesSingleModeTaps) {
+  ChannelConfig cfg;
+  cfg.prism_angle_deg = 60.0;  // S-only window
+  const ConcreteChannel ch(structures::s3_common_wall(), cfg);
+  const auto taps = ch.mode_taps();
+  ASSERT_EQ(taps.size(), 1u);  // only the S arrival
+}
+
+TEST(ConcreteChannel, DualModeTapsBelowCriticalAngle) {
+  ChannelConfig cfg;
+  cfg.prism_angle_deg = 15.0;
+  const ConcreteChannel ch(structures::s3_common_wall(), cfg);
+  const auto taps = ch.mode_taps();
+  ASSERT_EQ(taps.size(), 2u);
+  // P arrives before S (Cp > Cs).
+  EXPECT_LT(taps.front().delay, taps.back().delay);
+}
+
+TEST(ConcreteChannel, ResonanceSuppressesOffResonantTone) {
+  // The "FSK in OOK out" physics: 180 kHz is strongly attenuated relative
+  // to 230 kHz by the concrete resonance.
+  ChannelConfig cfg;
+  cfg.noise_sigma = 0.0;
+  cfg.distance = 0.2;
+  const ConcreteChannel ch(structures::s3_common_wall(), cfg);
+  dsp::Rng rng(1);
+  const dsp::Signal on = dsp::tone(cfg.fs, 230.0e3, 40000, 1.0);
+  const dsp::Signal off = dsp::tone(cfg.fs, 180.0e3, 40000, 1.0);
+  const Real p_on = dsp::power(ch.downlink(on, rng));
+  const Real p_off = dsp::power(ch.downlink(off, rng));
+  EXPECT_GT(p_on, 10.0 * p_off);
+}
+
+TEST(ConcreteChannel, UplinkAddsSelfInterference) {
+  ChannelConfig cfg;
+  cfg.distance = 0.2;
+  cfg.noise_sigma = 0.0;
+  cfg.self_interference_gain = 10.0;
+  const ConcreteChannel ch(structures::s3_common_wall(), cfg);
+  dsp::Rng rng(2);
+  // A weak off-carrier emission: the received power must be dominated by
+  // the CW leakage at the carrier frequency.
+  const dsp::Signal emission = dsp::tone(cfg.fs, 226.0e3, 65536, 0.1);
+  const dsp::Signal rx = ch.uplink(emission, 230.0e3, rng);
+  const Real at_cw = dsp::band_power(rx, cfg.fs, 229.5e3, 230.5e3);
+  const Real at_bs = dsp::band_power(rx, cfg.fs, 225.5e3, 226.5e3);
+  EXPECT_GT(at_cw, 10.0 * at_bs);
+}
+
+
+TEST(ConcreteChannel, MultipathAddsReverberantTaps) {
+  ChannelConfig direct_cfg;
+  direct_cfg.prism_angle_deg = 60.0;
+  direct_cfg.distance = 0.8;
+  ChannelConfig mp_cfg = direct_cfg;
+  mp_cfg.use_multipath = true;
+  mp_cfg.multipath_rays = 32;
+  const Structure s = structures::s3_common_wall();
+  const ConcreteChannel direct(s, direct_cfg);
+  const ConcreteChannel multipath(s, mp_cfg);
+  EXPECT_EQ(direct.mode_taps().size(), 1u);
+  EXPECT_GT(multipath.mode_taps().size(), direct.mode_taps().size());
+  // Reverberant taps stay below the direct path.
+  const auto taps = multipath.mode_taps();
+  const double direct_amp = std::abs(taps.front().amplitude);
+  for (std::size_t i = 1; i < taps.size(); ++i) {
+    EXPECT_LT(std::abs(taps[i].amplitude), direct_amp);
+  }
+}
+
+TEST(ConcreteChannel, AbsoluteDelayPreserved) {
+  ChannelConfig cfg;
+  cfg.preserve_absolute_delay = true;
+  cfg.noise_sigma = 0.0;
+  cfg.distance = 1.0;
+  const Structure s = structures::s3_common_wall();
+  const ConcreteChannel ch(s, cfg);
+  dsp::Rng rng(4);
+  // An impulse-ish burst: its energy must not appear before d / Cs.
+  dsp::Signal x(8000, 0.0);
+  for (int i = 0; i < 50; ++i) x[static_cast<std::size_t>(i)] = 1.0;
+  const dsp::Signal y = ch.downlink(x, rng);
+  const auto expected_shift =
+      static_cast<std::size_t>(1.0 / s.material.cs * cfg.fs);
+  double early = 0.0;
+  for (std::size_t i = 0; i + 200 < expected_shift && i < y.size(); ++i) {
+    early = std::max(early, std::abs(y[i]));
+  }
+  double later = 0.0;
+  for (std::size_t i = expected_shift;
+       i < std::min(y.size(), expected_shift + 2000); ++i) {
+    later = std::max(later, std::abs(y[i]));
+  }
+  EXPECT_LT(early, 0.05 * later);
+}
+
+
+TEST(ConcreteChannel, ScattererFieldFadesLink) {
+  ChannelConfig clean_cfg;
+  clean_cfg.distance = 1.2;
+  ChannelConfig faded_cfg = clean_cfg;
+  Scatterer s;
+  s.position = wave::Point2{0.6, 0.10};  // on the mid-thickness path
+  s.radius = 0.02;
+  s.blockage = 0.6;
+  faded_cfg.scatterers = {s};
+  const Structure wall = structures::s3_common_wall();
+  const ConcreteChannel clean(wall, clean_cfg);
+  const ConcreteChannel faded(wall, faded_cfg);
+  EXPECT_LT(faded.path_gain(), clean.path_gain());
+  EXPECT_DOUBLE_EQ(clean.scatterer_gain(230.0e3), 1.0);
+  EXPECT_LT(faded.scatterer_gain(230.0e3), 1.0);
+}
+
+TEST(ConcreteChannel, FineTuningFindsBetterCarrier) {
+  ChannelConfig cfg;
+  cfg.distance = 1.6;
+  dsp::Rng rng(23);
+  const Structure wall = structures::s3_common_wall();
+  const auto field =
+      ScattererField::random_rebar(24, 2.0, wall.thickness, wall.material, rng);
+  cfg.scatterers = field.scatterers();
+  const ConcreteChannel ch(wall, cfg);
+  const double nominal = ch.scatterer_gain(230.0e3);
+  double best = 0.0;
+  for (int f = 210; f <= 250; f += 2) {
+    best = std::max(best, ch.scatterer_gain(f * 1000.0));
+  }
+  EXPECT_GE(best, nominal);
+}
+
+TEST(ConcreteChannel, InvalidConfigThrows) {
+  ChannelConfig cfg;
+  cfg.fs = 0.0;
+  EXPECT_THROW(ConcreteChannel(structures::s1_slab(), cfg),
+               std::invalid_argument);
+}
+
+/// Property: across all Fig. 12 structures, range at 250 V >= range at 50 V
+/// and both within the physical length.
+class StructureSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StructureSweep, RangeLawSane) {
+  const auto all = structures::figure12_structures();
+  const Structure& s = all[static_cast<std::size_t>(GetParam())];
+  const LinkBudget budget(s);
+  const auto lo = budget.max_powerup_range(90.0);
+  const auto hi = budget.max_powerup_range(250.0);
+  ASSERT_TRUE(hi.has_value());
+  EXPECT_LE(*hi, s.length + 1e-9);
+  if (lo) EXPECT_LE(*lo, *hi);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStructures, StructureSweep,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace ecocap::channel

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "core/inventory_session.hpp"
+#include "core/link_simulator.hpp"
+
+namespace ecocap::core {
+namespace {
+
+TEST(LinkSimulator, ChargeBootsNodeAtShortRange) {
+  SystemConfig cfg = default_system();
+  cfg.channel.distance = 0.10;
+  LinkSimulator sim(cfg);
+  const InterrogationResult r = sim.charge(0.1);
+  EXPECT_TRUE(r.node_powered);
+  EXPECT_GT(r.cap_voltage, 1.8);
+}
+
+TEST(LinkSimulator, NoBootBeyondRange) {
+  SystemConfig cfg = default_system();
+  cfg.structure = channel::structures::s2_column();
+  cfg.channel.distance = 2.4;     // near the end of the column
+  cfg.transmitter.tx_voltage = 40.0;  // below the 50 V -> 0.56 m anchor
+  LinkSimulator sim(cfg);
+  const InterrogationResult r = sim.charge(0.2);
+  EXPECT_FALSE(r.node_powered);
+}
+
+TEST(LinkSimulator, UplinkRoundTripDecodes) {
+  SystemConfig cfg = default_system();
+  cfg.channel.distance = 0.15;
+  cfg.channel.noise_sigma = 1e-4;
+  LinkSimulator sim(cfg);
+  dsp::Rng rng(17);
+  const phy::Bits payload = phy::random_bits(24, rng);
+  const InterrogationResult r = sim.uplink_once(payload);
+  ASSERT_TRUE(r.node_powered);
+  ASSERT_TRUE(r.uplink_decoded);
+  EXPECT_EQ(r.uplink_payload, payload);
+  EXPECT_NEAR(r.carrier_estimate, 230.0e3, 500.0);
+}
+
+TEST(LinkSimulator, FullInterrogationReadsTemperature) {
+  SystemConfig cfg = default_system();
+  cfg.channel.distance = 0.15;
+  cfg.channel.noise_sigma = 1e-4;
+  LinkSimulator sim(cfg);
+  node::ConcreteEnvironment env;
+  env.temperature_c = 27.5;
+  const InterrogationResult r =
+      sim.interrogate(node::SensorId::kTemperature, env);
+  EXPECT_TRUE(r.node_powered);
+  EXPECT_TRUE(r.command_decoded);
+  ASSERT_TRUE(r.sensor_value.has_value());
+  EXPECT_NEAR(*r.sensor_value, 27.5, 0.5);
+}
+
+TEST(LinkSimulator, HigherNoiseDegradesSnr) {
+  SystemConfig quiet = default_system();
+  quiet.channel.noise_sigma = 1e-4;
+  SystemConfig loud = default_system();
+  loud.channel.noise_sigma = 1.2;  // comparable to the backscatter itself
+  dsp::Rng rng(21);
+  const phy::Bits payload = phy::random_bits(24, rng);
+  LinkSimulator sq(quiet), sl(loud);
+  const auto rq = sq.uplink_once(payload);
+  const auto rl = sl.uplink_once(payload);
+  ASSERT_TRUE(rq.uplink_decoded);
+  if (rl.uplink_decoded) {
+    EXPECT_GT(rq.uplink_snr_db, rl.uplink_snr_db);
+  }
+}
+
+
+TEST(LinkSimulator, RangingEstimatesNodeDistance) {
+  SystemConfig cfg = default_system();
+  cfg.structure = channel::structures::s3_common_wall();
+  cfg.channel.distance = 1.2;
+  cfg.channel.noise_sigma = 1e-4;
+  cfg.transmitter.tx_voltage = 150.0;
+  LinkSimulator sim(cfg);
+  const auto est = sim.estimate_node_distance();
+  ASSERT_TRUE(est.valid);
+  // Decimation quantizes the arrival to ~31 us (~3 cm at Cs/2); allow a
+  // generous envelope for detector latency.
+  EXPECT_NEAR(est.distance, 1.2, 0.15);
+}
+
+TEST(LinkSimulator, RangingScalesWithDistance) {
+  SystemConfig cfg = default_system();
+  cfg.structure = channel::structures::s3_common_wall();
+  cfg.channel.noise_sigma = 1e-4;
+  cfg.transmitter.tx_voltage = 200.0;
+  cfg.channel.distance = 0.5;
+  LinkSimulator near_sim(cfg);
+  cfg.channel.distance = 2.0;
+  LinkSimulator far_sim(cfg);
+  const auto near_est = near_sim.estimate_node_distance();
+  const auto far_est = far_sim.estimate_node_distance();
+  ASSERT_TRUE(near_est.valid);
+  ASSERT_TRUE(far_est.valid);
+  EXPECT_GT(far_est.distance, near_est.distance + 1.0);
+}
+
+TEST(InventorySession, SnrDecaysWithDistance) {
+  InventorySession::Config cfg;
+  cfg.structure = channel::structures::s3_common_wall();
+  InventorySession session(cfg);
+  EXPECT_GT(session.snr_for_distance(0.5), session.snr_for_distance(2.0));
+  EXPECT_NEAR(session.snr_for_distance(0.0), cfg.snr_at_contact_db, 1e-9);
+}
+
+TEST(InventorySession, ReachabilityFollowsLinkBudget) {
+  InventorySession::Config cfg;
+  cfg.structure = channel::structures::s3_common_wall();
+  cfg.tx_voltage = 50.0;  // anchor: 1.34 m
+  InventorySession session(cfg);
+  EXPECT_TRUE(session.node_reachable(1.0));
+  EXPECT_FALSE(session.node_reachable(2.0));
+}
+
+TEST(InventorySession, CollectsFromDeployedNodes) {
+  InventorySession::Config cfg;
+  cfg.structure = channel::structures::s3_common_wall();
+  cfg.tx_voltage = 250.0;
+  cfg.inventory.q = 2;
+  cfg.inventory.max_rounds = 12;
+  InventorySession session(cfg);
+  for (int i = 0; i < 4; ++i) {
+    DeployedNode n;
+    n.node_id = static_cast<std::uint16_t>(i + 1);
+    n.distance = 0.4 + 0.4 * i;
+    n.environment.temperature_c = 25.0 + i;
+    session.deploy(n);
+  }
+  const auto result = session.collect(
+      {static_cast<std::uint8_t>(node::SensorId::kTemperature)});
+  EXPECT_EQ(result.inventoried_ids.size(), 4u);
+  EXPECT_EQ(result.readings.size(), 4u);
+  for (const auto& r : result.readings) {
+    EXPECT_NEAR(r.value, 25.0 + (r.node_id - 1), 0.6);
+  }
+}
+
+TEST(InventorySession, UnreachableNodesSitOut) {
+  InventorySession::Config cfg;
+  cfg.structure = channel::structures::s2_column();
+  cfg.tx_voltage = 50.0;  // 0.56 m anchor
+  InventorySession session(cfg);
+  DeployedNode near;
+  near.node_id = 1;
+  near.distance = 0.3;
+  DeployedNode far;
+  far.node_id = 2;
+  far.distance = 2.0;
+  session.deploy(near);
+  session.deploy(far);
+  const auto result = session.collect({});
+  ASSERT_EQ(result.inventoried_ids.size(), 1u);
+  EXPECT_EQ(result.inventoried_ids[0], 1);
+}
+
+TEST(InventorySession, EnvironmentUpdatesReachSensors) {
+  InventorySession::Config cfg;
+  cfg.structure = channel::structures::s3_common_wall();
+  cfg.tx_voltage = 250.0;
+  InventorySession session(cfg);
+  DeployedNode n;
+  n.node_id = 7;
+  n.distance = 0.5;
+  session.deploy(n);
+  node::ConcreteEnvironment env;
+  env.relative_humidity = 91.0;
+  session.set_environment(7, env);
+  const auto result = session.collect(
+      {static_cast<std::uint8_t>(node::SensorId::kHumidity)});
+  ASSERT_EQ(result.readings.size(), 1u);
+  EXPECT_NEAR(result.readings[0].value, 91.0, 2.5);
+}
+
+}  // namespace
+}  // namespace ecocap::core

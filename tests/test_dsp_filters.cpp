@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/biquad.hpp"
+#include "dsp/decimate.hpp"
+#include "dsp/envelope.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/oscillator.hpp"
+#include "dsp/signal_ops.hpp"
+#include "dsp/window.hpp"
+
+namespace ecocap::dsp {
+namespace {
+
+constexpr Real kFs = 1.0e6;
+
+Real tone_gain_through(const Signal& h, Real f) {
+  const Signal x = tone(kFs, f, 20000, 1.0);
+  const Signal y = filter_zero_phase(h, x);
+  // Compare RMS over the center to avoid edge transients.
+  const std::size_t n = x.size();
+  const Signal yc(y.begin() + static_cast<long>(n / 4),
+                  y.begin() + static_cast<long>(3 * n / 4));
+  const Signal xc(x.begin() + static_cast<long>(n / 4),
+                  x.begin() + static_cast<long>(3 * n / 4));
+  return rms(yc) / rms(xc);
+}
+
+TEST(Fir, LowpassPassesAndStops) {
+  const Signal h = design_lowpass(kFs, 50.0e3, 101);
+  EXPECT_NEAR(tone_gain_through(h, 10.0e3), 1.0, 0.02);
+  EXPECT_LT(tone_gain_through(h, 200.0e3), 0.01);
+}
+
+TEST(Fir, HighpassPassesAndStops) {
+  const Signal h = design_highpass(kFs, 50.0e3, 101);
+  EXPECT_LT(tone_gain_through(h, 10.0e3), 0.02);
+  EXPECT_NEAR(tone_gain_through(h, 200.0e3), 1.0, 0.02);
+}
+
+TEST(Fir, BandpassSelective) {
+  const Signal h = design_bandpass(kFs, 180.0e3, 280.0e3, 151);
+  EXPECT_NEAR(tone_gain_through(h, 230.0e3), 1.0, 0.05);
+  EXPECT_LT(tone_gain_through(h, 50.0e3), 0.02);
+  EXPECT_LT(tone_gain_through(h, 420.0e3), 0.02);
+}
+
+TEST(Fir, BandstopRejectsBand) {
+  const Signal h = design_bandstop(kFs, 220.0e3, 240.0e3, 301);
+  EXPECT_LT(tone_gain_through(h, 230.0e3), 0.1);
+  EXPECT_NEAR(tone_gain_through(h, 100.0e3), 1.0, 0.05);
+}
+
+TEST(Fir, DesignValidatesCutoff) {
+  EXPECT_THROW((void)design_lowpass(kFs, 0.0, 31), std::invalid_argument);
+  EXPECT_THROW((void)design_lowpass(kFs, 0.6e6, 31), std::invalid_argument);
+  EXPECT_THROW((void)design_bandpass(kFs, 100e3, 90e3, 31),
+               std::invalid_argument);
+}
+
+TEST(Fir, StreamingMatchesBatch) {
+  const Signal h = design_lowpass(kFs, 50.0e3, 31);
+  const Signal x = tone(kFs, 30.0e3, 500, 1.0);
+  FirFilter f1(h), f2(h);
+  Signal one_by_one(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) one_by_one[i] = f1.process(x[i]);
+  const Signal batch = f2.process(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(one_by_one[i], batch[i], 1e-12);
+  }
+}
+
+TEST(Fir, ResetClearsState) {
+  const Signal h = design_lowpass(kFs, 50.0e3, 31);
+  FirFilter f(h);
+  (void)f.process(Signal(100, 1.0));
+  f.reset();
+  // After reset, the first output of an impulse equals h[0].
+  EXPECT_NEAR(f.process(1.0), h[0], 1e-15);
+}
+
+TEST(Biquad, LowpassAttenuatesHighFrequencies) {
+  Biquad lp = Biquad::lowpass(kFs, 50.0e3, 0.707);
+  EXPECT_NEAR(lp.magnitude_at(kFs, 1.0e3), 1.0, 0.01);
+  EXPECT_LT(lp.magnitude_at(kFs, 400.0e3), 0.05);
+}
+
+TEST(Biquad, BandpassPeaksAtCenter) {
+  Biquad bp = Biquad::bandpass(kFs, 230.0e3, 10.0);
+  const Real at_center = bp.magnitude_at(kFs, 230.0e3);
+  EXPECT_GT(at_center, bp.magnitude_at(kFs, 180.0e3) * 3.0);
+  EXPECT_GT(at_center, bp.magnitude_at(kFs, 280.0e3) * 3.0);
+}
+
+TEST(Biquad, NotchKillsCenter) {
+  Biquad n = Biquad::notch(kFs, 230.0e3, 30.0);
+  EXPECT_LT(n.magnitude_at(kFs, 230.0e3), 0.01);
+  EXPECT_NEAR(n.magnitude_at(kFs, 100.0e3), 1.0, 0.05);
+}
+
+TEST(Biquad, InvalidDesignThrows) {
+  EXPECT_THROW((void)Biquad::lowpass(kFs, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)Biquad::lowpass(kFs, 0.6e6, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)Biquad::lowpass(kFs, 1e3, 0.0), std::invalid_argument);
+}
+
+TEST(Biquad, ProcessMatchesMagnitudeResponse) {
+  Biquad bp = Biquad::bandpass(kFs, 100.0e3, 5.0);
+  const Signal x = tone(kFs, 100.0e3, 50000, 1.0);
+  const Signal y = bp.process(x);
+  const Signal tail(y.begin() + 10000, y.end());
+  EXPECT_NEAR(rms(tail) * std::sqrt(2.0),
+              bp.magnitude_at(kFs, 100.0e3), 0.02);
+}
+
+TEST(OnePole, StepResponseReachesTarget) {
+  OnePoleLowpass lp(kFs, 1.0e3);
+  Real y = 0.0;
+  for (int i = 0; i < 100000; ++i) y = lp.process(1.0);
+  EXPECT_NEAR(y, 1.0, 1e-6);
+}
+
+TEST(Window, HannEndsAtZero) {
+  const Signal w = make_window(WindowKind::kHann, 64);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+  EXPECT_NEAR(w[31], 1.0, 0.01);
+}
+
+TEST(Window, ApplySizeChecked) {
+  Signal x(10, 1.0);
+  const Signal w = make_window(WindowKind::kHamming, 8);
+  EXPECT_THROW(apply_window(x, w), std::invalid_argument);
+}
+
+TEST(Envelope, RecoversAmplitudeModulation) {
+  // 230 kHz carrier, 1 kHz square AM.
+  const std::size_t n = 200000;
+  Signal x(n);
+  Oscillator osc(kFs, 230.0e3);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool high = (i / 500) % 2 == 0;  // 1 kHz toggling at 1 MS/s
+    x[i] = osc.next(high ? 1.0 : 0.2);
+  }
+  EnvelopeDetector det(kFs, 20.0e3);
+  const Signal env = det.process(x);
+  // In the middle of a high half-period the envelope should be near the
+  // rectified mean of a unit sine (2/pi), and near 0.2*2/pi in low parts.
+  EXPECT_NEAR(env[250], 2.0 / 3.14159, 0.1);
+  EXPECT_NEAR(env[750], 0.2 * 2.0 / 3.14159, 0.06);
+}
+
+TEST(Slicer, BinarizesWithHysteresis) {
+  HysteresisSlicer s(0.6, 0.4);
+  std::vector<bool> out;
+  // Ramp up then down; hysteresis should avoid chattering near threshold.
+  for (int i = 0; i < 100; ++i) out.push_back(s.process(1.0));
+  EXPECT_TRUE(out.back());
+  for (int i = 0; i < 100; ++i) out.push_back(s.process(0.1));
+  EXPECT_FALSE(out.back());
+}
+
+TEST(Decimate, ReducesLengthAndKeepsLowTone) {
+  const Signal x = tone(kFs, 5.0e3, 40000, 1.0);
+  const Signal y = decimate(x, kFs, 10);
+  EXPECT_NEAR(static_cast<double>(y.size()),
+              static_cast<double>(x.size()) / 10.0, 2.0);
+  EXPECT_NEAR(rms(y), rms(x), 0.03);
+}
+
+TEST(Decimate, FactorOneCopies) {
+  const Signal x = tone(kFs, 5.0e3, 100, 1.0);
+  EXPECT_EQ(decimate(x, kFs, 1), x);
+  EXPECT_THROW((void)decimate(x, kFs, 0), std::invalid_argument);
+}
+
+TEST(MovingAverage, SmoothsConstantExactly) {
+  const Signal x(100, 3.0);
+  const Signal y = moving_average(x, 9);
+  for (Real v : y) EXPECT_NEAR(v, 3.0, 1e-12);
+}
+
+/// Property: designed FIR low-pass gain is monotone-ish: pass < knee < stop.
+class FirCutoffSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FirCutoffSweep, PassbandUnityStopbandDead) {
+  const Real fc = GetParam();
+  const Signal h = design_lowpass(kFs, fc, 201);
+  EXPECT_NEAR(tone_gain_through(h, fc * 0.3), 1.0, 0.03);
+  EXPECT_LT(tone_gain_through(h, fc * 3.0), 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cutoffs, FirCutoffSweep,
+                         ::testing::Values(10.0e3, 30.0e3, 60.0e3, 120.0e3));
+
+}  // namespace
+}  // namespace ecocap::dsp

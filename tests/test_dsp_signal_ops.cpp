@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/oscillator.hpp"
+#include "dsp/rng.hpp"
+#include "dsp/signal_ops.hpp"
+
+namespace ecocap::dsp {
+namespace {
+
+TEST(SignalOps, MeanAndPowerOfConstant) {
+  const Signal x(100, 2.0);
+  EXPECT_DOUBLE_EQ(mean(x), 2.0);
+  EXPECT_DOUBLE_EQ(power(x), 4.0);
+  EXPECT_DOUBLE_EQ(rms(x), 2.0);
+  EXPECT_DOUBLE_EQ(peak(x), 2.0);
+  EXPECT_DOUBLE_EQ(energy(x), 400.0);
+}
+
+TEST(SignalOps, EmptyInputsAreZero) {
+  const Signal x;
+  EXPECT_EQ(mean(x), 0.0);
+  EXPECT_EQ(power(x), 0.0);
+  EXPECT_EQ(rms(x), 0.0);
+  EXPECT_EQ(peak(x), 0.0);
+}
+
+TEST(SignalOps, SinePowerIsHalfAmplitudeSquared) {
+  const Signal x = tone(1.0e6, 10.0e3, 100000, 3.0);
+  EXPECT_NEAR(power(x), 4.5, 0.01);
+}
+
+TEST(SignalOps, DbRoundTrip) {
+  EXPECT_NEAR(to_db(from_db(13.7)), 13.7, 1e-9);
+  EXPECT_NEAR(from_db(3.0), 1.9953, 1e-3);
+  EXPECT_EQ(to_db(0.0), -300.0);
+  EXPECT_EQ(to_db(-1.0), -300.0);
+}
+
+TEST(SignalOps, NormalizePeak) {
+  Signal x{1.0, -4.0, 2.0};
+  normalize_peak(x, 2.0);
+  EXPECT_DOUBLE_EQ(peak(x), 2.0);
+  EXPECT_DOUBLE_EQ(x[0], 0.5);
+  Signal silent(10, 0.0);
+  normalize_peak(silent);  // must not blow up
+  EXPECT_DOUBLE_EQ(peak(silent), 0.0);
+}
+
+TEST(SignalOps, AddAndMultiplySizeChecked) {
+  const Signal a{1.0, 2.0};
+  const Signal b{3.0, 4.0};
+  const Signal c = add(a, b);
+  EXPECT_DOUBLE_EQ(c[0], 4.0);
+  EXPECT_DOUBLE_EQ(c[1], 6.0);
+  const Signal d = multiply(a, b);
+  EXPECT_DOUBLE_EQ(d[1], 8.0);
+  const Signal bad{1.0};
+  EXPECT_THROW((void)add(a, bad), std::invalid_argument);
+  EXPECT_THROW((void)multiply(a, bad), std::invalid_argument);
+}
+
+TEST(SignalOps, AwgnSnrHitsTarget) {
+  Rng rng(42);
+  Signal x = tone(1.0e6, 50.0e3, 200000, 1.0);
+  const Signal clean = x;
+  add_awgn_snr(x, 10.0, rng);
+  const Real measured = measure_snr_db(clean, x);
+  EXPECT_NEAR(measured, 10.0, 0.3);
+}
+
+TEST(SignalOps, MeasureSnrPerfectSignal) {
+  const Signal x = tone(1.0e6, 50.0e3, 1000, 1.0);
+  EXPECT_EQ(measure_snr_db(x, x), 300.0);
+}
+
+TEST(SignalOps, SliceZeroPadsPastEnd) {
+  const Signal x{1.0, 2.0, 3.0};
+  const Signal s = slice(x, 2, 3);
+  EXPECT_DOUBLE_EQ(s[0], 3.0);
+  EXPECT_DOUBLE_EQ(s[1], 0.0);
+  EXPECT_DOUBLE_EQ(s[2], 0.0);
+}
+
+TEST(SignalOps, ConcatPreservesOrder) {
+  const Signal a{1.0};
+  const Signal b{2.0, 3.0};
+  const Signal c = concat(a, b);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c[2], 3.0);
+}
+
+TEST(Rng, DeterministicUnderSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.gaussian(), b.gaussian());
+  }
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const Real v = rng.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, IndexBounded) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.index(17), 17u);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  Real sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const Real v = rng.gaussian(2.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 4.0, 0.1);
+}
+
+/// Property sweep: add_awgn_snr achieves the requested SNR across a grid.
+class AwgnSnrSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AwgnSnrSweep, AchievesRequestedSnr) {
+  Rng rng(1234);
+  Signal x = tone(1.0e6, 100.0e3, 100000, 0.7);
+  const Signal clean = x;
+  add_awgn_snr(x, GetParam(), rng);
+  EXPECT_NEAR(measure_snr_db(clean, x), GetParam(), 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(SnrGrid, AwgnSnrSweep,
+                         ::testing::Values(-3.0, 0.0, 3.0, 8.0, 15.0, 25.0));
+
+}  // namespace
+}  // namespace ecocap::dsp

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include "node/firmware.hpp"
+#include "phy/pie.hpp"
+
+namespace ecocap::node {
+namespace {
+
+FirmwareConfig make_config(std::uint16_t id) {
+  FirmwareConfig cfg;
+  cfg.node_id = id;
+  return cfg;
+}
+
+TEST(Firmware, OffNodeStaysSilent) {
+  Firmware fw(make_config(1), 1);
+  ConcreteEnvironment env;
+  const auto reply =
+      fw.handle_command(phy::Command{phy::QueryCommand{0}}, env);
+  EXPECT_FALSE(reply.has_value());
+  EXPECT_EQ(fw.state(), McuState::kOff);
+}
+
+TEST(Firmware, QueryWithZeroSlotsAlwaysReplies) {
+  Firmware fw(make_config(1), 1);
+  fw.power_on();
+  ConcreteEnvironment env;
+  const auto reply =
+      fw.handle_command(phy::Command{phy::QueryCommand{0}}, env);
+  ASSERT_TRUE(reply.has_value());
+  const auto rn16 = phy::parse_rn16_response(reply->payload);
+  ASSERT_TRUE(rn16.has_value());
+  EXPECT_EQ(rn16->rn16, fw.current_rn16());
+  EXPECT_EQ(fw.state(), McuState::kReplied);
+}
+
+TEST(Firmware, SlottedArbitrationAdvancesWithQueryRep) {
+  Firmware fw(make_config(7), 99);
+  fw.power_on();
+  ConcreteEnvironment env;
+  // With q=4 (16 slots) a reply might not be immediate; drive QueryReps
+  // until the node answers — must happen within 16 slots.
+  auto reply = fw.handle_command(phy::Command{phy::QueryCommand{4}}, env);
+  int reps = 0;
+  while (!reply.has_value() && reps < 16) {
+    reply = fw.handle_command(phy::Command{phy::QueryRepCommand{}}, env);
+    ++reps;
+  }
+  EXPECT_TRUE(reply.has_value());
+  EXPECT_EQ(fw.state(), McuState::kReplied);
+}
+
+TEST(Firmware, AckWithCorrectRn16YieldsId) {
+  Firmware fw(make_config(0x42), 1);
+  fw.power_on();
+  ConcreteEnvironment env;
+  auto rn = fw.handle_command(phy::Command{phy::QueryCommand{0}}, env);
+  ASSERT_TRUE(rn.has_value());
+  const auto id_frame = fw.handle_command(
+      phy::Command{phy::AckCommand{fw.current_rn16()}}, env);
+  ASSERT_TRUE(id_frame.has_value());
+  const auto id = phy::parse_id_response(id_frame->payload);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(id->node_id, 0x42);
+  EXPECT_EQ(fw.state(), McuState::kAcked);
+}
+
+TEST(Firmware, AckWithWrongRn16Ignored) {
+  Firmware fw(make_config(0x42), 1);
+  fw.power_on();
+  ConcreteEnvironment env;
+  (void)fw.handle_command(phy::Command{phy::QueryCommand{0}}, env);
+  const auto bad = fw.handle_command(
+      phy::Command{phy::AckCommand{static_cast<std::uint16_t>(
+          fw.current_rn16() ^ 0x1)}},
+      env);
+  EXPECT_FALSE(bad.has_value());
+  EXPECT_EQ(fw.state(), McuState::kReplied);  // still waiting
+}
+
+TEST(Firmware, ReadReturnsSensorValue) {
+  Firmware fw(make_config(0x42), 1);
+  fw.power_on();
+  ConcreteEnvironment env;
+  env.temperature_c = 33.25;
+  (void)fw.handle_command(phy::Command{phy::QueryCommand{0}}, env);
+  (void)fw.handle_command(phy::Command{phy::AckCommand{fw.current_rn16()}},
+                          env);
+  const auto data_frame = fw.handle_command(
+      phy::Command{phy::ReadCommand{
+          fw.current_rn16(),
+          static_cast<std::uint8_t>(SensorId::kTemperature)}},
+      env);
+  ASSERT_TRUE(data_frame.has_value());
+  const auto data = phy::parse_data_response(data_frame->payload);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_NEAR(phy::from_milli(data->milli_value), 33.25, 0.5);
+}
+
+TEST(Firmware, ReadUnknownSensorSilent) {
+  Firmware fw(make_config(0x42), 1);
+  fw.power_on();
+  ConcreteEnvironment env;
+  (void)fw.handle_command(phy::Command{phy::QueryCommand{0}}, env);
+  (void)fw.handle_command(phy::Command{phy::AckCommand{fw.current_rn16()}},
+                          env);
+  const auto reply = fw.handle_command(
+      phy::Command{phy::ReadCommand{fw.current_rn16(), 99}}, env);
+  EXPECT_FALSE(reply.has_value());
+}
+
+TEST(Firmware, ReadBeforeAckRejected) {
+  Firmware fw(make_config(0x42), 1);
+  fw.power_on();
+  ConcreteEnvironment env;
+  (void)fw.handle_command(phy::Command{phy::QueryCommand{0}}, env);
+  const auto reply = fw.handle_command(
+      phy::Command{phy::ReadCommand{
+          fw.current_rn16(),
+          static_cast<std::uint8_t>(SensorId::kTemperature)}},
+      env);
+  EXPECT_FALSE(reply.has_value());
+}
+
+TEST(Firmware, SetBlfUpdatesConfig) {
+  Firmware fw(make_config(0x42), 1);
+  fw.power_on();
+  ConcreteEnvironment env;
+  (void)fw.handle_command(phy::Command{phy::QueryCommand{0}}, env);
+  (void)fw.handle_command(phy::Command{phy::AckCommand{fw.current_rn16()}},
+                          env);
+  (void)fw.handle_command(
+      phy::Command{phy::SetBlfCommand{fw.current_rn16(), 80}}, env);
+  EXPECT_DOUBLE_EQ(fw.config().blf, 8000.0);
+}
+
+TEST(Firmware, PowerOffLosesState) {
+  Firmware fw(make_config(0x42), 1);
+  fw.power_on();
+  ConcreteEnvironment env;
+  (void)fw.handle_command(phy::Command{phy::QueryCommand{0}}, env);
+  fw.power_off();
+  EXPECT_EQ(fw.state(), McuState::kOff);
+  EXPECT_EQ(fw.current_rn16(), 0);
+}
+
+TEST(Firmware, ProcessDownlinkParsesPieWaveform) {
+  // End-to-end downlink path: command bits -> PIE baseband -> binarized
+  // levels -> firmware (edge timers) -> RN16 frame.
+  Firmware fw(make_config(0x42), 1);
+  fw.power_on();
+  ConcreteEnvironment env;
+
+  const double fs = 1.0e6;
+  const phy::Bits cmd_bits =
+      phy::encode_command(phy::Command{phy::QueryCommand{0}});
+  const dsp::Signal wave = phy::pie_encode(cmd_bits, phy::PieParams{}, fs);
+  std::vector<bool> levels(wave.size());
+  for (std::size_t i = 0; i < wave.size(); ++i) levels[i] = wave[i] > 0.5;
+
+  const auto frames = fw.process_downlink(levels, fs, env);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].payload.size(), phy::rn16_response_bits());
+}
+
+TEST(Firmware, ProcessDownlinkMultipleCommands) {
+  Firmware fw(make_config(0x42), 1);
+  fw.power_on();
+  ConcreteEnvironment env;
+  const double fs = 1.0e6;
+
+  // Query, then (with the learned RN16 unknowable in advance) a bad ACK:
+  // exactly one reply frame must come back.
+  dsp::Signal wave = phy::pie_encode(
+      phy::encode_command(phy::Command{phy::QueryCommand{0}}),
+      phy::PieParams{}, fs);
+  const dsp::Signal second = phy::pie_encode(
+      phy::encode_command(phy::Command{phy::AckCommand{0xFFFF}}),
+      phy::PieParams{}, fs);
+  wave.insert(wave.end(), second.begin(), second.end());
+  std::vector<bool> levels(wave.size());
+  for (std::size_t i = 0; i < wave.size(); ++i) levels[i] = wave[i] > 0.5;
+
+  const auto frames = fw.process_downlink(levels, fs, env);
+  // Either only the RN16 reply (bad ACK ignored) or — with 1/65536 luck —
+  // two frames; never zero.
+  EXPECT_GE(frames.size(), 1u);
+}
+
+TEST(Firmware, CorruptedCommandIgnored) {
+  Firmware fw(make_config(0x42), 1);
+  fw.power_on();
+  ConcreteEnvironment env;
+  const double fs = 1.0e6;
+  phy::Bits cmd_bits =
+      phy::encode_command(phy::Command{phy::QueryCommand{0}});
+  cmd_bits[5] ^= 1;  // break the CRC
+  const dsp::Signal wave = phy::pie_encode(cmd_bits, phy::PieParams{}, fs);
+  std::vector<bool> levels(wave.size());
+  for (std::size_t i = 0; i < wave.size(); ++i) levels[i] = wave[i] > 0.5;
+  EXPECT_TRUE(fw.process_downlink(levels, fs, env).empty());
+}
+
+TEST(Firmware, SlotDistributionRoughlyUniform) {
+  // Across many Query(q=2) rounds the immediate-reply rate should be ~1/4.
+  ConcreteEnvironment env;
+  int immediate = 0;
+  const int trials = 2000;
+  Firmware fw(make_config(3), 12345);
+  fw.power_on();
+  for (int i = 0; i < trials; ++i) {
+    const auto r = fw.handle_command(phy::Command{phy::QueryCommand{2}}, env);
+    if (r.has_value()) ++immediate;
+  }
+  EXPECT_NEAR(static_cast<double>(immediate) / trials, 0.25, 0.04);
+}
+
+
+TEST(Firmware, SelectFiltersByIdMask) {
+  Firmware a(make_config(0x0F01), 1), b(make_config(0x0E02), 2);
+  a.power_on();
+  b.power_on();
+  ConcreteEnvironment env;
+  // Select pattern 0x0F00 / mask 0xFF00: only node A participates.
+  const phy::Command sel{phy::SelectCommand{0x0F00, 0xFF00}};
+  (void)a.handle_command(sel, env);
+  (void)b.handle_command(sel, env);
+  EXPECT_TRUE(a.selected());
+  EXPECT_FALSE(b.selected());
+  const auto ra = a.handle_command(phy::Command{phy::QueryCommand{0}}, env);
+  const auto rb = b.handle_command(phy::Command{phy::QueryCommand{0}}, env);
+  EXPECT_TRUE(ra.has_value());
+  EXPECT_FALSE(rb.has_value());
+}
+
+TEST(Firmware, SelectMaskZeroReselectsAll) {
+  Firmware fw(make_config(0x1234), 3);
+  fw.power_on();
+  ConcreteEnvironment env;
+  (void)fw.handle_command(phy::Command{phy::SelectCommand{0xFFFF, 0xFFFF}},
+                          env);
+  EXPECT_FALSE(fw.selected());
+  (void)fw.handle_command(phy::Command{phy::SelectCommand{0, 0}}, env);
+  EXPECT_TRUE(fw.selected());
+}
+
+TEST(Firmware, SelectNeverReplies) {
+  Firmware fw(make_config(0x1234), 4);
+  fw.power_on();
+  ConcreteEnvironment env;
+  const auto r = fw.handle_command(
+      phy::Command{phy::SelectCommand{0x1234, 0xFFFF}}, env);
+  EXPECT_FALSE(r.has_value());
+}
+
+/// Property: for every attached default sensor, the Query->Ack->Read chain
+/// returns a parseable value.
+class SensorReadSweep : public ::testing::TestWithParam<SensorId> {};
+
+TEST_P(SensorReadSweep, FullChainReturnsValue) {
+  Firmware fw(make_config(9), 77);
+  fw.power_on();
+  ConcreteEnvironment env;
+  env.temperature_c = 30.0;
+  env.relative_humidity = 85.0;
+  env.strain_x = 1.0e-4;
+  env.strain_y = 2.0e-4;
+  env.acceleration = 0.01;
+  env.stress_mpa = -40.0;
+  (void)fw.handle_command(phy::Command{phy::QueryCommand{0}}, env);
+  (void)fw.handle_command(phy::Command{phy::AckCommand{fw.current_rn16()}},
+                          env);
+  const auto frame = fw.handle_command(
+      phy::Command{phy::ReadCommand{
+          fw.current_rn16(), static_cast<std::uint8_t>(GetParam())}},
+      env);
+  ASSERT_TRUE(frame.has_value());
+  const auto data = phy::parse_data_response(frame->payload);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(data->sensor_id, static_cast<std::uint8_t>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSensors, SensorReadSweep,
+                         ::testing::Values(SensorId::kTemperature,
+                                           SensorId::kHumidity,
+                                           SensorId::kStrainX,
+                                           SensorId::kStrainY,
+                                           SensorId::kAcceleration,
+                                           SensorId::kStress));
+
+}  // namespace
+}  // namespace ecocap::node

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "node/power_model.hpp"
+#include "node/sensors.hpp"
+#include "node/shell.hpp"
+
+namespace ecocap::node {
+namespace {
+
+TEST(PowerModel, StandbyMatchesPaper) {
+  // Paper §5.2: 80.1 uW standby.
+  const PowerModel pm;
+  EXPECT_NEAR(pm.standby().total() * 1e6, 80.1, 0.2);
+}
+
+TEST(PowerModel, ActiveNear360uW) {
+  const PowerModel pm;
+  // Fig. 13: active power fluctuates around 360 uW regardless of bitrate.
+  for (double r : {1000.0, 2000.0, 4000.0, 8000.0}) {
+    const double total = pm.active(r).total() * 1e6;
+    EXPECT_NEAR(total, 360.0, 12.0) << r;
+  }
+}
+
+TEST(PowerModel, ActiveNearlyFlatInBitrate) {
+  const PowerModel pm;
+  const double p1 = pm.active(1000.0).total();
+  const double p8 = pm.active(8000.0).total();
+  EXPECT_LT((p8 - p1) / p1, 0.05);  // < 5% rise across the Fig. 13 axis
+  EXPECT_GT(p8, p1);                // but strictly increasing (toggle energy)
+}
+
+TEST(PowerModel, SleepIsSubMicrowatt) {
+  const PowerModel pm;
+  EXPECT_NEAR(pm.sleep().total() * 1e6, 0.9, 0.05);
+}
+
+TEST(PowerModel, BlfTogglingAddsPower) {
+  const PowerModel pm;
+  EXPECT_GT(pm.active(1000.0, 8000.0).total(), pm.active(1000.0, 0.0).total());
+}
+
+TEST(Shell, Eq4PressureDifference) {
+  const Shell shell;
+  // dP = rho g h - P_air; at h = 0 the shell is *under*-pressured by 1 atm.
+  EXPECT_NEAR(shell.pressure_difference(0.0), -kStandardAtmosphere, 1e-6);
+  EXPECT_NEAR(shell.pressure_difference(100.0, 2300.0),
+              2300.0 * 9.81 * 100.0 - 101325.0, 1e-3);
+  EXPECT_THROW((void)shell.pressure_difference(-1.0), std::invalid_argument);
+}
+
+TEST(Shell, ResinSurvives195Meters) {
+  // Paper §4.1: dP_max ~ 4.3 MPa -> h_max ~ 195 m (~55 floors).
+  const Shell shell;
+  EXPECT_NEAR(shell.max_building_height(2300.0), 195.0, 3.0);
+  EXPECT_TRUE(shell.survives(190.0, 2300.0));
+  EXPECT_FALSE(shell.survives(200.0, 2300.0));
+}
+
+TEST(Shell, SteelSurvivesKilometers) {
+  // Paper §4.1: alloy steel dP_max ~ 115.2 MPa -> h_max ~ 4985 m.
+  ShellConfig cfg;
+  cfg.material = ShellMaterial::alloy_steel();
+  const Shell shell(cfg);
+  EXPECT_NEAR(shell.max_building_height(2360.0), 4985.0, 60.0);
+}
+
+TEST(Shell, MembraneStressBelowTensileAtLimit) {
+  // Thin-shell cross-check: at dP_max the membrane stress must not exceed
+  // the resin's tensile strength.
+  const Shell shell;
+  const double sigma = shell.membrane_stress(4.3e6);
+  EXPECT_LT(sigma, ShellMaterial::sla_resin().tensile_strength);
+}
+
+TEST(Shell, DeformationWithinTolerance) {
+  const Shell shell;
+  // <= 5% deformation at the rated pressure (the paper's FEA criterion).
+  EXPECT_LE(shell.deformation_fraction(4.3e6), 0.05);
+}
+
+TEST(Shell, SurvivesCastingPour) {
+  const Shell shell;
+  // A 3 m fresh pour exerts ~70 kPa — far below the 4.3 MPa limit. (This is
+  // the property the paper verified by CT-scanning the cast blocks.)
+  EXPECT_TRUE(shell.survives_casting(3.0));
+  EXPECT_FALSE(shell.survives_casting(200.0));
+}
+
+TEST(Shell, InvalidGeometryThrows) {
+  ShellConfig cfg;
+  cfg.wall_thickness = 0.0;
+  EXPECT_THROW(Shell{cfg}, std::invalid_argument);
+}
+
+TEST(Sensors, SuiteCoversPaperModalities) {
+  const auto suite = default_sensor_suite();
+  ASSERT_EQ(suite.size(), 6u);
+  bool has_temp = false, has_hum = false, has_strain = false;
+  for (const auto& s : suite) {
+    if (s->id() == SensorId::kTemperature) has_temp = true;
+    if (s->id() == SensorId::kHumidity) has_hum = true;
+    if (s->id() == SensorId::kStrainX) has_strain = true;
+  }
+  EXPECT_TRUE(has_temp);
+  EXPECT_TRUE(has_hum);
+  EXPECT_TRUE(has_strain);
+}
+
+TEST(Sensors, TemperatureAccurateAndClamped) {
+  Aht10Temperature t;
+  dsp::Rng rng(1);
+  ConcreteEnvironment env;
+  env.temperature_c = 31.7;
+  double sum = 0.0;
+  for (int i = 0; i < 200; ++i) sum += t.sample(env, rng);
+  EXPECT_NEAR(sum / 200.0, 31.7, 0.1);
+  env.temperature_c = 500.0;  // out of the AHT10 range
+  EXPECT_LE(t.sample(env, rng), 85.5);
+}
+
+TEST(Sensors, HumidityBounded) {
+  Aht10Humidity h;
+  dsp::Rng rng(2);
+  ConcreteEnvironment env;
+  env.relative_humidity = 99.5;
+  for (int i = 0; i < 100; ++i) {
+    const double v = h.sample(env, rng);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 100.0);
+  }
+}
+
+TEST(Sensors, StrainGaugeAxesIndependent) {
+  BridgeStrainGauge x(true), y(false);
+  dsp::Rng rng(3);
+  ConcreteEnvironment env;
+  env.strain_x = 500.0e-6;   // 500 microstrain
+  env.strain_y = -200.0e-6;
+  double sx = 0.0, sy = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    sx += x.sample(env, rng);
+    sy += y.sample(env, rng);
+  }
+  EXPECT_NEAR(sx / 200.0, 500.0, 5.0);
+  EXPECT_NEAR(sy / 200.0, -200.0, 5.0);
+  EXPECT_EQ(x.id(), SensorId::kStrainX);
+  EXPECT_EQ(y.id(), SensorId::kStrainY);
+}
+
+TEST(Sensors, StrainClampsAtRange) {
+  BridgeStrainGauge x(true);
+  dsp::Rng rng(4);
+  ConcreteEnvironment env;
+  env.strain_x = 0.01;  // 10000 ue, beyond the +-2000 ue bridge range
+  EXPECT_LE(x.sample(env, rng), 2000.1);
+}
+
+TEST(Sensors, AccelerometerQuantizes) {
+  Accelerometer a;
+  dsp::Rng rng(5);
+  ConcreteEnvironment env;
+  env.acceleration = 0.0213;
+  double sum = 0.0;
+  for (int i = 0; i < 500; ++i) sum += a.sample(env, rng);
+  EXPECT_NEAR(sum / 500.0, 0.0213, 0.005);
+}
+
+TEST(Sensors, StressTracksEnvironment) {
+  StressSensor s;
+  dsp::Rng rng(6);
+  ConcreteEnvironment env;
+  env.stress_mpa = -63.2;
+  double sum = 0.0;
+  for (int i = 0; i < 200; ++i) sum += s.sample(env, rng);
+  EXPECT_NEAR(sum / 200.0, -63.2, 0.1);
+}
+
+}  // namespace
+}  // namespace ecocap::node

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "phy/protocol.hpp"
+
+namespace ecocap::phy {
+namespace {
+
+TEST(Protocol, QueryRoundTrip) {
+  const Command cmd{QueryCommand{3}};
+  const Bits bits = encode_command(cmd);
+  EXPECT_EQ(bits.size(), 13u);  // 4 header + 4 Q + 5 CRC5
+  const auto parsed = parse_command(bits);
+  ASSERT_TRUE(parsed.has_value());
+  const auto* q = std::get_if<QueryCommand>(&*parsed);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->q, 3);
+}
+
+TEST(Protocol, QueryRepRoundTrip) {
+  const Bits bits = encode_command(Command{QueryRepCommand{}});
+  EXPECT_EQ(bits.size(), 9u);
+  const auto parsed = parse_command(bits);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_NE(std::get_if<QueryRepCommand>(&*parsed), nullptr);
+}
+
+TEST(Protocol, AckRoundTrip) {
+  const Bits bits = encode_command(Command{AckCommand{0xBEEF}});
+  EXPECT_EQ(bits.size(), 36u);
+  const auto parsed = parse_command(bits);
+  ASSERT_TRUE(parsed.has_value());
+  const auto* a = std::get_if<AckCommand>(&*parsed);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->rn16, 0xBEEF);
+}
+
+TEST(Protocol, ReadRoundTrip) {
+  const Bits bits = encode_command(Command{ReadCommand{0x1234, 5}});
+  EXPECT_EQ(bits.size(), 44u);
+  const auto parsed = parse_command(bits);
+  ASSERT_TRUE(parsed.has_value());
+  const auto* r = std::get_if<ReadCommand>(&*parsed);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->rn16, 0x1234);
+  EXPECT_EQ(r->sensor_id, 5);
+}
+
+TEST(Protocol, SetBlfRoundTrip) {
+  const Bits bits = encode_command(Command{SetBlfCommand{0x1234, 80}});
+  EXPECT_EQ(bits.size(), 52u);
+  const auto parsed = parse_command(bits);
+  ASSERT_TRUE(parsed.has_value());
+  const auto* s = std::get_if<SetBlfCommand>(&*parsed);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->blf_centihz, 80);
+}
+
+TEST(Protocol, CorruptedCommandRejected) {
+  Bits bits = encode_command(Command{ReadCommand{0x1234, 5}});
+  bits[10] ^= 1;
+  EXPECT_FALSE(parse_command(bits).has_value());
+}
+
+TEST(Protocol, CorruptedQueryCrc5Rejected) {
+  Bits bits = encode_command(Command{QueryCommand{2}});
+  bits[6] ^= 1;
+  EXPECT_FALSE(parse_command(bits).has_value());
+}
+
+TEST(Protocol, TruncatedFrameRejected) {
+  Bits bits = encode_command(Command{AckCommand{1}});
+  bits.pop_back();
+  EXPECT_FALSE(parse_command(bits).has_value());
+  EXPECT_FALSE(parse_command(Bits{1, 0}).has_value());
+}
+
+TEST(Protocol, Rn16ResponseRoundTrip) {
+  const Bits bits = encode_response(Response{Rn16Response{0xCAFE}});
+  EXPECT_EQ(bits.size(), rn16_response_bits());
+  const auto parsed = parse_rn16_response(bits);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->rn16, 0xCAFE);
+}
+
+TEST(Protocol, IdResponseRoundTrip) {
+  const Bits bits = encode_response(Response{IdResponse{0x0042}});
+  EXPECT_EQ(bits.size(), id_response_bits());
+  const auto parsed = parse_id_response(bits);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->node_id, 0x0042);
+  Bits bad = bits;
+  bad[3] ^= 1;
+  EXPECT_FALSE(parse_id_response(bad).has_value());
+}
+
+TEST(Protocol, DataResponseRoundTrip) {
+  DataResponse d;
+  d.sensor_id = 2;
+  d.milli_value = to_milli(-17.25);
+  const Bits bits = encode_response(Response{d});
+  EXPECT_EQ(bits.size(), data_response_bits());
+  const auto parsed = parse_data_response(bits);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->sensor_id, 2);
+  EXPECT_NEAR(from_milli(parsed->milli_value), -17.25, 1e-9);
+}
+
+TEST(Protocol, DataResponseCorruptionRejected) {
+  DataResponse d;
+  d.sensor_id = 1;
+  d.milli_value = 123456;
+  Bits bits = encode_response(Response{d});
+  for (std::size_t i = 0; i < bits.size(); i += 7) {
+    Bits c = bits;
+    c[i] ^= 1;
+    EXPECT_FALSE(parse_data_response(c).has_value()) << i;
+  }
+}
+
+TEST(Protocol, MilliFixedPointNegativeValues) {
+  EXPECT_EQ(to_milli(-1.5), -1500);
+  EXPECT_NEAR(from_milli(to_milli(-273.15)), -273.15, 1e-9);
+  EXPECT_NEAR(from_milli(to_milli(0.0004)), 0.0, 1e-9);  // below resolution
+}
+
+
+TEST(Protocol, SelectRoundTrip) {
+  const Bits bits = encode_command(Command{SelectCommand{0x0F00, 0xFF00}});
+  EXPECT_EQ(bits.size(), 52u);
+  const auto parsed = parse_command(bits);
+  ASSERT_TRUE(parsed.has_value());
+  const auto* s = std::get_if<SelectCommand>(&*parsed);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->pattern, 0x0F00);
+  EXPECT_EQ(s->mask, 0xFF00);
+  Bits bad = bits;
+  bad[20] ^= 1;
+  EXPECT_FALSE(parse_command(bad).has_value());
+}
+
+/// Property: every command round-trips through encode/parse across a grid
+/// of field values.
+class CommandFieldSweep : public ::testing::TestWithParam<std::uint16_t> {};
+
+TEST_P(CommandFieldSweep, AckAndReadRoundTrip) {
+  const std::uint16_t rn16 = GetParam();
+  const auto ack = parse_command(encode_command(Command{AckCommand{rn16}}));
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(std::get<AckCommand>(*ack).rn16, rn16);
+
+  const auto read = parse_command(
+      encode_command(Command{ReadCommand{rn16, static_cast<std::uint8_t>(rn16 % 7)}}));
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(std::get<ReadCommand>(*read).rn16, rn16);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rn16Grid, CommandFieldSweep,
+                         ::testing::Values(0x0000, 0x0001, 0x8000, 0xFFFF,
+                                           0x5A5A, 0x1234));
+
+}  // namespace
+}  // namespace ecocap::phy

@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "shm/bridge.hpp"
+#include "shm/health.hpp"
+#include "shm/monitor.hpp"
+#include "shm/report.hpp"
+#include "shm/pedestrian.hpp"
+#include "shm/timeseries.hpp"
+#include "shm/weather.hpp"
+
+namespace ecocap::shm {
+namespace {
+
+TEST(TimeSeries, StatsOfKnownData) {
+  TimeSeries ts("t", 1.0);
+  for (Real v : {1.0, 2.0, 3.0, 4.0}) ts.push(v);
+  const auto s = ts.stats();
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(TimeSeries, WindowedStats) {
+  TimeSeries ts("t", 1.0);
+  for (int i = 0; i < 10; ++i) ts.push(static_cast<Real>(i));
+  const auto s = ts.stats(5, 10);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+}
+
+TEST(TimeSeries, RollingStddevFlatIsZero) {
+  TimeSeries ts("t", 1.0);
+  for (int i = 0; i < 100; ++i) ts.push(5.0);
+  const auto r = ts.rolling_stddev(10);
+  EXPECT_NEAR(r.back(), 0.0, 1e-9);
+}
+
+TEST(TimeSeries, RollingStddevDetectsBurst) {
+  TimeSeries ts("t", 1.0);
+  for (int i = 0; i < 200; ++i) ts.push((i >= 100 && i < 150) ? ((i % 2) ? 1.0 : -1.0) : 0.0);
+  const auto r = ts.rolling_stddev(20);
+  EXPECT_GT(r[130], 10.0 * (r[50] + 1e-12));
+}
+
+TEST(TimeSeries, BlockMeanDownsamples) {
+  TimeSeries ts("t", 1.0);
+  for (int i = 0; i < 10; ++i) ts.push(static_cast<Real>(i));
+  const TimeSeries d = ts.block_mean(5);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.at(0), 2.0);
+  EXPECT_DOUBLE_EQ(d.at(1), 7.0);
+  EXPECT_DOUBLE_EQ(d.dt(), 5.0);
+}
+
+TEST(Health, Table2HongKongBoundaries) {
+  // Spot checks straight from Table 2 (Hong Kong column).
+  EXPECT_EQ(grade_pao(3.5, Region::kHongKong), HealthLevel::kA);
+  EXPECT_EQ(grade_pao(2.5, Region::kHongKong), HealthLevel::kB);
+  EXPECT_EQ(grade_pao(1.8, Region::kHongKong), HealthLevel::kC);
+  EXPECT_EQ(grade_pao(1.0, Region::kHongKong), HealthLevel::kD);
+  EXPECT_EQ(grade_pao(0.6, Region::kHongKong), HealthLevel::kE);
+  EXPECT_EQ(grade_pao(0.3, Region::kHongKong), HealthLevel::kF);
+}
+
+TEST(Health, Table2UnitedStatesBoundaries) {
+  EXPECT_EQ(grade_pao(4.0, Region::kUnitedStates), HealthLevel::kA);
+  EXPECT_EQ(grade_pao(3.0, Region::kUnitedStates), HealthLevel::kB);
+  EXPECT_EQ(grade_pao(2.0, Region::kUnitedStates), HealthLevel::kC);
+  EXPECT_EQ(grade_pao(1.0, Region::kUnitedStates), HealthLevel::kD);
+  EXPECT_EQ(grade_pao(0.5, Region::kUnitedStates), HealthLevel::kE);
+  EXPECT_EQ(grade_pao(0.4, Region::kUnitedStates), HealthLevel::kF);
+}
+
+TEST(Health, NegativePaoThrows) {
+  EXPECT_THROW((void)grade_pao(-1.0, Region::kManila), std::invalid_argument);
+}
+
+TEST(Health, LetterMapping) {
+  EXPECT_EQ(health_letter(HealthLevel::kA), 'A');
+  EXPECT_EQ(health_letter(HealthLevel::kF), 'F');
+}
+
+TEST(Health, LimitChecks) {
+  // Within every limit.
+  EXPECT_TRUE(check_limits(0.1, 0.05, 100.0e6, 0.01, 3.0).all_ok());
+  // Vertical acceleration over 0.7 m/s^2 (the bridge's design limit).
+  EXPECT_FALSE(check_limits(0.9, 0.05, 100.0e6, 0.01, 3.0).vertical_ok);
+  // Overloaded deck: < 1 m^2 per pedestrian.
+  EXPECT_FALSE(check_limits(0.1, 0.05, 100.0e6, 0.01, 0.8).pao_ok);
+  // Steel past 355 MPa.
+  EXPECT_FALSE(check_limits(0.1, 0.05, 400.0e6, 0.01, 3.0).stress_ok);
+}
+
+TEST(Weather, DiurnalCycleAndBounds) {
+  WeatherModel w(WeatherModel::Config{}, 1);
+  for (Real t = 0.0; t < 2.0; t += 0.04) {
+    const WeatherSample s = w.sample(t);
+    EXPECT_GT(s.temperature_c, 15.0);
+    EXPECT_LT(s.temperature_c, 45.0);
+    EXPECT_GE(s.humidity_pct, 30.0);
+    EXPECT_LE(s.humidity_pct, 100.0);
+    EXPECT_GE(s.wind_speed, 0.0);
+  }
+}
+
+TEST(Weather, StormWindowRaisesWind) {
+  WeatherModel w(WeatherModel::Config{}, 2);
+  // Default storm: days 14-22 (the paper's July 15-23 window).
+  Real calm_wind = 0.0, storm_wind = 0.0;
+  int calm_n = 0, storm_n = 0;
+  for (Real t = 0.0; t < 30.0; t += 0.1) {
+    const WeatherSample s = w.sample(t);
+    if (t > 2.0 && t < 12.0) {
+      calm_wind += s.wind_speed;
+      ++calm_n;
+    }
+    if (t > 16.0 && t < 20.0) {
+      storm_wind += s.wind_speed;
+      ++storm_n;
+      EXPECT_TRUE(s.storm);
+    }
+  }
+  EXPECT_GT(storm_wind / storm_n, 4.0 * (calm_wind / calm_n));
+}
+
+TEST(Pedestrian, CommutePeaksVisible) {
+  PedestrianModel m(PedestrianModel::Config{}, 3);
+  WeatherSample calm;
+  // Day 4 = Monday (day 0 is Thursday 2021-07-01).
+  const Real rate_peak = m.rate_per_minute(4.0 + 8.5 / 24.0, calm);
+  const Real rate_night = m.rate_per_minute(4.0 + 3.0 / 24.0, calm);
+  EXPECT_GT(rate_peak, 5.0 * rate_night);
+}
+
+TEST(Pedestrian, WeekendQuieter) {
+  PedestrianModel m(PedestrianModel::Config{}, 4);
+  WeatherSample calm;
+  // Day 2 = Saturday; day 4 = Monday. Same hour.
+  const Real weekend = m.rate_per_minute(2.0 + 8.5 / 24.0, calm);
+  const Real weekday = m.rate_per_minute(4.0 + 8.5 / 24.0, calm);
+  EXPECT_LT(weekend, weekday);
+}
+
+TEST(Pedestrian, StormSuppressesTraffic) {
+  PedestrianModel m(PedestrianModel::Config{}, 5);
+  WeatherSample calm;
+  WeatherSample storm;
+  storm.storm = true;
+  const Real t = 4.0 + 8.5 / 24.0;
+  EXPECT_LT(m.rate_per_minute(t, storm), 0.3 * m.rate_per_minute(t, calm));
+}
+
+TEST(Pedestrian, PaoInfiniteWhenEmpty) {
+  EXPECT_TRUE(std::isinf(pedestrian_area_occupancy(67.0, 0)));
+  EXPECT_NEAR(pedestrian_area_occupancy(67.0, 20), 3.35, 1e-9);
+}
+
+TEST(Bridge, GeometryMatchesPaper) {
+  const BridgeGeometry g;
+  EXPECT_NEAR(g.total_length, 84.24, 1e-9);
+  EXPECT_NEAR(g.main_span, 64.26, 1e-9);
+  EXPECT_NEAR(g.side_span, 19.98, 1e-9);
+  EXPECT_NEAR(g.main_span + g.side_span, g.total_length, 1e-9);
+}
+
+TEST(Bridge, StateRespondsToLoad) {
+  FootbridgeModel bridge(FootbridgeModel::Config{}, 6);
+  WeatherSample calm;
+  calm.wind_speed = 2.0;
+  // Peak commute on a Monday.
+  const BridgeState busy = bridge.step(4.0 + 8.5 / 24.0, calm);
+  const BridgeState night = bridge.step(4.0 + 3.0 / 24.0, calm);
+  int busy_total = busy.total_pedestrians;
+  int night_total = night.total_pedestrians;
+  EXPECT_GT(busy_total, night_total);
+}
+
+TEST(Bridge, SectionCountsSumToTotal) {
+  FootbridgeModel bridge(FootbridgeModel::Config{}, 7);
+  WeatherSample calm;
+  const BridgeState s = bridge.step(4.0 + 8.5 / 24.0, calm);
+  int sum = 0;
+  for (const auto& sec : s.sections) sum += sec.pedestrians;
+  EXPECT_EQ(sum, s.total_pedestrians);
+}
+
+TEST(Bridge, StormIncreasesResponse) {
+  FootbridgeModel bridge(FootbridgeModel::Config{}, 8);
+  WeatherSample calm;
+  calm.wind_speed = 2.0;
+  WeatherSample storm;
+  storm.wind_speed = 24.0;
+  storm.storm = true;
+  Real calm_acc = 0.0, storm_acc = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    calm_acc += std::abs(bridge.step(3.0 + i * 0.001, calm)
+                             .sections[2].vertical_acceleration);
+    storm_acc += std::abs(bridge.step(16.0 + i * 0.001, storm)
+                              .sections[2].vertical_acceleration);
+  }
+  EXPECT_GT(storm_acc, 2.0 * calm_acc);
+}
+
+TEST(Campaign, ShortRunProducesAllChannels) {
+  MonitoringCampaign::Config cfg;
+  cfg.days = 2.0;
+  cfg.capsule_poll_hours = 12.0;
+  cfg.seed = 99;
+  MonitoringCampaign campaign(cfg);
+  const CampaignResult r = campaign.run();
+  const std::size_t expected = 2 * 24 * 60;
+  EXPECT_EQ(r.acceleration.size(), expected);
+  EXPECT_EQ(r.stress.size(), expected);
+  EXPECT_EQ(r.humidity.size(), expected);
+  EXPECT_FALSE(r.health_histogram.empty());
+  EXPECT_FALSE(r.capsule_readings.empty());
+}
+
+TEST(Campaign, StormWindowFlaggedAsAnomaly) {
+  MonitoringCampaign::Config cfg;
+  cfg.days = 31.0;
+  cfg.step_minutes = 5.0;  // keep the test quick
+  cfg.baseline_window = 3 * 24 * 12;
+  cfg.capsule_poll_hours = 0.0;  // skip capsule polling in this test
+  cfg.capsule_count = 0;
+  cfg.seed = 2021;
+  MonitoringCampaign campaign(cfg);
+  const CampaignResult r = campaign.run();
+  // At least one anomaly overlapping the day 14-22 storm window.
+  bool overlaps = false;
+  for (const auto& a : r.anomalies) {
+    if (a.end_day > 13.0 && a.start_day < 23.0) overlaps = true;
+  }
+  EXPECT_TRUE(overlaps) << r.anomalies.size() << " anomalies";
+}
+
+TEST(Campaign, HealthStaysAtBOrAbove) {
+  // The paper: "bridge health always remained at B or above" (COVID-era
+  // traffic). Our default config reproduces that.
+  MonitoringCampaign::Config cfg;
+  cfg.days = 7.0;
+  cfg.capsule_count = 0;
+  cfg.capsule_poll_hours = 0.0;
+  cfg.seed = 5;
+  MonitoringCampaign campaign(cfg);
+  const CampaignResult r = campaign.run();
+  long below_b = 0, total = 0;
+  for (const auto& [section, hist] : r.health_histogram) {
+    for (const auto& [letter, count] : hist) {
+      total += count;
+      if (letter != 'A' && letter != 'B') below_b += count;
+    }
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_LT(static_cast<double>(below_b) / static_cast<double>(total), 0.01);
+}
+
+
+
+TEST(Campaign, MinuteReportsSampledHourly) {
+  MonitoringCampaign::Config cfg;
+  cfg.days = 1.0;
+  cfg.capsule_count = 0;
+  cfg.capsule_poll_hours = 0.0;
+  cfg.seed = 8;
+  const CampaignResult r = MonitoringCampaign(cfg).run();
+  // One dashboard row per hour.
+  EXPECT_EQ(r.minute_reports.size(), 24u);
+  for (const auto& row : r.minute_reports) {
+    EXPECT_EQ(row[0].section, 'A');
+    EXPECT_EQ(row[4].section, 'E');
+  }
+}
+
+TEST(Report, DashboardRendersAllSections) {
+  std::array<SectionReport, 5> row;
+  for (int i = 0; i < 5; ++i) {
+    row[static_cast<std::size_t>(i)] =
+        SectionReport{static_cast<char>('A' + i), i, HealthLevel::kA,
+                      1.2};
+  }
+  const std::string s = render_dashboard(row);
+  for (char c : {'A', 'B', 'C', 'D', 'E'}) {
+    EXPECT_NE(s.find(std::string("Section ") + c), std::string::npos);
+  }
+}
+
+TEST(Report, CampaignReportContainsVerdict) {
+  MonitoringCampaign::Config cfg;
+  cfg.days = 1.0;
+  cfg.capsule_count = 0;
+  cfg.capsule_poll_hours = 0.0;
+  cfg.seed = 3;
+  const CampaignResult r = MonitoringCampaign(cfg).run();
+  const std::string report = render_campaign_report(r, 1.0);
+  EXPECT_NE(report.find("verdict:"), std::string::npos);
+  EXPECT_NE(report.find("health histogram"), std::string::npos);
+}
+
+TEST(Report, VerdictEscalation) {
+  CampaignResult quiet;
+  EXPECT_EQ(campaign_verdict(quiet), "OK");
+  CampaignResult watch;
+  watch.anomalies.push_back(AnomalyWindow{1.0, 2.0, 5.0});
+  EXPECT_EQ(campaign_verdict(watch), "WATCH");
+  CampaignResult alarm;
+  alarm.limit_violations = 3;
+  EXPECT_EQ(campaign_verdict(alarm), "ALARM");
+}
+
+/// Property: Table 2 grading is monotone (more space per pedestrian never
+/// worsens the grade) across all four regions.
+class RegionSweep : public ::testing::TestWithParam<Region> {};
+
+TEST_P(RegionSweep, GradeMonotoneInPao) {
+  int prev = 5;  // F
+  for (Real pao = 0.1; pao < 5.0; pao += 0.05) {
+    const int level = static_cast<int>(grade_pao(pao, GetParam()));
+    EXPECT_LE(level, prev);
+    prev = level;
+  }
+}
+
+TEST_P(RegionSweep, ThresholdsStrictlyDecreasing) {
+  const auto t = pao_thresholds(GetParam());
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_GT(t[i - 1], t[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegions, RegionSweep,
+                         ::testing::Values(Region::kUnitedStates,
+                                           Region::kHongKong,
+                                           Region::kBangkok,
+                                           Region::kManila));
+
+}  // namespace
+}  // namespace ecocap::shm

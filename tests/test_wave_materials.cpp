@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wave/body_wave.hpp"
+#include "wave/boundary.hpp"
+#include "wave/material.hpp"
+
+namespace ecocap::wave {
+namespace {
+
+TEST(BodyWave, LameFromYoungs) {
+  // Steel-ish: E = 200 GPa, nu = 0.3.
+  const LameParameters p = lame_from_youngs(200.0e9, 0.30);
+  EXPECT_NEAR(p.mu, 76.9e9, 0.1e9);
+  EXPECT_NEAR(p.lambda, 115.4e9, 0.2e9);
+}
+
+TEST(BodyWave, VelocityRelations) {
+  // Appendix A Eqs. 8/10 against hand-computed values.
+  const LameParameters p{10.0e9, 15.0e9};
+  EXPECT_NEAR(p_wave_velocity(p, 2500.0), std::sqrt(40.0e9 / 2500.0), 1e-6);
+  EXPECT_NEAR(s_wave_velocity(p, 2500.0), std::sqrt(15.0e9 / 2500.0), 1e-6);
+}
+
+TEST(BodyWave, PFasterThanS) {
+  // For any valid solid, Cp > Cs (paper: S ~40% slower).
+  for (const auto& m : materials::table1_concretes()) {
+    EXPECT_GT(m.cp, m.cs) << m.name;
+    EXPECT_GT(m.cs, 0.0) << m.name;
+  }
+}
+
+TEST(BodyWave, InvalidInputsThrow) {
+  EXPECT_THROW((void)lame_from_youngs(-1.0, 0.2), std::invalid_argument);
+  EXPECT_THROW((void)lame_from_youngs(1e9, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)p_wave_velocity(LameParameters{1e9, 1e9}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Materials, Table1MixTotalsMatchDensity) {
+  // Fresh density = sum of mix proportions (Table 1 columns).
+  const Material nc = materials::normal_concrete();
+  EXPECT_NEAR(nc.mix.total(), 2309.0, 0.5);
+  EXPECT_NEAR(nc.density, nc.mix.total(), 1e-9);
+
+  const Material uhpc = materials::uhpc();
+  EXPECT_NEAR(uhpc.mix.total(), 2348.0, 0.5);
+
+  const Material uhpfrc = materials::uhpfrc();
+  EXPECT_NEAR(uhpfrc.mix.total(), 2757.0, 0.5);
+}
+
+TEST(Materials, Table1Properties) {
+  const Material nc = materials::normal_concrete();
+  EXPECT_NEAR(nc.compressive_strength, 54.1e6, 1.0);
+  EXPECT_NEAR(nc.youngs_modulus, 27.8e9, 1.0);
+  EXPECT_NEAR(nc.poisson_ratio, 0.18, 1e-12);
+  EXPECT_NEAR(nc.peak_strain, 0.00263, 1e-8);
+
+  const Material uhpfrc = materials::uhpfrc();
+  EXPECT_NEAR(uhpfrc.compressive_strength, 215.0e6, 1.0);
+  EXPECT_GT(uhpfrc.compressive_strength,
+            materials::uhpc().compressive_strength);
+}
+
+TEST(Materials, ReferenceConcreteVelocities) {
+  const Material ref = materials::reference_concrete();
+  EXPECT_DOUBLE_EQ(ref.cp, 3338.0);  // [41] in the paper
+  EXPECT_DOUBLE_EQ(ref.cs, 1941.0);
+  // S is ~40% slower than P (paper §3.1).
+  EXPECT_NEAR(ref.cs / ref.cp, 0.58, 0.02);
+}
+
+TEST(Materials, DerivedConcreteVelocitiesPlausible) {
+  // Concrete P velocities derived from Table 1 elastic constants should be
+  // in the 3-5.5 km/s window reported for real mixes.
+  for (const auto& m : materials::table1_concretes()) {
+    EXPECT_GT(m.cp, 3000.0) << m.name;
+    EXPECT_LT(m.cp, 5600.0) << m.name;
+  }
+}
+
+TEST(Materials, FluidsCarryNoShear) {
+  EXPECT_TRUE(materials::air().is_fluid());
+  EXPECT_TRUE(materials::water().is_fluid());
+  EXPECT_FALSE(materials::normal_concrete().is_fluid());
+  EXPECT_EQ(materials::water().impedance(WaveMode::kSecondary), 0.0);
+}
+
+TEST(Materials, ImpedanceIsRhoC) {
+  const Material ref = materials::reference_concrete();
+  EXPECT_NEAR(ref.impedance(WaveMode::kPrimary), 2300.0 * 3338.0, 1.0);
+  EXPECT_NEAR(ref.impedance(WaveMode::kSecondary), 2300.0 * 1941.0, 1.0);
+}
+
+TEST(Materials, LameFromVelocitiesRoundTrip) {
+  const Material ref = materials::reference_concrete();
+  const LameParameters p = ref.lame_from_velocities();
+  EXPECT_NEAR(p_wave_velocity(p, ref.density), ref.cp, 1e-6);
+  EXPECT_NEAR(s_wave_velocity(p, ref.density), ref.cs, 1e-6);
+}
+
+TEST(Boundary, ConcreteAirNearTotalReflection) {
+  // Paper Eq. 1: Z_con = 4.66e6, Z_air = 4.15e2 -> R = 99.98%.
+  const Real r = reflection_coefficient(materials::reference_concrete(),
+                                        materials::air());
+  EXPECT_GT(r, 0.999);
+  EXPECT_NEAR(r, 0.9998, 5e-4);
+}
+
+TEST(Boundary, PlaConcreteTransmitsMostEnergy) {
+  // Paper: ~67% of P-wave energy crosses the PLA/concrete interface
+  // (R ~ 33% amplitude). Our PLA calibration keeps this within a few
+  // percent.
+  const Real t = energy_transmittance(materials::pla(),
+                                      materials::reference_concrete());
+  EXPECT_GT(t, 0.55);
+  EXPECT_LT(t, 0.85);
+}
+
+TEST(Boundary, SymmetricAndBounded) {
+  const Material a = materials::normal_concrete();
+  const Material b = materials::water();
+  const Real r_ab = reflection_coefficient(a, b);
+  const Real r_ba = reflection_coefficient(b, a);
+  EXPECT_NEAR(r_ab, -r_ba, 1e-12);
+  EXPECT_LE(std::abs(r_ab), 1.0);
+  EXPECT_NEAR(energy_reflectance(a, b) + energy_transmittance(a, b), 1.0,
+              1e-12);
+}
+
+TEST(Boundary, IdenticalMediaNoReflection) {
+  const Material a = materials::uhpc();
+  EXPECT_NEAR(reflection_coefficient(a, a), 0.0, 1e-12);
+  EXPECT_NEAR(energy_transmittance(a, a), 1.0, 1e-12);
+}
+
+/// Property: energy conservation at every interface pair in the catalog.
+class BoundaryPairs
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(BoundaryPairs, EnergyConserved) {
+  const std::vector<Material> mats = {
+      materials::reference_concrete(), materials::normal_concrete(),
+      materials::uhpc(),              materials::uhpfrc(),
+      materials::pla(),               materials::air(),
+      materials::water(),             materials::steel()};
+  const Material& a = mats[static_cast<std::size_t>(GetParam().first)];
+  const Material& b = mats[static_cast<std::size_t>(GetParam().second)];
+  const Real refl = energy_reflectance(a, b);
+  const Real trans = energy_transmittance(a, b);
+  EXPECT_GE(refl, 0.0);
+  EXPECT_LE(refl, 1.0);
+  EXPECT_NEAR(refl + trans, 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, BoundaryPairs,
+    ::testing::Values(std::pair{0, 5}, std::pair{0, 4}, std::pair{1, 6},
+                      std::pair{2, 7}, std::pair{3, 5}, std::pair{4, 0},
+                      std::pair{6, 1}, std::pair{7, 5}));
+
+}  // namespace
+}  // namespace ecocap::wave

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wave/attenuation.hpp"
+#include "wave/frequency_response.hpp"
+#include "wave/helmholtz.hpp"
+#include "wave/ray_tracer.hpp"
+#include "wave/snell.hpp"
+
+namespace ecocap::wave {
+namespace {
+
+const Material kNc = materials::normal_concrete();
+const Material kRef = materials::reference_concrete();
+
+TEST(Attenuation, SWaveLossLowerThanP) {
+  // Paper §3.1 [39]: S attenuates less than P in concrete.
+  const Real ap = attenuation_coefficient(kRef, WaveMode::kPrimary, 230.0e3);
+  const Real as = attenuation_coefficient(kRef, WaveMode::kSecondary, 230.0e3);
+  EXPECT_LT(as, ap);
+}
+
+TEST(Attenuation, GrowsWithFrequency) {
+  Real prev = 0.0;
+  for (Real f : {50.0e3, 150.0e3, 250.0e3, 350.0e3}) {
+    const Real a = attenuation_coefficient(kRef, WaveMode::kSecondary, f);
+    EXPECT_GT(a, prev);
+    prev = a;
+  }
+}
+
+TEST(Attenuation, ScatteringKneeSteepensLoss) {
+  // Loss growth above the knee (>260 kHz) is much steeper than below.
+  const Real low_ratio =
+      attenuation_coefficient(kRef, WaveMode::kSecondary, 200.0e3) /
+      attenuation_coefficient(kRef, WaveMode::kSecondary, 100.0e3);
+  const Real high_ratio =
+      attenuation_coefficient(kRef, WaveMode::kSecondary, 390.0e3) /
+      attenuation_coefficient(kRef, WaveMode::kSecondary, 270.0e3);
+  EXPECT_NEAR(low_ratio, 2.0, 0.01);  // linear regime
+  EXPECT_GT(high_ratio, 3.0);         // quartic regime
+}
+
+TEST(Attenuation, FactorIsExponential) {
+  const Real a = attenuation_coefficient(kRef, WaveMode::kSecondary, 230.0e3);
+  EXPECT_NEAR(attenuation_factor(kRef, WaveMode::kSecondary, 230.0e3, 2.0),
+              std::exp(-2.0 * a), 1e-12);
+  EXPECT_THROW(
+      (void)attenuation_factor(kRef, WaveMode::kSecondary, 230.0e3, -1.0),
+      std::invalid_argument);
+}
+
+TEST(Spreading, OrderingNearAndFar) {
+  // At 2 m, waveguide > cylindrical > spherical amplitude survival.
+  const Real r = 2.0;
+  const Real sph = spreading_factor(Spreading::kSpherical, r);
+  const Real cyl = spreading_factor(Spreading::kCylindrical, r);
+  const Real wg = spreading_factor(Spreading::kWaveguide, r);
+  EXPECT_LT(sph, cyl);
+  EXPECT_LT(cyl, wg);
+  // Inside the reference radius all factors are 1.
+  EXPECT_EQ(spreading_factor(Spreading::kSpherical, 0.01), 1.0);
+}
+
+TEST(FrequencyResponse, ResonanceInCarrierBand) {
+  // Fig. 5: all blocks resonate between 200 and 250 kHz.
+  for (const auto& m : materials::table1_concretes()) {
+    const ConcreteFrequencyResponse fr(m, 0.15);
+    const Real f0 = fr.resonant_frequency();
+    EXPECT_GE(f0, 200.0e3) << m.name;
+    EXPECT_LE(f0, 250.0e3) << m.name;
+  }
+}
+
+TEST(FrequencyResponse, UhpcOutperformsNc) {
+  // Fig. 5: UHPC/UHPFRC peak responses far exceed NC's.
+  const ConcreteFrequencyResponse nc(materials::normal_concrete(), 0.15);
+  const ConcreteFrequencyResponse uhpc(materials::uhpc(), 0.15);
+  const ConcreteFrequencyResponse uhpfrc(materials::uhpfrc(), 0.15);
+  const Real f = 230.0e3;
+  EXPECT_GT(uhpc.amplitude_mv(f), 1.5 * nc.amplitude_mv(f));
+  EXPECT_GE(uhpfrc.amplitude_mv(f), uhpc.amplitude_mv(f) * 0.95);
+}
+
+TEST(FrequencyResponse, RollsOffPastBand) {
+  const ConcreteFrequencyResponse fr(kNc, 0.15);
+  const Real peak = fr.amplitude_mv(fr.resonant_frequency());
+  EXPECT_LT(fr.amplitude_mv(350.0e3), 0.2 * peak);
+  EXPECT_LT(fr.amplitude_mv(50.0e3), 0.5 * peak);
+}
+
+TEST(FrequencyResponse, ThinnerBlockRespondsStronger) {
+  const ConcreteFrequencyResponse thin(kNc, 0.07);
+  const ConcreteFrequencyResponse thick(kNc, 0.15);
+  EXPECT_GT(thin.amplitude_mv(230.0e3), thick.amplitude_mv(230.0e3));
+}
+
+TEST(FrequencyResponse, AmplitudeScalesWithDrive) {
+  const ConcreteFrequencyResponse fr(kNc, 0.15);
+  EXPECT_NEAR(fr.amplitude_mv(230.0e3, 200.0),
+              2.0 * fr.amplitude_mv(230.0e3, 100.0), 1e-9);
+}
+
+TEST(Helmholtz, Eq5ExactEvaluation) {
+  // Eq. 5 with the paper's printed geometry evaluates to ~159 kHz at
+  // Cs = 1941 m/s (see the DESIGN.md calibration note).
+  const HelmholtzResonator hr = HelmholtzResonator::paper_prototype();
+  EXPECT_NEAR(hr.resonant_frequency(1941.0), 159.0e3, 2.0e3);
+}
+
+TEST(Helmholtz, SolverHitsTarget) {
+  const HelmholtzResonator base = HelmholtzResonator::paper_prototype();
+  const Real an =
+      HelmholtzResonator::solve_neck_area(230.0e3, 1941.0,
+                                          base.cavity_volume, base.neck_length);
+  HelmholtzResonator tuned = base;
+  tuned.neck_area = an;
+  EXPECT_NEAR(tuned.resonant_frequency(1941.0), 230.0e3, 1.0);
+}
+
+TEST(Helmholtz, GainPeaksAtResonance) {
+  const HelmholtzResonator hr = HelmholtzResonator::paper_prototype();
+  const Real f0 = hr.resonant_frequency(1941.0);
+  const Real at_res = hr.gain(f0, 1941.0);
+  EXPECT_GT(at_res, hr.gain(f0 * 0.6, 1941.0));
+  EXPECT_GT(at_res, hr.gain(f0 * 1.6, 1941.0));
+  EXPECT_NEAR(at_res, 3.0, 0.3);  // default peak gain
+}
+
+TEST(Helmholtz, InvalidGeometryThrows) {
+  HelmholtzResonator bad{0.0, 1e-3, 1e-9};
+  EXPECT_THROW((void)bad.resonant_frequency(1941.0), std::invalid_argument);
+}
+
+TEST(HelmholtzArray, DetunedCellsWidenBand) {
+  const HelmholtzResonator base = HelmholtzResonator::paper_prototype();
+  const HelmholtzArray arr(base, 7, 0.12);
+  const HelmholtzArray single(base, 1);
+  const Real f0 = base.resonant_frequency(1941.0);
+  // Bandwidth metric: number of sweep points with gain >= 80% of the peak.
+  auto bandwidth_points = [&](auto&& gain_fn) {
+    Real peak = 0.0;
+    for (int i = -200; i <= 200; ++i) {
+      peak = std::max(peak, gain_fn(f0 * (1.0 + 0.001 * i)));
+    }
+    int count = 0;
+    for (int i = -200; i <= 200; ++i) {
+      if (gain_fn(f0 * (1.0 + 0.001 * i)) >= 0.8 * peak) ++count;
+    }
+    return count;
+  };
+  const int bw_arr = bandwidth_points(
+      [&](Real f) { return arr.gain(f, 1941.0); });
+  const int bw_single = bandwidth_points(
+      [&](Real f) { return single.gain(f, 1941.0); });
+  EXPECT_GE(bw_arr, bw_single);
+  EXPECT_EQ(arr.cell_count(), 7);
+}
+
+TEST(RayTracer, DirectPathArrivesFirst) {
+  RayTracer::Config cfg;
+  cfg.length = 2.0;
+  cfg.thickness = 0.2;
+  const RayTracer tracer(kRef, cfg);
+  // Receiver sits on the 45-degree launch ray: (0.1, 0.1).
+  const auto taps =
+      tracer.trace(0.0, deg_to_rad(45.0), Point2{0.1, 0.1}, 0.03);
+  ASSERT_FALSE(taps.empty());
+  for (std::size_t i = 1; i < taps.size(); ++i) {
+    EXPECT_GE(taps[i].delay, taps.front().delay);
+  }
+  // The first arrival's delay should be near straight-line distance / Cs.
+  const Real d = std::sqrt(0.1 * 0.1 + 0.1 * 0.1);
+  EXPECT_NEAR(taps.front().delay, d / kRef.cs, 0.3 * d / kRef.cs);
+}
+
+TEST(RayTracer, MarginCollectsMoreEnergyThanMiddle) {
+  // Fig. 18 physics: nodes near the wall margins see the incident and
+  // boundary-reflected passes superpose coherently (displacement antinode)
+  // and harvest more than mid-section nodes.
+  RayTracer::Config cfg;
+  cfg.length = 2.0;
+  cfg.thickness = 0.3;
+  cfg.rays = 96;
+  cfg.fan_half_angle = 0.5;
+  const RayTracer tracer(kRef, cfg);
+  const Real launch = deg_to_rad(50.0);
+  const Real e_margin =
+      tracer.coherent_energy_at(0.0, launch, Point2{1.0, 0.28}, 0.04) +
+      tracer.coherent_energy_at(0.0, launch, Point2{1.0, 0.02}, 0.04);
+  const Real e_middle =
+      2.0 * tracer.coherent_energy_at(0.0, launch, Point2{1.0, 0.15}, 0.04);
+  EXPECT_GT(e_margin, e_middle);
+}
+
+TEST(RayTracer, EnergyMapDimensions) {
+  RayTracer::Config cfg;
+  cfg.rays = 16;
+  const RayTracer tracer(kRef, cfg);
+  const auto map = tracer.energy_map(0.0, deg_to_rad(45.0), 8, 4);
+  EXPECT_EQ(map.size(), 32u);
+  Real total = 0.0;
+  for (Real v : map) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(RayTracer, FluidRejectsShearMode) {
+  RayTracer::Config cfg;
+  cfg.mode = WaveMode::kSecondary;
+  EXPECT_THROW(RayTracer(materials::water(), cfg), std::invalid_argument);
+}
+
+TEST(RayTracer, InvalidDomainThrows) {
+  RayTracer::Config cfg;
+  cfg.length = 0.0;
+  EXPECT_THROW(RayTracer(kRef, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecocap::wave

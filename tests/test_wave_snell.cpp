@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wave/beam.hpp"
+#include "wave/prism.hpp"
+#include "wave/snell.hpp"
+
+namespace ecocap::wave {
+namespace {
+
+const Material kPla = materials::pla();
+const Material kConcrete = materials::reference_concrete();
+
+TEST(Snell, CriticalAnglesMatchPaper) {
+  // Paper §3.2: first CA ~34 deg, second CA ~73 deg for PLA into concrete.
+  const auto ca1 = first_critical_angle(kPla, kConcrete);
+  const auto ca2 = second_critical_angle(kPla, kConcrete);
+  ASSERT_TRUE(ca1.has_value());
+  ASSERT_TRUE(ca2.has_value());
+  EXPECT_NEAR(rad_to_deg(*ca1), 34.0, 1.0);
+  EXPECT_NEAR(rad_to_deg(*ca2), 73.0, 2.0);
+}
+
+TEST(Snell, RefractionObeysSnellsLaw) {
+  const Real theta_i = deg_to_rad(20.0);
+  const Refraction r = refract(kPla, kConcrete, theta_i);
+  ASSERT_TRUE(r.theta_p.has_value());
+  ASSERT_TRUE(r.theta_s.has_value());
+  // Eq. 2: sin(theta_i)/C_i = sin(theta_p)/C_p = sin(theta_s)/C_s.
+  EXPECT_NEAR(std::sin(theta_i) / kPla.cp, std::sin(*r.theta_p) / kConcrete.cp,
+              1e-12);
+  EXPECT_NEAR(std::sin(theta_i) / kPla.cp, std::sin(*r.theta_s) / kConcrete.cs,
+              1e-12);
+  // Eq. 3: Cp > Cs => theta_p > theta_s.
+  EXPECT_GT(*r.theta_p, *r.theta_s);
+}
+
+TEST(Snell, PWaveVanishesPastFirstCritical) {
+  const Real ca1 = *first_critical_angle(kPla, kConcrete);
+  const Refraction below = refract(kPla, kConcrete, ca1 - 0.01);
+  const Refraction above = refract(kPla, kConcrete, ca1 + 0.01);
+  EXPECT_TRUE(below.theta_p.has_value());
+  EXPECT_FALSE(above.theta_p.has_value());
+  EXPECT_TRUE(above.theta_s.has_value());
+}
+
+TEST(Snell, BothModesVanishPastSecondCritical) {
+  const Real ca2 = *second_critical_angle(kPla, kConcrete);
+  const Refraction above = refract(kPla, kConcrete, ca2 + 0.02);
+  EXPECT_FALSE(above.theta_p.has_value());
+  EXPECT_FALSE(above.theta_s.has_value());
+}
+
+TEST(Snell, NoCriticalAngleIntoSlowerMedium) {
+  // Concrete into PLA: the wave slows down, never evanescent.
+  EXPECT_FALSE(first_critical_angle(kConcrete, kPla).has_value());
+}
+
+TEST(Snell, OutOfRangeAngleThrows) {
+  EXPECT_THROW((void)refract(kPla, kConcrete, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)refract(kPla, kConcrete, 1.6), std::invalid_argument);
+}
+
+TEST(ModeAmplitudes, Fig4Shape) {
+  // Normal incidence: pure P.
+  const ModeAmplitudes a0 = transmitted_mode_amplitudes(kPla, kConcrete, 0.0);
+  EXPECT_NEAR(a0.p, 1.0, 1e-9);
+  EXPECT_NEAR(a0.s, 0.0, 1e-9);
+
+  // Dual-mode region (15 deg): both present — the bad operating point.
+  const ModeAmplitudes a15 =
+      transmitted_mode_amplitudes(kPla, kConcrete, deg_to_rad(15.0));
+  EXPECT_GT(a15.p, 0.3);
+  EXPECT_GT(a15.s, 0.1);
+
+  // S-only window (50-70 deg): S near max, P extinct.
+  for (Real deg : {50.0, 60.0, 70.0}) {
+    const ModeAmplitudes a =
+        transmitted_mode_amplitudes(kPla, kConcrete, deg_to_rad(deg));
+    EXPECT_EQ(a.p, 0.0) << deg;
+    EXPECT_GT(a.s, 0.6) << deg;
+  }
+
+  // Past the second critical angle: only surface waves.
+  const ModeAmplitudes a80 =
+      transmitted_mode_amplitudes(kPla, kConcrete, deg_to_rad(80.0));
+  EXPECT_EQ(a80.p, 0.0);
+  EXPECT_EQ(a80.s, 0.0);
+  EXPECT_GT(a80.surface, 0.0);
+}
+
+TEST(ModeAmplitudes, PMonotoneDecreasingToFirstCritical) {
+  Real prev = 2.0;
+  for (Real deg = 0.0; deg <= 33.0; deg += 3.0) {
+    const ModeAmplitudes a =
+        transmitted_mode_amplitudes(kPla, kConcrete, deg_to_rad(deg));
+    EXPECT_LE(a.p, prev + 1e-12);
+    prev = a.p;
+  }
+}
+
+TEST(Prism, DefaultIsSixtyDegreesSOnly) {
+  const WavePrism p = WavePrism::default_for(kConcrete);
+  EXPECT_NEAR(rad_to_deg(p.incident_angle()), 60.0, 1e-9);
+  EXPECT_TRUE(p.s_only());
+}
+
+TEST(Prism, SOnlyWindowMatchesCriticalAngles) {
+  for (Real deg : {10.0, 20.0, 30.0}) {
+    WavePrism p(kPla, kConcrete, deg_to_rad(deg));
+    EXPECT_FALSE(p.s_only()) << deg;
+  }
+  for (Real deg : {35.0, 45.0, 60.0, 72.0}) {
+    WavePrism p(kPla, kConcrete, deg_to_rad(deg));
+    EXPECT_TRUE(p.s_only()) << deg;
+  }
+  WavePrism beyond(kPla, kConcrete, deg_to_rad(80.0));
+  EXPECT_FALSE(beyond.s_only());
+}
+
+TEST(Prism, ConductedAmplitudesIncludeInterfaceLoss) {
+  const WavePrism p = WavePrism::default_for(kConcrete);
+  const ModeAmplitudes raw =
+      transmitted_mode_amplitudes(kPla, kConcrete, p.incident_angle());
+  const ModeAmplitudes conducted = p.conducted_amplitudes();
+  EXPECT_LT(conducted.s, raw.s);
+  EXPECT_GT(conducted.s, raw.s * 0.6);  // most energy still crosses
+}
+
+TEST(Beam, PaperHalfBeamAngle) {
+  // Paper §3.2: D = 40 mm, f = 230 kHz, Cp = 3338 -> alpha ~ 11 deg.
+  const PistonBeam b{0.040, 230.0e3, 3338.0};
+  EXPECT_NEAR(rad_to_deg(b.half_beam_angle()), 11.0, 0.5);
+}
+
+TEST(Beam, PaperCoverageCone) {
+  // 15 cm wall -> ~132 cm^3 cone.
+  const PistonBeam b{0.040, 230.0e3, 3338.0};
+  const Real v_cm3 = b.coverage_cone_volume(0.15) * 1.0e6;
+  EXPECT_NEAR(v_cm3, 132.0, 8.0);
+}
+
+TEST(Beam, WideBeamClampsAtHalfSpace) {
+  // A tiny transducer at low frequency radiates into the whole half-space.
+  const PistonBeam b{0.005, 20.0e3, 3338.0};
+  EXPECT_NEAR(rad_to_deg(b.half_beam_angle()), 90.0, 1e-9);
+}
+
+TEST(Beam, InvalidThrows) {
+  const PistonBeam b{0.0, 230.0e3, 3338.0};
+  EXPECT_THROW((void)b.half_beam_angle(), std::invalid_argument);
+}
+
+TEST(Beam, MakeBeamUsesMediumVelocity) {
+  const PistonBeam b = make_beam(0.040, 230.0e3, kConcrete);
+  EXPECT_DOUBLE_EQ(b.velocity, kConcrete.cp);
+}
+
+/// Property: conducted S amplitude is maximal somewhere strictly inside the
+/// S-only window, across plausible prism velocities.
+class PrismVelocitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PrismVelocitySweep, SOnlyWindowExists) {
+  Material prism = materials::pla();
+  prism.cp = GetParam();
+  const auto ca1 = first_critical_angle(prism, kConcrete);
+  const auto ca2 = second_critical_angle(prism, kConcrete);
+  ASSERT_TRUE(ca1 && ca2);
+  EXPECT_LT(*ca1, *ca2);
+  const Real mid = 0.5 * (*ca1 + *ca2);
+  const ModeAmplitudes a = transmitted_mode_amplitudes(prism, kConcrete, mid);
+  EXPECT_EQ(a.p, 0.0);
+  EXPECT_GT(a.s, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Velocities, PrismVelocitySweep,
+                         ::testing::Values(1400.0, 1600.0, 1865.0));
+
+}  // namespace
+}  // namespace ecocap::wave
