@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rebar.dir/bench_ablation_rebar.cpp.o"
+  "CMakeFiles/bench_ablation_rebar.dir/bench_ablation_rebar.cpp.o.d"
+  "bench_ablation_rebar"
+  "bench_ablation_rebar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rebar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

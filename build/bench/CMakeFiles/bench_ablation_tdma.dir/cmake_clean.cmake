@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tdma.dir/bench_ablation_tdma.cpp.o"
+  "CMakeFiles/bench_ablation_tdma.dir/bench_ablation_tdma.cpp.o.d"
+  "bench_ablation_tdma"
+  "bench_ablation_tdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fdtd_validation.dir/bench_fdtd_validation.cpp.o"
+  "CMakeFiles/bench_fdtd_validation.dir/bench_fdtd_validation.cpp.o.d"
+  "bench_fdtd_validation"
+  "bench_fdtd_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fdtd_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

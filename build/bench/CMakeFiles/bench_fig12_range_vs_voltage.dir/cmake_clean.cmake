@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_range_vs_voltage.dir/bench_fig12_range_vs_voltage.cpp.o"
+  "CMakeFiles/bench_fig12_range_vs_voltage.dir/bench_fig12_range_vs_voltage.cpp.o.d"
+  "bench_fig12_range_vs_voltage"
+  "bench_fig12_range_vs_voltage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_range_vs_voltage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

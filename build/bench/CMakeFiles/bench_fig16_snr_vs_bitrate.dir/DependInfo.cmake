@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig16_snr_vs_bitrate.cpp" "bench/CMakeFiles/bench_fig16_snr_vs_bitrate.dir/bench_fig16_snr_vs_bitrate.cpp.o" "gcc" "bench/CMakeFiles/bench_fig16_snr_vs_bitrate.dir/bench_fig16_snr_vs_bitrate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/shm/CMakeFiles/ecocap_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ecocap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/reader/CMakeFiles/ecocap_reader.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ecocap_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/ecocap_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/ecocap_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/ecocap_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/wave/CMakeFiles/ecocap_wave.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ecocap_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_prism_effect.dir/bench_fig19_prism_effect.cpp.o"
+  "CMakeFiles/bench_fig19_prism_effect.dir/bench_fig19_prism_effect.cpp.o.d"
+  "bench_fig19_prism_effect"
+  "bench_fig19_prism_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_prism_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_fsk_vs_ook.dir/bench_fig20_fsk_vs_ook.cpp.o"
+  "CMakeFiles/bench_fig20_fsk_vs_ook.dir/bench_fig20_fsk_vs_ook.cpp.o.d"
+  "bench_fig20_fsk_vs_ook"
+  "bench_fig20_fsk_vs_ook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_fsk_vs_ook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig24_self_interference.dir/bench_fig24_self_interference.cpp.o"
+  "CMakeFiles/bench_fig24_self_interference.dir/bench_fig24_self_interference.cpp.o.d"
+  "bench_fig24_self_interference"
+  "bench_fig24_self_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig24_self_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_mode_amplitudes.dir/bench_fig4_mode_amplitudes.cpp.o"
+  "CMakeFiles/bench_fig4_mode_amplitudes.dir/bench_fig4_mode_amplitudes.cpp.o.d"
+  "bench_fig4_mode_amplitudes"
+  "bench_fig4_mode_amplitudes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_mode_amplitudes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hra_resonance.dir/bench_hra_resonance.cpp.o"
+  "CMakeFiles/bench_hra_resonance.dir/bench_hra_resonance.cpp.o.d"
+  "bench_hra_resonance"
+  "bench_hra_resonance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hra_resonance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_modal_damage.dir/bench_modal_damage.cpp.o"
+  "CMakeFiles/bench_modal_damage.dir/bench_modal_damage.cpp.o.d"
+  "bench_modal_damage"
+  "bench_modal_damage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_modal_damage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

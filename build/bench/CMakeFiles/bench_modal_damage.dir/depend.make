@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_modal_damage.
+# This may be replaced when dependencies are built.

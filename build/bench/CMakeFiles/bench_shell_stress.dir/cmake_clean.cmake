@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shell_stress.dir/bench_shell_stress.cpp.o"
+  "CMakeFiles/bench_shell_stress.dir/bench_shell_stress.cpp.o.d"
+  "bench_shell_stress"
+  "bench_shell_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shell_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

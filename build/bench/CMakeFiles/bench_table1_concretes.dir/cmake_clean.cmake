@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_concretes.dir/bench_table1_concretes.cpp.o"
+  "CMakeFiles/bench_table1_concretes.dir/bench_table1_concretes.cpp.o.d"
+  "bench_table1_concretes"
+  "bench_table1_concretes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_concretes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/building_designer.dir/building_designer.cpp.o"
+  "CMakeFiles/building_designer.dir/building_designer.cpp.o.d"
+  "building_designer"
+  "building_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/building_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

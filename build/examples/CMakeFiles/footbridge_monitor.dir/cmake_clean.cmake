@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/footbridge_monitor.dir/footbridge_monitor.cpp.o"
+  "CMakeFiles/footbridge_monitor.dir/footbridge_monitor.cpp.o.d"
+  "footbridge_monitor"
+  "footbridge_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/footbridge_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garage_degradation.dir/garage_degradation.cpp.o"
+  "CMakeFiles/garage_degradation.dir/garage_degradation.cpp.o.d"
+  "garage_degradation"
+  "garage_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garage_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

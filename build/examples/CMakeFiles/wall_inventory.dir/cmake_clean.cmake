@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wall_inventory.dir/wall_inventory.cpp.o"
+  "CMakeFiles/wall_inventory.dir/wall_inventory.cpp.o.d"
+  "wall_inventory"
+  "wall_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wall_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

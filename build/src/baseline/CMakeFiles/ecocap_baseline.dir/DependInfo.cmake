@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/pab.cpp" "src/baseline/CMakeFiles/ecocap_baseline.dir/pab.cpp.o" "gcc" "src/baseline/CMakeFiles/ecocap_baseline.dir/pab.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/channel/CMakeFiles/ecocap_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/wave/CMakeFiles/ecocap_wave.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ecocap_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

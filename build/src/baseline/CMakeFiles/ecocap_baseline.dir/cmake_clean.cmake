@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecocap_baseline.dir/pab.cpp.o"
+  "CMakeFiles/ecocap_baseline.dir/pab.cpp.o.d"
+  "libecocap_baseline.a"
+  "libecocap_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecocap_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/concrete_channel.cpp" "src/channel/CMakeFiles/ecocap_channel.dir/concrete_channel.cpp.o" "gcc" "src/channel/CMakeFiles/ecocap_channel.dir/concrete_channel.cpp.o.d"
+  "/root/repo/src/channel/link_budget.cpp" "src/channel/CMakeFiles/ecocap_channel.dir/link_budget.cpp.o" "gcc" "src/channel/CMakeFiles/ecocap_channel.dir/link_budget.cpp.o.d"
+  "/root/repo/src/channel/scatterers.cpp" "src/channel/CMakeFiles/ecocap_channel.dir/scatterers.cpp.o" "gcc" "src/channel/CMakeFiles/ecocap_channel.dir/scatterers.cpp.o.d"
+  "/root/repo/src/channel/snr_models.cpp" "src/channel/CMakeFiles/ecocap_channel.dir/snr_models.cpp.o" "gcc" "src/channel/CMakeFiles/ecocap_channel.dir/snr_models.cpp.o.d"
+  "/root/repo/src/channel/structures.cpp" "src/channel/CMakeFiles/ecocap_channel.dir/structures.cpp.o" "gcc" "src/channel/CMakeFiles/ecocap_channel.dir/structures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wave/CMakeFiles/ecocap_wave.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ecocap_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

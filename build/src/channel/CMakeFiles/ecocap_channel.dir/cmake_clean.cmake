@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecocap_channel.dir/concrete_channel.cpp.o"
+  "CMakeFiles/ecocap_channel.dir/concrete_channel.cpp.o.d"
+  "CMakeFiles/ecocap_channel.dir/link_budget.cpp.o"
+  "CMakeFiles/ecocap_channel.dir/link_budget.cpp.o.d"
+  "CMakeFiles/ecocap_channel.dir/scatterers.cpp.o"
+  "CMakeFiles/ecocap_channel.dir/scatterers.cpp.o.d"
+  "CMakeFiles/ecocap_channel.dir/snr_models.cpp.o"
+  "CMakeFiles/ecocap_channel.dir/snr_models.cpp.o.d"
+  "CMakeFiles/ecocap_channel.dir/structures.cpp.o"
+  "CMakeFiles/ecocap_channel.dir/structures.cpp.o.d"
+  "libecocap_channel.a"
+  "libecocap_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecocap_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

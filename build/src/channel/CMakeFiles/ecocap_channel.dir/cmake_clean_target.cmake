@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libecocap_channel.a"
+)

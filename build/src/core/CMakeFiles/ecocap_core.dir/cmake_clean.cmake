@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecocap_core.dir/ber_harness.cpp.o"
+  "CMakeFiles/ecocap_core.dir/ber_harness.cpp.o.d"
+  "CMakeFiles/ecocap_core.dir/inventory_session.cpp.o"
+  "CMakeFiles/ecocap_core.dir/inventory_session.cpp.o.d"
+  "CMakeFiles/ecocap_core.dir/link_simulator.cpp.o"
+  "CMakeFiles/ecocap_core.dir/link_simulator.cpp.o.d"
+  "CMakeFiles/ecocap_core.dir/multinode_link.cpp.o"
+  "CMakeFiles/ecocap_core.dir/multinode_link.cpp.o.d"
+  "libecocap_core.a"
+  "libecocap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecocap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

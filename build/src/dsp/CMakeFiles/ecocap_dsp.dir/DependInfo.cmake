@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/biquad.cpp" "src/dsp/CMakeFiles/ecocap_dsp.dir/biquad.cpp.o" "gcc" "src/dsp/CMakeFiles/ecocap_dsp.dir/biquad.cpp.o.d"
+  "/root/repo/src/dsp/correlate.cpp" "src/dsp/CMakeFiles/ecocap_dsp.dir/correlate.cpp.o" "gcc" "src/dsp/CMakeFiles/ecocap_dsp.dir/correlate.cpp.o.d"
+  "/root/repo/src/dsp/decimate.cpp" "src/dsp/CMakeFiles/ecocap_dsp.dir/decimate.cpp.o" "gcc" "src/dsp/CMakeFiles/ecocap_dsp.dir/decimate.cpp.o.d"
+  "/root/repo/src/dsp/envelope.cpp" "src/dsp/CMakeFiles/ecocap_dsp.dir/envelope.cpp.o" "gcc" "src/dsp/CMakeFiles/ecocap_dsp.dir/envelope.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/ecocap_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/ecocap_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/fir.cpp" "src/dsp/CMakeFiles/ecocap_dsp.dir/fir.cpp.o" "gcc" "src/dsp/CMakeFiles/ecocap_dsp.dir/fir.cpp.o.d"
+  "/root/repo/src/dsp/goertzel.cpp" "src/dsp/CMakeFiles/ecocap_dsp.dir/goertzel.cpp.o" "gcc" "src/dsp/CMakeFiles/ecocap_dsp.dir/goertzel.cpp.o.d"
+  "/root/repo/src/dsp/oscillator.cpp" "src/dsp/CMakeFiles/ecocap_dsp.dir/oscillator.cpp.o" "gcc" "src/dsp/CMakeFiles/ecocap_dsp.dir/oscillator.cpp.o.d"
+  "/root/repo/src/dsp/signal_ops.cpp" "src/dsp/CMakeFiles/ecocap_dsp.dir/signal_ops.cpp.o" "gcc" "src/dsp/CMakeFiles/ecocap_dsp.dir/signal_ops.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/dsp/CMakeFiles/ecocap_dsp.dir/window.cpp.o" "gcc" "src/dsp/CMakeFiles/ecocap_dsp.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecocap_dsp.dir/biquad.cpp.o"
+  "CMakeFiles/ecocap_dsp.dir/biquad.cpp.o.d"
+  "CMakeFiles/ecocap_dsp.dir/correlate.cpp.o"
+  "CMakeFiles/ecocap_dsp.dir/correlate.cpp.o.d"
+  "CMakeFiles/ecocap_dsp.dir/decimate.cpp.o"
+  "CMakeFiles/ecocap_dsp.dir/decimate.cpp.o.d"
+  "CMakeFiles/ecocap_dsp.dir/envelope.cpp.o"
+  "CMakeFiles/ecocap_dsp.dir/envelope.cpp.o.d"
+  "CMakeFiles/ecocap_dsp.dir/fft.cpp.o"
+  "CMakeFiles/ecocap_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/ecocap_dsp.dir/fir.cpp.o"
+  "CMakeFiles/ecocap_dsp.dir/fir.cpp.o.d"
+  "CMakeFiles/ecocap_dsp.dir/goertzel.cpp.o"
+  "CMakeFiles/ecocap_dsp.dir/goertzel.cpp.o.d"
+  "CMakeFiles/ecocap_dsp.dir/oscillator.cpp.o"
+  "CMakeFiles/ecocap_dsp.dir/oscillator.cpp.o.d"
+  "CMakeFiles/ecocap_dsp.dir/signal_ops.cpp.o"
+  "CMakeFiles/ecocap_dsp.dir/signal_ops.cpp.o.d"
+  "CMakeFiles/ecocap_dsp.dir/window.cpp.o"
+  "CMakeFiles/ecocap_dsp.dir/window.cpp.o.d"
+  "libecocap_dsp.a"
+  "libecocap_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecocap_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

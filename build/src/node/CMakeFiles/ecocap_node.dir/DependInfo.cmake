@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/node/capsule.cpp" "src/node/CMakeFiles/ecocap_node.dir/capsule.cpp.o" "gcc" "src/node/CMakeFiles/ecocap_node.dir/capsule.cpp.o.d"
+  "/root/repo/src/node/energy_manager.cpp" "src/node/CMakeFiles/ecocap_node.dir/energy_manager.cpp.o" "gcc" "src/node/CMakeFiles/ecocap_node.dir/energy_manager.cpp.o.d"
+  "/root/repo/src/node/firmware.cpp" "src/node/CMakeFiles/ecocap_node.dir/firmware.cpp.o" "gcc" "src/node/CMakeFiles/ecocap_node.dir/firmware.cpp.o.d"
+  "/root/repo/src/node/frontend.cpp" "src/node/CMakeFiles/ecocap_node.dir/frontend.cpp.o" "gcc" "src/node/CMakeFiles/ecocap_node.dir/frontend.cpp.o.d"
+  "/root/repo/src/node/harvester.cpp" "src/node/CMakeFiles/ecocap_node.dir/harvester.cpp.o" "gcc" "src/node/CMakeFiles/ecocap_node.dir/harvester.cpp.o.d"
+  "/root/repo/src/node/power_model.cpp" "src/node/CMakeFiles/ecocap_node.dir/power_model.cpp.o" "gcc" "src/node/CMakeFiles/ecocap_node.dir/power_model.cpp.o.d"
+  "/root/repo/src/node/sensors.cpp" "src/node/CMakeFiles/ecocap_node.dir/sensors.cpp.o" "gcc" "src/node/CMakeFiles/ecocap_node.dir/sensors.cpp.o.d"
+  "/root/repo/src/node/shell.cpp" "src/node/CMakeFiles/ecocap_node.dir/shell.cpp.o" "gcc" "src/node/CMakeFiles/ecocap_node.dir/shell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phy/CMakeFiles/ecocap_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/wave/CMakeFiles/ecocap_wave.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ecocap_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecocap_node.dir/capsule.cpp.o"
+  "CMakeFiles/ecocap_node.dir/capsule.cpp.o.d"
+  "CMakeFiles/ecocap_node.dir/energy_manager.cpp.o"
+  "CMakeFiles/ecocap_node.dir/energy_manager.cpp.o.d"
+  "CMakeFiles/ecocap_node.dir/firmware.cpp.o"
+  "CMakeFiles/ecocap_node.dir/firmware.cpp.o.d"
+  "CMakeFiles/ecocap_node.dir/frontend.cpp.o"
+  "CMakeFiles/ecocap_node.dir/frontend.cpp.o.d"
+  "CMakeFiles/ecocap_node.dir/harvester.cpp.o"
+  "CMakeFiles/ecocap_node.dir/harvester.cpp.o.d"
+  "CMakeFiles/ecocap_node.dir/power_model.cpp.o"
+  "CMakeFiles/ecocap_node.dir/power_model.cpp.o.d"
+  "CMakeFiles/ecocap_node.dir/sensors.cpp.o"
+  "CMakeFiles/ecocap_node.dir/sensors.cpp.o.d"
+  "CMakeFiles/ecocap_node.dir/shell.cpp.o"
+  "CMakeFiles/ecocap_node.dir/shell.cpp.o.d"
+  "libecocap_node.a"
+  "libecocap_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecocap_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

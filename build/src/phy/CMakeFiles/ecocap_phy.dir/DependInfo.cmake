@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/bits.cpp" "src/phy/CMakeFiles/ecocap_phy.dir/bits.cpp.o" "gcc" "src/phy/CMakeFiles/ecocap_phy.dir/bits.cpp.o.d"
+  "/root/repo/src/phy/carrier.cpp" "src/phy/CMakeFiles/ecocap_phy.dir/carrier.cpp.o" "gcc" "src/phy/CMakeFiles/ecocap_phy.dir/carrier.cpp.o.d"
+  "/root/repo/src/phy/crc.cpp" "src/phy/CMakeFiles/ecocap_phy.dir/crc.cpp.o" "gcc" "src/phy/CMakeFiles/ecocap_phy.dir/crc.cpp.o.d"
+  "/root/repo/src/phy/fm0.cpp" "src/phy/CMakeFiles/ecocap_phy.dir/fm0.cpp.o" "gcc" "src/phy/CMakeFiles/ecocap_phy.dir/fm0.cpp.o.d"
+  "/root/repo/src/phy/miller.cpp" "src/phy/CMakeFiles/ecocap_phy.dir/miller.cpp.o" "gcc" "src/phy/CMakeFiles/ecocap_phy.dir/miller.cpp.o.d"
+  "/root/repo/src/phy/pie.cpp" "src/phy/CMakeFiles/ecocap_phy.dir/pie.cpp.o" "gcc" "src/phy/CMakeFiles/ecocap_phy.dir/pie.cpp.o.d"
+  "/root/repo/src/phy/protocol.cpp" "src/phy/CMakeFiles/ecocap_phy.dir/protocol.cpp.o" "gcc" "src/phy/CMakeFiles/ecocap_phy.dir/protocol.cpp.o.d"
+  "/root/repo/src/phy/ring_effect.cpp" "src/phy/CMakeFiles/ecocap_phy.dir/ring_effect.cpp.o" "gcc" "src/phy/CMakeFiles/ecocap_phy.dir/ring_effect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/ecocap_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

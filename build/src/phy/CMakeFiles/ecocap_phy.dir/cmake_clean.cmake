@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecocap_phy.dir/bits.cpp.o"
+  "CMakeFiles/ecocap_phy.dir/bits.cpp.o.d"
+  "CMakeFiles/ecocap_phy.dir/carrier.cpp.o"
+  "CMakeFiles/ecocap_phy.dir/carrier.cpp.o.d"
+  "CMakeFiles/ecocap_phy.dir/crc.cpp.o"
+  "CMakeFiles/ecocap_phy.dir/crc.cpp.o.d"
+  "CMakeFiles/ecocap_phy.dir/fm0.cpp.o"
+  "CMakeFiles/ecocap_phy.dir/fm0.cpp.o.d"
+  "CMakeFiles/ecocap_phy.dir/miller.cpp.o"
+  "CMakeFiles/ecocap_phy.dir/miller.cpp.o.d"
+  "CMakeFiles/ecocap_phy.dir/pie.cpp.o"
+  "CMakeFiles/ecocap_phy.dir/pie.cpp.o.d"
+  "CMakeFiles/ecocap_phy.dir/protocol.cpp.o"
+  "CMakeFiles/ecocap_phy.dir/protocol.cpp.o.d"
+  "CMakeFiles/ecocap_phy.dir/ring_effect.cpp.o"
+  "CMakeFiles/ecocap_phy.dir/ring_effect.cpp.o.d"
+  "libecocap_phy.a"
+  "libecocap_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecocap_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

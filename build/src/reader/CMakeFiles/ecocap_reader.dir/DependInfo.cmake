@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reader/inventory.cpp" "src/reader/CMakeFiles/ecocap_reader.dir/inventory.cpp.o" "gcc" "src/reader/CMakeFiles/ecocap_reader.dir/inventory.cpp.o.d"
+  "/root/repo/src/reader/receiver.cpp" "src/reader/CMakeFiles/ecocap_reader.dir/receiver.cpp.o" "gcc" "src/reader/CMakeFiles/ecocap_reader.dir/receiver.cpp.o.d"
+  "/root/repo/src/reader/transmitter.cpp" "src/reader/CMakeFiles/ecocap_reader.dir/transmitter.cpp.o" "gcc" "src/reader/CMakeFiles/ecocap_reader.dir/transmitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phy/CMakeFiles/ecocap_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/ecocap_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/ecocap_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/wave/CMakeFiles/ecocap_wave.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ecocap_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

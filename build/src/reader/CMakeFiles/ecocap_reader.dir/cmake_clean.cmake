@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecocap_reader.dir/inventory.cpp.o"
+  "CMakeFiles/ecocap_reader.dir/inventory.cpp.o.d"
+  "CMakeFiles/ecocap_reader.dir/receiver.cpp.o"
+  "CMakeFiles/ecocap_reader.dir/receiver.cpp.o.d"
+  "CMakeFiles/ecocap_reader.dir/transmitter.cpp.o"
+  "CMakeFiles/ecocap_reader.dir/transmitter.cpp.o.d"
+  "libecocap_reader.a"
+  "libecocap_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecocap_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

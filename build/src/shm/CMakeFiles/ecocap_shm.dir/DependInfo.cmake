@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shm/bridge.cpp" "src/shm/CMakeFiles/ecocap_shm.dir/bridge.cpp.o" "gcc" "src/shm/CMakeFiles/ecocap_shm.dir/bridge.cpp.o.d"
+  "/root/repo/src/shm/health.cpp" "src/shm/CMakeFiles/ecocap_shm.dir/health.cpp.o" "gcc" "src/shm/CMakeFiles/ecocap_shm.dir/health.cpp.o.d"
+  "/root/repo/src/shm/modal.cpp" "src/shm/CMakeFiles/ecocap_shm.dir/modal.cpp.o" "gcc" "src/shm/CMakeFiles/ecocap_shm.dir/modal.cpp.o.d"
+  "/root/repo/src/shm/monitor.cpp" "src/shm/CMakeFiles/ecocap_shm.dir/monitor.cpp.o" "gcc" "src/shm/CMakeFiles/ecocap_shm.dir/monitor.cpp.o.d"
+  "/root/repo/src/shm/pedestrian.cpp" "src/shm/CMakeFiles/ecocap_shm.dir/pedestrian.cpp.o" "gcc" "src/shm/CMakeFiles/ecocap_shm.dir/pedestrian.cpp.o.d"
+  "/root/repo/src/shm/report.cpp" "src/shm/CMakeFiles/ecocap_shm.dir/report.cpp.o" "gcc" "src/shm/CMakeFiles/ecocap_shm.dir/report.cpp.o.d"
+  "/root/repo/src/shm/timeseries.cpp" "src/shm/CMakeFiles/ecocap_shm.dir/timeseries.cpp.o" "gcc" "src/shm/CMakeFiles/ecocap_shm.dir/timeseries.cpp.o.d"
+  "/root/repo/src/shm/weather.cpp" "src/shm/CMakeFiles/ecocap_shm.dir/weather.cpp.o" "gcc" "src/shm/CMakeFiles/ecocap_shm.dir/weather.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ecocap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ecocap_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/reader/CMakeFiles/ecocap_reader.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/ecocap_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ecocap_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/ecocap_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/ecocap_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/wave/CMakeFiles/ecocap_wave.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

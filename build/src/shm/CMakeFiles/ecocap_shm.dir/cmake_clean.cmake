@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecocap_shm.dir/bridge.cpp.o"
+  "CMakeFiles/ecocap_shm.dir/bridge.cpp.o.d"
+  "CMakeFiles/ecocap_shm.dir/health.cpp.o"
+  "CMakeFiles/ecocap_shm.dir/health.cpp.o.d"
+  "CMakeFiles/ecocap_shm.dir/modal.cpp.o"
+  "CMakeFiles/ecocap_shm.dir/modal.cpp.o.d"
+  "CMakeFiles/ecocap_shm.dir/monitor.cpp.o"
+  "CMakeFiles/ecocap_shm.dir/monitor.cpp.o.d"
+  "CMakeFiles/ecocap_shm.dir/pedestrian.cpp.o"
+  "CMakeFiles/ecocap_shm.dir/pedestrian.cpp.o.d"
+  "CMakeFiles/ecocap_shm.dir/report.cpp.o"
+  "CMakeFiles/ecocap_shm.dir/report.cpp.o.d"
+  "CMakeFiles/ecocap_shm.dir/timeseries.cpp.o"
+  "CMakeFiles/ecocap_shm.dir/timeseries.cpp.o.d"
+  "CMakeFiles/ecocap_shm.dir/weather.cpp.o"
+  "CMakeFiles/ecocap_shm.dir/weather.cpp.o.d"
+  "libecocap_shm.a"
+  "libecocap_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecocap_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ecocap_shm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wave/attenuation.cpp" "src/wave/CMakeFiles/ecocap_wave.dir/attenuation.cpp.o" "gcc" "src/wave/CMakeFiles/ecocap_wave.dir/attenuation.cpp.o.d"
+  "/root/repo/src/wave/beam.cpp" "src/wave/CMakeFiles/ecocap_wave.dir/beam.cpp.o" "gcc" "src/wave/CMakeFiles/ecocap_wave.dir/beam.cpp.o.d"
+  "/root/repo/src/wave/body_wave.cpp" "src/wave/CMakeFiles/ecocap_wave.dir/body_wave.cpp.o" "gcc" "src/wave/CMakeFiles/ecocap_wave.dir/body_wave.cpp.o.d"
+  "/root/repo/src/wave/boundary.cpp" "src/wave/CMakeFiles/ecocap_wave.dir/boundary.cpp.o" "gcc" "src/wave/CMakeFiles/ecocap_wave.dir/boundary.cpp.o.d"
+  "/root/repo/src/wave/fdtd.cpp" "src/wave/CMakeFiles/ecocap_wave.dir/fdtd.cpp.o" "gcc" "src/wave/CMakeFiles/ecocap_wave.dir/fdtd.cpp.o.d"
+  "/root/repo/src/wave/frequency_response.cpp" "src/wave/CMakeFiles/ecocap_wave.dir/frequency_response.cpp.o" "gcc" "src/wave/CMakeFiles/ecocap_wave.dir/frequency_response.cpp.o.d"
+  "/root/repo/src/wave/helmholtz.cpp" "src/wave/CMakeFiles/ecocap_wave.dir/helmholtz.cpp.o" "gcc" "src/wave/CMakeFiles/ecocap_wave.dir/helmholtz.cpp.o.d"
+  "/root/repo/src/wave/material.cpp" "src/wave/CMakeFiles/ecocap_wave.dir/material.cpp.o" "gcc" "src/wave/CMakeFiles/ecocap_wave.dir/material.cpp.o.d"
+  "/root/repo/src/wave/prism.cpp" "src/wave/CMakeFiles/ecocap_wave.dir/prism.cpp.o" "gcc" "src/wave/CMakeFiles/ecocap_wave.dir/prism.cpp.o.d"
+  "/root/repo/src/wave/ray_tracer.cpp" "src/wave/CMakeFiles/ecocap_wave.dir/ray_tracer.cpp.o" "gcc" "src/wave/CMakeFiles/ecocap_wave.dir/ray_tracer.cpp.o.d"
+  "/root/repo/src/wave/snell.cpp" "src/wave/CMakeFiles/ecocap_wave.dir/snell.cpp.o" "gcc" "src/wave/CMakeFiles/ecocap_wave.dir/snell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/ecocap_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecocap_wave.dir/attenuation.cpp.o"
+  "CMakeFiles/ecocap_wave.dir/attenuation.cpp.o.d"
+  "CMakeFiles/ecocap_wave.dir/beam.cpp.o"
+  "CMakeFiles/ecocap_wave.dir/beam.cpp.o.d"
+  "CMakeFiles/ecocap_wave.dir/body_wave.cpp.o"
+  "CMakeFiles/ecocap_wave.dir/body_wave.cpp.o.d"
+  "CMakeFiles/ecocap_wave.dir/boundary.cpp.o"
+  "CMakeFiles/ecocap_wave.dir/boundary.cpp.o.d"
+  "CMakeFiles/ecocap_wave.dir/fdtd.cpp.o"
+  "CMakeFiles/ecocap_wave.dir/fdtd.cpp.o.d"
+  "CMakeFiles/ecocap_wave.dir/frequency_response.cpp.o"
+  "CMakeFiles/ecocap_wave.dir/frequency_response.cpp.o.d"
+  "CMakeFiles/ecocap_wave.dir/helmholtz.cpp.o"
+  "CMakeFiles/ecocap_wave.dir/helmholtz.cpp.o.d"
+  "CMakeFiles/ecocap_wave.dir/material.cpp.o"
+  "CMakeFiles/ecocap_wave.dir/material.cpp.o.d"
+  "CMakeFiles/ecocap_wave.dir/prism.cpp.o"
+  "CMakeFiles/ecocap_wave.dir/prism.cpp.o.d"
+  "CMakeFiles/ecocap_wave.dir/ray_tracer.cpp.o"
+  "CMakeFiles/ecocap_wave.dir/ray_tracer.cpp.o.d"
+  "CMakeFiles/ecocap_wave.dir/snell.cpp.o"
+  "CMakeFiles/ecocap_wave.dir/snell.cpp.o.d"
+  "libecocap_wave.a"
+  "libecocap_wave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecocap_wave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

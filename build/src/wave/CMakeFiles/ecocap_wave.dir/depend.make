@@ -1,0 +1,2 @@
+# Empty dependencies file for ecocap_wave.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_firmware.dir/test_node_firmware.cpp.o"
+  "CMakeFiles/test_node_firmware.dir/test_node_firmware.cpp.o.d"
+  "test_node_firmware"
+  "test_node_firmware.pdb"
+  "test_node_firmware[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_harvester.dir/test_node_harvester.cpp.o"
+  "CMakeFiles/test_node_harvester.dir/test_node_harvester.cpp.o.d"
+  "test_node_harvester"
+  "test_node_harvester.pdb"
+  "test_node_harvester[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_harvester.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_power_shell.dir/test_node_power_shell.cpp.o"
+  "CMakeFiles/test_node_power_shell.dir/test_node_power_shell.cpp.o.d"
+  "test_node_power_shell"
+  "test_node_power_shell.pdb"
+  "test_node_power_shell[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_power_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

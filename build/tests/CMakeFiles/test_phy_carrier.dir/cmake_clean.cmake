@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_carrier.dir/test_phy_carrier.cpp.o"
+  "CMakeFiles/test_phy_carrier.dir/test_phy_carrier.cpp.o.d"
+  "test_phy_carrier"
+  "test_phy_carrier.pdb"
+  "test_phy_carrier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_carrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_codes.dir/test_phy_codes.cpp.o"
+  "CMakeFiles/test_phy_codes.dir/test_phy_codes.cpp.o.d"
+  "test_phy_codes"
+  "test_phy_codes.pdb"
+  "test_phy_codes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

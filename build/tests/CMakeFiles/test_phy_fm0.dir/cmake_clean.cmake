@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_fm0.dir/test_phy_fm0.cpp.o"
+  "CMakeFiles/test_phy_fm0.dir/test_phy_fm0.cpp.o.d"
+  "test_phy_fm0"
+  "test_phy_fm0.pdb"
+  "test_phy_fm0[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_fm0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_protocol.dir/test_phy_protocol.cpp.o"
+  "CMakeFiles/test_phy_protocol.dir/test_phy_protocol.cpp.o.d"
+  "test_phy_protocol"
+  "test_phy_protocol.pdb"
+  "test_phy_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

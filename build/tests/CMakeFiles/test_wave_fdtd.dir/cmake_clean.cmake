@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wave_fdtd.dir/test_wave_fdtd.cpp.o"
+  "CMakeFiles/test_wave_fdtd.dir/test_wave_fdtd.cpp.o.d"
+  "test_wave_fdtd"
+  "test_wave_fdtd.pdb"
+  "test_wave_fdtd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wave_fdtd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wave_snell.dir/test_wave_snell.cpp.o"
+  "CMakeFiles/test_wave_snell.dir/test_wave_snell.cpp.o.d"
+  "test_wave_snell"
+  "test_wave_snell.pdb"
+  "test_wave_snell[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wave_snell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_dsp_signal_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_dsp_filters[1]_include.cmake")
+include("/root/repo/build/tests/test_dsp_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_wave_materials[1]_include.cmake")
+include("/root/repo/build/tests/test_wave_snell[1]_include.cmake")
+include("/root/repo/build/tests/test_wave_propagation[1]_include.cmake")
+include("/root/repo/build/tests/test_phy_codes[1]_include.cmake")
+include("/root/repo/build/tests/test_phy_fm0[1]_include.cmake")
+include("/root/repo/build/tests/test_phy_carrier[1]_include.cmake")
+include("/root/repo/build/tests/test_phy_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_node_harvester[1]_include.cmake")
+include("/root/repo/build/tests/test_node_power_shell[1]_include.cmake")
+include("/root/repo/build/tests/test_node_firmware[1]_include.cmake")
+include("/root/repo/build/tests/test_reader[1]_include.cmake")
+include("/root/repo/build/tests/test_core_link[1]_include.cmake")
+include("/root/repo/build/tests/test_shm[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_wave_fdtd[1]_include.cmake")
+include("/root/repo/build/tests/test_multinode[1]_include.cmake")
