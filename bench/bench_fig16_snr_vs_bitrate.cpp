@@ -3,14 +3,18 @@
 // U2B baseline.
 
 #include <cstdio>
+#include <vector>
 
 #include "baseline/pab.hpp"
+#include "bench_json.hpp"
 #include "channel/snr_models.hpp"
 #include "wave/material.hpp"
 
 using namespace ecocap;
 
 int main() {
+  bench::BenchJson out("fig16_snr_vs_bitrate");
+  std::vector<double> rates, eco_db, pab_db, u2b_db;
   const auto eco =
       channel::UplinkSnrModel::ecocapsule(wave::materials::normal_concrete());
   const baseline::PabSystem pab;
@@ -24,8 +28,20 @@ int main() {
                       15.0}) {
     std::printf("%.0f,%.1f,%.1f,%.1f\n", kbps, eco.snr_db(kbps * 1000.0),
                 pab_m.snr_db(kbps * 1000.0), u2b_m.snr_db(kbps * 1000.0));
+    rates.push_back(kbps);
+    eco_db.push_back(eco.snr_db(kbps * 1000.0));
+    pab_db.push_back(pab_m.snr_db(kbps * 1000.0));
+    u2b_db.push_back(u2b_m.snr_db(kbps * 1000.0));
   }
   std::printf("# paper shape: EcoCapsule drops to ~3 dB past 13 kbps; PAB is\n");
   std::printf("#   limited to ~3 kbps; U2B overtakes EcoCapsule above ~9 kbps\n");
+  out.set_trials(rates.size());
+  out.metric("ecocapsule_snr_at_1kbps", eco_db.front());
+  out.metric("ecocapsule_snr_at_13kbps", eco.snr_db(13000.0));
+  out.series("bitrate_kbps", rates);
+  out.series("ecocapsule_db", eco_db);
+  out.series("pab_db", pab_db);
+  out.series("u2b_db", u2b_db);
+  out.write();
   return 0;
 }

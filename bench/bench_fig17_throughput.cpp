@@ -1,15 +1,21 @@
 // Fig. 17 — best uplink throughput per concrete type (NC / UHPC / UHPFRC,
 // 15 cm blocks): goodput-optimal bitrate under the bandwidth-limited SNR
-// model with a 64-bit packet criterion.
+// model with a 64-bit packet criterion. Emits BENCH_fig17_throughput.json.
 
 #include <cstdio>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "channel/snr_models.hpp"
 #include "wave/material.hpp"
 
 using namespace ecocap;
 
 int main() {
+  bench::BenchJson out("fig17_throughput");
+  std::vector<double> throughputs, bitrates;
+  std::size_t evaluations = 0;
+
   std::printf("# Fig. 17 — throughput (kbps) by concrete type\n");
   std::printf("concrete,throughput_kbps,best_bitrate_kbps,snr0_db\n");
   for (const auto& m : wave::materials::table1_concretes()) {
@@ -18,7 +24,17 @@ int main() {
     std::printf("%s,%.1f,%.1f,%.1f\n", m.name.c_str(),
                 best.throughput / 1000.0, best.best_bitrate / 1000.0,
                 model.snr0_db);
+    out.metric("throughput_kbps_" + m.name, best.throughput / 1000.0);
+    out.metric("best_bitrate_kbps_" + m.name, best.best_bitrate / 1000.0);
+    throughputs.push_back(best.throughput / 1000.0);
+    bitrates.push_back(best.best_bitrate / 1000.0);
+    ++evaluations;
   }
   std::printf("# paper: all >= 13 kbps; UHPC/UHPFRC ~2 kbps above NC\n");
+
+  out.set_trials(evaluations);
+  out.series("throughput_kbps", throughputs);
+  out.series("best_bitrate_kbps", bitrates);
+  out.write();
   return 0;
 }

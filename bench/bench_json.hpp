@@ -1,0 +1,115 @@
+#pragma once
+
+// Shared BENCH_<name>.json emitter for the bench_* binaries: every figure
+// reproduction records its wall time, trial throughput, and the figure's
+// summary statistics in a machine-readable file next to the CSV stdout, so
+// the repo accumulates a perf trajectory across PRs. Schema documented in
+// docs/benchmarks.md; no third-party JSON dependency, just careful quoting.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+
+namespace ecocap::bench {
+
+class BenchJson {
+ public:
+  /// Starts the wall-time clock. `name` becomes BENCH_<name>.json.
+  explicit BenchJson(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+  /// Record a scalar summary statistic (BER at a given SNR, throughput...).
+  void metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  /// Record a named series (one figure axis or curve).
+  void series(const std::string& key, const std::vector<double>& values) {
+    series_.emplace_back(key, values);
+  }
+
+  /// Total Monte-Carlo trials behind the figure; drives trials_per_sec.
+  void set_trials(std::size_t trials) { trials_ = trials; }
+
+  /// Stop the clock and write BENCH_<name>.json into the working directory.
+  /// Returns false (and prints a warning) when the file cannot be written;
+  /// benches still succeed so CI logs keep the CSV output.
+  bool write() {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "# bench_json: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"name\": \"%s\",\n", escaped(name_).c_str());
+    std::fprintf(f, "  \"schema_version\": 1,\n");
+    std::fprintf(f, "  \"threads\": %u,\n",
+                 core::ThreadPool::default_worker_count());
+    std::fprintf(f, "  \"wall_seconds\": %.6f,\n", wall);
+    std::fprintf(f, "  \"trials\": %zu,\n", trials_);
+    std::fprintf(f, "  \"trials_per_sec\": %.3f,\n",
+                 wall > 0.0 ? static_cast<double>(trials_) / wall : 0.0);
+    std::fprintf(f, "  \"metrics\": {");
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": ", i ? "," : "",
+                   escaped(metrics_[i].first).c_str());
+      print_number(f, metrics_[i].second);
+    }
+    std::fprintf(f, "%s},\n", metrics_.empty() ? "" : "\n  ");
+    std::fprintf(f, "  \"series\": {");
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": [", i ? "," : "",
+                   escaped(series_[i].first).c_str());
+      const auto& v = series_[i].second;
+      for (std::size_t j = 0; j < v.size(); ++j) {
+        if (j) std::fprintf(f, ", ");
+        print_number(f, v[j]);
+      }
+      std::fprintf(f, "]");
+    }
+    std::fprintf(f, "%s}\n", series_.empty() ? "" : "\n  ");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("# wrote %s (%.2fs, %zu trials)\n", path.c_str(), wall,
+                trials_);
+    return true;
+  }
+
+ private:
+  /// NaN/inf are not JSON; emit null so downstream parsers stay happy.
+  static void print_number(std::FILE* f, double v) {
+    if (std::isfinite(v)) {
+      std::fprintf(f, "%.12g", v);
+    } else {
+      std::fprintf(f, "null");
+    }
+  }
+
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::size_t trials_ = 0;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, std::vector<double>>> series_;
+};
+
+}  // namespace ecocap::bench

@@ -2,12 +2,16 @@
 // four regional standards, plus grading spot checks.
 
 #include <cstdio>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "shm/health.hpp"
 
 using namespace ecocap;
 
 int main() {
+  bench::BenchJson out("table2_health_levels");
+  std::size_t checks = 0;
   const shm::Region regions[] = {
       shm::Region::kUnitedStates, shm::Region::kHongKong,
       shm::Region::kBangkok, shm::Region::kManila};
@@ -22,10 +26,18 @@ int main() {
 
   std::printf("\n# grading sweep (Hong Kong standard)\n");
   std::printf("pao_m2_per_ped,grade\n");
+  std::vector<double> paos, grades;
   for (double pao : {4.0, 3.0, 2.0, 1.2, 0.7, 0.4}) {
-    std::printf("%.1f,%c\n", pao,
-                shm::health_letter(shm::grade_pao(pao, shm::Region::kHongKong)));
+    const auto grade = shm::grade_pao(pao, shm::Region::kHongKong);
+    std::printf("%.1f,%c\n", pao, shm::health_letter(grade));
+    paos.push_back(pao);
+    grades.push_back(static_cast<double>(grade));
+    ++checks;
   }
   std::printf("# paper: H > 2 healthy; H <= 1 overload/collapse risk\n");
+  out.set_trials(checks);
+  out.series("pao_m2_per_ped", paos);
+  out.series("grade_index", grades);
+  out.write();
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "core/thread_pool.hpp"
 #include "dsp/rng.hpp"
 #include "phy/fm0.hpp"
 
@@ -34,7 +35,19 @@ struct BerResult {
 /// Monte-Carlo BER of FM0 over an AWGN decision-domain channel (the
 /// post-downconversion residual the reader actually slices). Frame sync is
 /// assumed ideal — Fig. 15 measures coding/decoding efficiency, not sync.
+///
+/// Frames are independent trials sharded across `pool` with a
+/// counter-derived RNG per frame, so the aggregate (bits, errors) is
+/// bit-identical at any thread count and the sweep scales with cores.
+BerResult fm0_ber_monte_carlo(const BerConfig& config, ThreadPool& pool);
+
+/// Same, on the process-shared pool (honours ECOCAP_THREADS).
 BerResult fm0_ber_monte_carlo(const BerConfig& config);
+
+/// Strictly sequential reference implementation, kept for speedup
+/// measurements against the parallel engine (same statistics, different —
+/// single — RNG stream).
+BerResult fm0_ber_monte_carlo_sequential(const BerConfig& config);
 
 /// Hard-decision FM0 decode used by the PAB baseline model: sign-slice each
 /// half-bit and read the mid-symbol transition.

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "core/trial_runner.hpp"
 #include "dsp/signal_ops.hpp"
 
 namespace ecocap::core {
@@ -103,9 +104,9 @@ InterrogationResult LinkSimulator::interrogate(
     receiver_.set_blf(frame.blf);
     receiver_.set_bitrate(frame.bitrate);
     const reader::UplinkDecode dec = receiver_.decode(at_reader, reply_bits);
-    result.uplink_snr_db = dec.snr_db;
     result.carrier_estimate = dec.carrier_estimate;
     if (!dec.valid) return std::nullopt;
+    result.uplink_snr_db = dec.snr_db;  // only valid decodes carry an SNR
     (void)fs;
     return dec.payload;
   };
@@ -166,11 +167,41 @@ InterrogationResult LinkSimulator::uplink_once(const phy::Bits& payload) {
   receiver_.set_bitrate(frame.bitrate);
   const reader::UplinkDecode dec =
       receiver_.decode(at_reader, payload.size());
-  result.uplink_snr_db = dec.snr_db;
   result.carrier_estimate = dec.carrier_estimate;
   result.uplink_decoded = dec.valid;
-  if (dec.valid) result.uplink_payload = dec.payload;
+  if (dec.valid) {
+    result.uplink_snr_db = dec.snr_db;  // NaN otherwise: no measurement
+    result.uplink_payload = dec.payload;
+  }
   return result;
+}
+
+UplinkSweepResult uplink_sweep(const SystemConfig& base,
+                               const phy::Bits& payload, std::size_t trials) {
+  // Waveform-level trials are heavy (each builds a full channel + capsule),
+  // so shard them one per block: dynamic claiming then load-balances even
+  // when decode cost varies with the noise draw.
+  const TrialRunner runner(ThreadPool::shared(), /*block_size=*/1);
+  return runner.run<UplinkSweepResult>(
+      trials, base.seed,
+      [&](std::size_t t, dsp::Rng&, UplinkSweepResult& acc) {
+        SystemConfig cfg = base;
+        cfg.seed = dsp::trial_seed(base.seed, t);
+        LinkSimulator sim(cfg);
+        const InterrogationResult r = sim.uplink_once(payload);
+        ++acc.trials;
+        if (r.node_powered) ++acc.powered;
+        if (r.uplink_decoded) {
+          ++acc.decoded;
+          acc.snr_db_sum += r.uplink_snr_db;
+        }
+      },
+      [](UplinkSweepResult& into, const UplinkSweepResult& from) {
+        into.trials += from.trials;
+        into.powered += from.powered;
+        into.decoded += from.decoded;
+        into.snr_db_sum += from.snr_db_sum;
+      });
 }
 
 LinkSimulator::RangeEstimate LinkSimulator::estimate_node_distance() {

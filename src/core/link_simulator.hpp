@@ -88,4 +88,28 @@ class LinkSimulator {
   node::EcoCapsule capsule_;
 };
 
+/// Aggregate of many independent waveform-level uplink rounds (the Monte
+/// Carlo behind Figs. 15-18 style link sweeps).
+struct UplinkSweepResult {
+  std::size_t trials = 0;
+  std::size_t powered = 0;
+  std::size_t decoded = 0;
+  Real snr_db_sum = 0.0;  // over decoded trials only
+
+  Real decode_rate() const {
+    return trials ? static_cast<Real>(decoded) / static_cast<Real>(trials)
+                  : 0.0;
+  }
+  Real mean_snr_db() const {
+    return decoded ? snr_db_sum / static_cast<Real>(decoded) : 0.0;
+  }
+};
+
+/// Run `trials` independent LinkSimulator::uplink_once rounds in parallel on
+/// the process-shared pool. Trial t builds its own simulator seeded with
+/// trial_seed(base.seed, t), so the aggregate is bit-identical regardless of
+/// thread count.
+UplinkSweepResult uplink_sweep(const SystemConfig& base,
+                               const phy::Bits& payload, std::size_t trials);
+
 }  // namespace ecocap::core

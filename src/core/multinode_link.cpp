@@ -9,7 +9,6 @@ namespace ecocap::core {
 
 MultiNodeLink::MultiNodeLink(Config config)
     : config_(std::move(config)),
-      rng_(config_.seed),
       transmitter_(config_.transmitter),
       receiver_(config_.receiver) {}
 
@@ -24,22 +23,34 @@ void MultiNodeLink::deploy(const NodePlacement& placement) {
   ch.distance = placement.distance;
   d.channel =
       std::make_unique<channel::ConcreteChannel>(config_.structure, ch);
+  d.noise_rng = std::make_unique<dsp::Rng>(
+      dsp::trial_seed(config_.seed, nodes_.size()));
   nodes_.push_back(std::move(d));
 }
 
 std::vector<std::pair<MultiNodeLink::Deployed*, node::UplinkFrame>>
 MultiNodeLink::broadcast(const phy::Command& cmd) {
-  std::vector<std::pair<Deployed*, node::UplinkFrame>> responders;
+  // The command waveform is one broadcast: generate it once, then run each
+  // node's downlink + capsule leg on the pool. Per-node state (channel,
+  // capsule, noise stream) is private to its slot, so the fan-out is
+  // lock-free and bit-identical at any thread count; responders are
+  // assembled in deployment order afterwards.
   const dsp::Signal tx = transmitter_.transmit_command(cmd);
   const Real volts_scale = config_.transmitter.tx_voltage /
                            config_.structure.coupling_voltage * 0.5;
-  for (auto& n : nodes_) {
-    dsp::Signal at_node = n.channel->downlink(tx, rng_);
+  std::vector<std::vector<node::UplinkFrame>> frames(nodes_.size());
+  ThreadPool::shared().parallel_for(nodes_.size(), [&](std::size_t i) {
+    Deployed& n = nodes_[i];
+    dsp::Signal at_node = n.channel->downlink(tx, *n.noise_rng);
     dsp::scale(at_node, volts_scale);
     const auto rx = n.capsule->receive(at_node, n.placement.environment);
-    if (!rx.powered) continue;
-    for (const auto& frame : rx.frames) {
-      responders.emplace_back(&n, frame);
+    if (rx.powered) frames[i] = rx.frames;
+  });
+
+  std::vector<std::pair<Deployed*, node::UplinkFrame>> responders;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (const auto& frame : frames[i]) {
+      responders.emplace_back(&nodes_[i], frame);
     }
   }
   return responders;
@@ -66,24 +77,34 @@ reader::UplinkDecode MultiNodeLink::receive_slot(
   }
   const dsp::Signal cw = transmitter_.continuous_wave(frame_time);
 
-  dsp::Signal at_reader;
-  Real blf = config_.capsule.firmware.blf;
-  Real bitrate = config_.capsule.firmware.uplink.bitrate;
-  for (const auto& [n, frame] : responders) {
-    dsp::Signal carrier_at_node = n->channel->downlink(cw, rng_);
+  // Each responder's backscatter leg is independent; compute the per-node
+  // contributions in parallel, then superpose them in responder order so
+  // the floating-point sum is reproducible.
+  std::vector<dsp::Signal> contributions(responders.size());
+  ThreadPool::shared().parallel_for(responders.size(), [&](std::size_t i) {
+    Deployed* n = responders[i].first;
+    const node::UplinkFrame& frame = responders[i].second;
+    dsp::Signal carrier_at_node = n->channel->downlink(cw, *n->noise_rng);
     dsp::scale(carrier_at_node, volts_scale);
     const dsp::Signal emission =
         n->capsule->backscatter(frame, carrier_at_node);
-    dsp::Signal contribution = n->channel->uplink(
-        emission, config_.transmitter.carrier.f_resonant, rng_);
+    contributions[i] = n->channel->uplink(
+        emission, config_.transmitter.carrier.f_resonant, *n->noise_rng);
+  });
+
+  dsp::Signal at_reader;
+  Real blf = config_.capsule.firmware.blf;
+  Real bitrate = config_.capsule.firmware.uplink.bitrate;
+  for (std::size_t i = 0; i < responders.size(); ++i) {
+    dsp::Signal& contribution = contributions[i];
     if (at_reader.empty()) {
       at_reader = std::move(contribution);
     } else {
       const std::size_t m = std::min(at_reader.size(), contribution.size());
-      for (std::size_t i = 0; i < m; ++i) at_reader[i] += contribution[i];
+      for (std::size_t j = 0; j < m; ++j) at_reader[j] += contribution[j];
     }
-    blf = frame.blf;
-    bitrate = frame.bitrate;
+    blf = responders[i].second.blf;
+    bitrate = responders[i].second.bitrate;
   }
   receiver_.set_blf(blf);
   receiver_.set_bitrate(bitrate);
@@ -94,18 +115,24 @@ MultiNodeLink::Result MultiNodeLink::run_inventory() {
   Result result;
 
   // 1. Charge everyone with CBW until powered (or clearly unreachable).
+  // The charge blocks are one broadcast stream (generated once, stateful
+  // PZT and all); each node consumes them independently on the pool.
   const Real volts_scale = config_.transmitter.tx_voltage /
                            config_.structure.coupling_voltage * 0.5;
-  const node::ConcreteEnvironment quiet_env;
-  for (auto& n : nodes_) {
-    for (int i = 0; i < 25 && !n.capsule->harvester().mcu_powered(); ++i) {
-      const dsp::Signal cw = transmitter_.continuous_wave(0.020);
-      dsp::Signal at_node = n.channel->downlink(cw, rng_);
+  std::vector<dsp::Signal> charge_blocks;
+  charge_blocks.reserve(25);
+  for (int i = 0; i < 25; ++i) {
+    charge_blocks.push_back(transmitter_.continuous_wave(0.020));
+  }
+  ThreadPool::shared().parallel_for(nodes_.size(), [&](std::size_t idx) {
+    Deployed& n = nodes_[idx];
+    for (const dsp::Signal& cw : charge_blocks) {
+      if (n.capsule->harvester().mcu_powered()) break;
+      dsp::Signal at_node = n.channel->downlink(cw, *n.noise_rng);
       dsp::scale(at_node, volts_scale);
       n.capsule->receive(at_node, n.placement.environment);
-      (void)quiet_env;
     }
-  }
+  });
 
   // 2. Inventory rounds at the waveform level.
   for (int round = 0; round < config_.max_rounds; ++round) {

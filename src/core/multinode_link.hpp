@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/link_simulator.hpp"
+#include "core/thread_pool.hpp"
 
 namespace ecocap::core {
 
@@ -58,6 +59,10 @@ class MultiNodeLink {
     NodePlacement placement;
     std::unique_ptr<node::EcoCapsule> capsule;
     std::unique_ptr<channel::ConcreteChannel> channel;
+    /// Per-node channel-noise stream, counter-derived from the session seed
+    /// and the deployment index so the per-node legs of a TDMA round can run
+    /// on any worker and still reproduce bit-identically.
+    std::unique_ptr<dsp::Rng> noise_rng;
     bool identified = false;
   };
 
@@ -72,7 +77,6 @@ class MultiNodeLink {
       std::size_t reply_bits);
 
   Config config_;
-  dsp::Rng rng_;
   reader::Transmitter transmitter_;
   reader::Receiver receiver_;
   std::vector<Deployed> nodes_;

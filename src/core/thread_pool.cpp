@@ -1,0 +1,113 @@
+#include "core/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+namespace ecocap::core {
+
+struct ThreadPool::Job {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> active{0};  // workers currently inside run_job
+  std::exception_ptr error;            // first failure, guarded by error_mutex
+  std::mutex error_mutex;
+};
+
+unsigned ThreadPool::default_worker_count() {
+  if (const char* env = std::getenv("ECOCAP_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == 0) workers = default_worker_count();
+  // The caller participates in every job, so spawn one fewer thread; a
+  // single-worker pool is purely inline and thread-free.
+  threads_.reserve(workers - 1);
+  for (unsigned i = 0; i + 1 < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::run_job(Job& job) {
+  while (true) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.n) break;
+    try {
+      (*job.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.error_mutex);
+      if (!job.error) job.error = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  while (true) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || (job_ && epoch_ != seen_epoch); });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      job = job_;
+      job->active.fetch_add(1, std::memory_order_relaxed);
+    }
+    run_job(*job);
+    if (job->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  Job job;
+  job.fn = &fn;
+  job.n = n;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    ++epoch_;
+  }
+  wake_.notify_all();
+  run_job(job);  // the caller is a worker too
+
+  // Workers that joined must leave before the job can be torn down.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_ = nullptr;
+    done_.wait(lock, [&] { return job.active.load(std::memory_order_acquire) == 0; });
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace ecocap::core

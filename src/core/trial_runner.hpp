@@ -1,0 +1,67 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "dsp/rng.hpp"
+
+namespace ecocap::core {
+
+/// Shards N independent Monte-Carlo trials across a ThreadPool with results
+/// that are bit-identical at any worker count.
+///
+/// Three invariants deliver that:
+///  1. trial t draws randomness only from dsp::trial_rng(base_seed, t) — a
+///     counter-derived stream that does not depend on which worker runs it;
+///  2. trials are grouped into fixed-size blocks by index, and each block
+///     accumulates into its own slot of a pre-sized vector — no worker ever
+///     writes another block's slot, so no locks and no sharing;
+///  3. block accumulators are merged sequentially in ascending block order,
+///     so even floating-point sums associate identically every run.
+/// The block decomposition depends only on (trials, block_size), never on
+/// the thread count.
+class TrialRunner {
+ public:
+  explicit TrialRunner(ThreadPool& pool, std::size_t block_size = 64)
+      : pool_(&pool), block_size_(std::max<std::size_t>(block_size, 1)) {}
+
+  /// Uses the process-shared pool.
+  explicit TrialRunner(std::size_t block_size = 64)
+      : TrialRunner(ThreadPool::shared(), block_size) {}
+
+  std::size_t block_size() const { return block_size_; }
+  ThreadPool& pool() const { return *pool_; }
+
+  /// Run `trials` trials. `trial(t, rng, acc)` performs trial t and folds
+  /// its outcome into the block-local accumulator; `merge(into, from)` folds
+  /// one block accumulator into the running total. Acc must be
+  /// default-constructible; its default state is the identity.
+  template <typename Acc, typename TrialFn, typename MergeFn>
+  Acc run(std::size_t trials, std::uint64_t base_seed, TrialFn&& trial,
+          MergeFn&& merge) const {
+    if (trials == 0) return Acc{};
+    const std::size_t blocks = (trials + block_size_ - 1) / block_size_;
+    std::vector<Acc> partial(blocks);
+    pool_->parallel_for(blocks, [&](std::size_t b) {
+      Acc acc{};
+      const std::size_t lo = b * block_size_;
+      const std::size_t hi = std::min(trials, lo + block_size_);
+      for (std::size_t t = lo; t < hi; ++t) {
+        dsp::Rng rng = dsp::trial_rng(base_seed, t);
+        trial(t, rng, acc);
+      }
+      partial[b] = std::move(acc);
+    });
+    Acc total{};
+    for (Acc& p : partial) merge(total, p);
+    return total;
+  }
+
+ private:
+  ThreadPool* pool_;
+  std::size_t block_size_;
+};
+
+}  // namespace ecocap::core

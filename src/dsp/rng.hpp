@@ -7,6 +7,27 @@
 
 namespace ecocap::dsp {
 
+/// SplitMix64 finalizer: a bijective avalanche mix over 64-bit words. Used
+/// to derive well-separated seeds from (base seed, counter) pairs without
+/// any sequential state, so seed derivation itself is parallel-safe.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Counter-derived seed for trial `trial_index` of an experiment seeded with
+/// `base_seed`. Two mixing rounds keep nearby (seed, index) pairs far apart
+/// in seed space; the result depends only on the pair, never on execution
+/// order, which is what makes sharded Monte-Carlo sweeps bit-identical
+/// regardless of thread count.
+constexpr std::uint64_t trial_seed(std::uint64_t base_seed,
+                                   std::uint64_t trial_index) {
+  return splitmix64(splitmix64(base_seed) ^
+                    splitmix64(trial_index + 0x5851f42d4c957f2dULL));
+}
+
 /// Deterministic random source for all stochastic models (noise, traffic,
 /// slot selection). Every experiment seeds its own Rng so runs are exactly
 /// reproducible; nothing in the library touches global random state.
@@ -47,5 +68,13 @@ class Rng {
   std::normal_distribution<Real> normal_{0.0, 1.0};
   std::uniform_real_distribution<Real> uniform_{0.0, 1.0};
 };
+
+/// Fresh per-trial Rng for Monte-Carlo sweeps: trial `trial_index` of an
+/// experiment seeded with `base_seed` always gets the same stream, so a
+/// sweep can be sharded across any number of workers and still reproduce
+/// the single-threaded run bit for bit.
+inline Rng trial_rng(std::uint64_t base_seed, std::uint64_t trial_index) {
+  return Rng(trial_seed(base_seed, trial_index));
+}
 
 }  // namespace ecocap::dsp

@@ -22,6 +22,17 @@ std::uint16_t crc16(std::span<const std::uint8_t> bits) {
   return static_cast<std::uint16_t>(reg ^ 0xFFFF);
 }
 
+void append_crc5(Bits& bits) {
+  const std::uint8_t c = crc5(bits);
+  append_uint(bits, c, 5);
+}
+
+bool check_crc5(std::span<const std::uint8_t> bits_with_crc) {
+  if (bits_with_crc.size() < 5) return false;
+  const std::size_t n = bits_with_crc.size() - 5;
+  return crc5(bits_with_crc.subspan(0, n)) == read_uint(bits_with_crc, n, 5);
+}
+
 void append_crc16(Bits& bits) {
   const std::uint16_t c = crc16(bits);
   append_uint(bits, c, 16);

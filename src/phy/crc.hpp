@@ -15,6 +15,14 @@ std::uint8_t crc5(std::span<const std::uint8_t> bits);
 /// 0xFFFF), computed over a bit stream MSB-first.
 std::uint16_t crc16(std::span<const std::uint8_t> bits);
 
+/// Append crc5 of the current contents (5 bits, MSB-first). Mirrors
+/// append_crc16 so short query-class frames get the same treatment as the
+/// long ones instead of every call site hand-rolling the trailer.
+void append_crc5(Bits& bits);
+
+/// True when the trailing 5 bits are a valid CRC-5 of the preceding bits.
+bool check_crc5(std::span<const std::uint8_t> bits_with_crc);
+
 /// Append crc16 of the current contents (16 bits, MSB-first).
 void append_crc16(Bits& bits);
 

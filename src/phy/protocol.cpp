@@ -4,22 +4,6 @@
 
 namespace ecocap::phy {
 
-namespace {
-
-void append_crc5(Bits& bits) {
-  const std::uint8_t c = crc5(bits);
-  append_uint(bits, c, 5);
-}
-
-bool check_crc5(std::span<const std::uint8_t> bits_with_crc) {
-  if (bits_with_crc.size() < 5) return false;
-  const std::size_t n = bits_with_crc.size() - 5;
-  return crc5(bits_with_crc.subspan(0, n)) ==
-         read_uint(bits_with_crc, n, 5);
-}
-
-}  // namespace
-
 Bits encode_command(const Command& cmd) {
   Bits bits;
   if (const auto* q = std::get_if<QueryCommand>(&cmd)) {

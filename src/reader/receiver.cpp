@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "dsp/biquad.hpp"
 #include "dsp/correlate.hpp"
@@ -71,7 +72,14 @@ void dc_block(dsp::ComplexSignal& z, Real fs, Real cutoff) {
   const std::size_t warm = std::min<std::size_t>(z.size(), 256);
   for (std::size_t i = 0; i < warm; ++i) mean += z[i];
   if (warm > 0) mean /= static_cast<Real>(warm);
-  for (std::size_t i = 0; i < 4096; ++i) {
+  // Feed the mean for ~5 time constants of the one-pole (tau = fs / (2 pi
+  // fc) samples) so the trackers are settled before the first real sample,
+  // whatever the cutoff; a fixed iteration count under-settles low cutoffs
+  // and leaves a DC residue on the first symbols.
+  const Real tau_samples = fs / (dsp::kTwoPi * std::max(cutoff, 1e-6));
+  const auto settle = static_cast<std::size_t>(
+      std::min<Real>(5.0 * tau_samples + 1.0, 65536.0));
+  for (std::size_t i = 0; i < settle; ++i) {
     re_lp.process(mean.real());
     im_lp.process(mean.imag());
   }
@@ -92,9 +100,12 @@ std::size_t pick_decimation(Real fs, Real blf, Real bitrate) {
 
 /// Decision-domain SNR of a decoded FM0 frame: integrate each half-bit of
 /// the demodulated baseband, fit the bipolar amplitude, and compare the
-/// residual scatter against it.
-Real decision_snr_db(std::span<const Real> demod, std::size_t frame_start,
-                     const phy::Bits& all_bits, Real spb) {
+/// residual scatter against it. Returns nullopt when the frame extends past
+/// the demod buffer — a truncated frame has no meaningful SNR, and the old
+/// 0.0 dB sentinel was indistinguishable from a genuine 0 dB measurement.
+std::optional<Real> decision_snr_db(std::span<const Real> demod,
+                                    std::size_t frame_start,
+                                    const phy::Bits& all_bits, Real spb) {
   // Expected half-bit levels from the FM0 state machine.
   std::vector<Real> expected;
   Real level = 1.0;
@@ -111,7 +122,7 @@ Real decision_snr_db(std::span<const Real> demod, std::size_t frame_start,
                                       std::llround(spb * 0.5 * static_cast<Real>(k)));
     const auto hi = frame_start + static_cast<std::size_t>(std::llround(
                                       spb * 0.5 * static_cast<Real>(k + 1)));
-    if (hi > demod.size()) return 0.0;
+    if (hi > demod.size()) return std::nullopt;
     Real acc = 0.0;
     for (std::size_t i = lo; i < hi; ++i) acc += demod[i];
     sums.push_back(acc / std::max<Real>(static_cast<Real>(hi - lo), 1.0));
@@ -188,13 +199,18 @@ UplinkDecode Receiver::decode(std::span<const Real> rx,
     if (fd.preamble_correlation > best.preamble_correlation) {
       best.preamble_correlation = fd.preamble_correlation;
       if (!fd.payload.empty()) {
-        best.payload = fd.payload;
-        best.valid = true;
-        best.frame_start_s = static_cast<Real>(fd.frame_start) / fs2;
         phy::Bits all = phy::fm0_preamble(config_.uplink);
         all.insert(all.end(), fd.payload.begin(), fd.payload.end());
-        best.snr_db = decision_snr_db(demod, fd.frame_start, all,
-                                      fs2 / config_.uplink.bitrate);
+        const std::optional<Real> snr = decision_snr_db(
+            demod, fd.frame_start, all, fs2 / config_.uplink.bitrate);
+        // A frame that runs past the capture has no scoreable decision
+        // statistics: reject it rather than reporting a fake 0 dB.
+        if (snr) {
+          best.payload = fd.payload;
+          best.valid = true;
+          best.frame_start_s = static_cast<Real>(fd.frame_start) / fs2;
+          best.snr_db = *snr;
+        }
       }
     }
   }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <limits>
 #include <optional>
 #include <span>
 
@@ -32,7 +33,9 @@ struct UplinkDecode {
   bool valid = false;
   Real carrier_estimate = 0.0;   // Hz
   Real preamble_correlation = 0.0;
-  Real snr_db = 0.0;             // decision-domain SNR estimate
+  /// Decision-domain SNR estimate; NaN until a frame is validly decoded
+  /// and scored (a truncated frame is rejected, never scored as 0 dB).
+  Real snr_db = std::numeric_limits<Real>::quiet_NaN();
   /// Arrival time of the frame preamble within the capture (seconds). With
   /// a delay-preserving channel this carries the round-trip time of flight
   /// used for node ranging.

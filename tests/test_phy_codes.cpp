@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "dsp/rng.hpp"
 #include "phy/bits.hpp"
 #include "phy/crc.hpp"
@@ -86,9 +88,58 @@ TEST(Crc, Crc5Deterministic) {
   EXPECT_NE(crc5(a), crc5(b));
 }
 
+TEST(Crc, Crc5GoldenVectors) {
+  // EPC Gen2 CRC-5 (poly 0x09, preset 0x09), MSB-first. Vectors computed
+  // from an independent bit-serial reference implementation.
+  EXPECT_EQ(crc5(Bits{}), 0x09);  // preset: empty message leaves the register
+  EXPECT_EQ(crc5(Bits(8, 0)), 0x15);
+  EXPECT_EQ(crc5(Bits(8, 1)), 0x06);
+  // Gen2 Query command prefix (code 0b1000) + 4-bit Q field.
+  Bits query_q0;
+  append_uint(query_q0, 0b1000, 4);
+  append_uint(query_q0, 0, 4);
+  EXPECT_EQ(crc5(query_q0), 0x0B);
+  Bits query_q3;
+  append_uint(query_q3, 0b1000, 4);
+  append_uint(query_q3, 3, 4);
+  EXPECT_EQ(crc5(query_q3), 0x10);
+}
+
+TEST(Crc, Crc16GoldenVectors) {
+  // Gen2's CRC-16 (poly 0x1021, preset 0xFFFF, final XOR 0xFFFF) is
+  // CRC-16/GENIBUS; its published check value over ASCII "123456789" is
+  // 0xD64E. Bit-serial MSB-first over the byte stream must reproduce it.
+  Bits check;
+  for (char c : std::string("123456789")) {
+    append_uint(check, static_cast<std::uint32_t>(c), 8);
+  }
+  EXPECT_EQ(crc16(check), 0xD64E);
+  EXPECT_EQ(crc16(Bits{}), 0x0000);  // preset XOR final-XOR cancel
+  EXPECT_EQ(crc16(Bits(16, 0)), 0xE2F0);
+  Bits word;
+  append_uint(word, 0x1234, 16);
+  EXPECT_EQ(crc16(word), 0xF136);
+}
+
+TEST(Crc, Crc5AppendCheckRoundTrip) {
+  dsp::Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    Bits bits = random_bits(8, rng);
+    append_crc5(bits);
+    EXPECT_TRUE(check_crc5(bits));
+    // Any single-bit corruption of a query-sized frame must be caught.
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      Bits corrupted = bits;
+      corrupted[i] ^= 1;
+      EXPECT_FALSE(check_crc5(corrupted)) << "bit " << i;
+    }
+  }
+}
+
 TEST(Crc, TooShortFails) {
   const Bits tiny{1, 0, 1};
   EXPECT_FALSE(check_crc16(tiny));
+  EXPECT_FALSE(check_crc5(tiny));
 }
 
 TEST(Pie, PowerDutyAtLeastHalfForZeros) {
