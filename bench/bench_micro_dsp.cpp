@@ -1,12 +1,24 @@
 // Micro-benchmarks (google-benchmark) for the hot paths that the Monte
-// Carlo experiment harnesses lean on: FFT, FIR filtering, FM0 Viterbi
-// decode, the envelope detector, and the waveform-level concrete channel.
+// Carlo experiment harnesses lean on: FFT, FIR filtering (direct vs the
+// overlap-save FFT path), correlation, zero-phase filtering, FM0 Viterbi
+// decode, the envelope detector, the waveform-level concrete channel, and
+// threaded FDTD stepping.
+//
+// Besides the google-benchmark table, main() times the headline
+// direct-vs-FFT and 1-vs-N-thread comparisons with a plain chrono loop and
+// writes them to BENCH_micro_dsp.json (schema in docs/benchmarks.md), so
+// the perf trajectory of this PR's kernels is machine-readable.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench_json.hpp"
 #include "channel/concrete_channel.hpp"
 #include "core/ber_harness.hpp"
+#include "core/thread_pool.hpp"
 #include "dsp/envelope.hpp"
+#include "dsp/fast_convolve.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/fir.hpp"
 #include "dsp/oscillator.hpp"
@@ -27,7 +39,23 @@ static void BM_Fft(benchmark::State& state) {
 }
 BENCHMARK(BM_Fft)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 17);
 
+static void BM_FirFilterScalar(benchmark::State& state) {
+  // The seed's per-sample delay-line path (also today's direct fallback).
+  const dsp::Signal h = dsp::design_lowpass(1.0e6, 50.0e3, 129);
+  const dsp::Signal x = dsp::tone(1.0e6, 30.0e3, 1 << 15, 1.0);
+  dsp::FirFilter f(h);
+  for (auto _ : state) {
+    dsp::Signal out(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) out[i] = f.process(x[i]);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.size()));
+}
+BENCHMARK(BM_FirFilterScalar);
+
 static void BM_FirFilter(benchmark::State& state) {
+  // Batch path: dispatches to overlap-save FFT convolution at this size.
   const dsp::Signal h = dsp::design_lowpass(1.0e6, 50.0e3, 129);
   const dsp::Signal x = dsp::tone(1.0e6, 30.0e3, 1 << 15, 1.0);
   dsp::FirFilter f(h);
@@ -38,6 +66,48 @@ static void BM_FirFilter(benchmark::State& state) {
                           static_cast<int64_t>(x.size()));
 }
 BENCHMARK(BM_FirFilter);
+
+static void BM_FilterZeroPhase(benchmark::State& state) {
+  const auto taps = static_cast<std::size_t>(state.range(0));
+  const dsp::Signal h = dsp::design_lowpass(1.0e6, 50.0e3, taps);
+  const dsp::Signal x = dsp::tone(1.0e6, 30.0e3, 1 << 15, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::filter_zero_phase(h, x));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.size()));
+}
+BENCHMARK(BM_FilterZeroPhase)->Arg(15)->Arg(129)->Arg(513);
+
+static void BM_CorrelateDirect(benchmark::State& state) {
+  const dsp::Signal x = dsp::tone(1.0e6, 30.0e3, 1 << 15, 1.0);
+  const dsp::Signal h = dsp::tone(1.0e6, 30.0e3, 512, 1.0);
+  for (auto _ : state) {
+    // Inline brute-force sliding dot product (the seed path).
+    const std::size_t out_len = x.size() - h.size() + 1;
+    dsp::Signal out(out_len, 0.0);
+    for (std::size_t k = 0; k < out_len; ++k) {
+      dsp::Real acc = 0.0;
+      for (std::size_t i = 0; i < h.size(); ++i) acc += x[k + i] * h[i];
+      out[k] = acc;
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.size()));
+}
+BENCHMARK(BM_CorrelateDirect);
+
+static void BM_CorrelateFft(benchmark::State& state) {
+  const dsp::Signal x = dsp::tone(1.0e6, 30.0e3, 1 << 15, 1.0);
+  const dsp::Signal h = dsp::tone(1.0e6, 30.0e3, 512, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::correlate_valid_fft(x, h));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.size()));
+}
+BENCHMARK(BM_CorrelateFft);
 
 static void BM_Fm0Decode(benchmark::State& state) {
   dsp::Rng rng(1);
@@ -76,10 +146,26 @@ static void BM_ConcreteChannelDownlink(benchmark::State& state) {
 }
 BENCHMARK(BM_ConcreteChannelDownlink);
 
+static void BM_ConcreteChannelUplink(benchmark::State& state) {
+  channel::ChannelConfig cfg;
+  cfg.distance = 0.5;
+  const channel::ConcreteChannel ch(channel::structures::s3_common_wall(),
+                                    cfg);
+  const dsp::Signal x = dsp::tone(cfg.fs, 230.0e3, 1 << 16, 0.01);
+  dsp::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ch.uplink(x, 230.0e3, rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.size()));
+}
+BENCHMARK(BM_ConcreteChannelUplink);
+
 static void BM_FdtdStep(benchmark::State& state) {
   wave::ElasticFdtd::Config cfg;
   cfg.nx = static_cast<std::size_t>(state.range(0));
   cfg.ny = cfg.nx;
+  cfg.parallel = false;
   wave::ElasticFdtd sim(wave::materials::reference_concrete(), cfg);
   sim.add_force(cfg.nx / 2, cfg.ny / 2, 1, 1.0);
   for (auto _ : state) {
@@ -89,6 +175,22 @@ static void BM_FdtdStep(benchmark::State& state) {
                           static_cast<int64_t>(cfg.nx * cfg.ny));
 }
 BENCHMARK(BM_FdtdStep)->Arg(128)->Arg(256);
+
+static void BM_FdtdStepThreads(benchmark::State& state) {
+  core::ThreadPool pool(static_cast<unsigned>(state.range(1)));
+  wave::ElasticFdtd::Config cfg;
+  cfg.nx = static_cast<std::size_t>(state.range(0));
+  cfg.ny = cfg.nx;
+  cfg.pool = &pool;
+  wave::ElasticFdtd sim(wave::materials::reference_concrete(), cfg);
+  sim.add_force(cfg.nx / 2, cfg.ny / 2, 1, 1.0);
+  for (auto _ : state) {
+    sim.step();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(cfg.nx * cfg.ny));
+}
+BENCHMARK(BM_FdtdStepThreads)->Args({256, 1})->Args({256, 2})->Args({256, 4});
 
 static void BM_BerTrial(benchmark::State& state) {
   core::BerConfig cfg;
@@ -101,3 +203,133 @@ static void BM_BerTrial(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 4096);
 }
 BENCHMARK(BM_BerTrial);
+
+namespace {
+
+/// Nanoseconds per call, growing the iteration count until the measurement
+/// window is long enough to trust.
+template <typename F>
+double time_ns(F&& f, double min_seconds = 0.05) {
+  using clock = std::chrono::steady_clock;
+  f();  // warm up caches and any lazy design
+  std::size_t iters = 1;
+  while (true) {
+    const auto t0 = clock::now();
+    for (std::size_t i = 0; i < iters; ++i) f();
+    const double s = std::chrono::duration<double>(clock::now() - t0).count();
+    if (s >= min_seconds) return s * 1e9 / static_cast<double>(iters);
+    const double grow = (s > 1e-9) ? min_seconds / s * 1.2 : 8.0;
+    iters = std::max(iters + 1, static_cast<std::size_t>(
+                                    static_cast<double>(iters) * grow));
+  }
+}
+
+/// Headline direct-vs-FFT and 1-vs-N-thread comparisons for the JSON
+/// trajectory. These are the acceptance numbers: the google-benchmark table
+/// above is for humans, this block is for machines.
+void record_headline_metrics(ecocap::bench::BenchJson& json) {
+  // 129-tap FIR over a 32k buffer: seed per-sample delay line vs the
+  // overlap-save FFT batch path.
+  {
+    const dsp::Signal h = dsp::design_lowpass(1.0e6, 50.0e3, 129);
+    const dsp::Signal x = dsp::tone(1.0e6, 30.0e3, 1 << 15, 1.0);
+    dsp::FirFilter scalar_f(h);
+    const double direct_ns = time_ns([&] {
+      dsp::Signal out(x.size());
+      for (std::size_t i = 0; i < x.size(); ++i) out[i] = scalar_f.process(x[i]);
+      benchmark::DoNotOptimize(out);
+    });
+    dsp::FirFilter batch_f(h);
+    const double fft_ns = time_ns([&] {
+      benchmark::DoNotOptimize(batch_f.process(x));
+    });
+    json.metric("fir_129tap_32k_direct_ns", direct_ns);
+    json.metric("fir_129tap_32k_fft_ns", fft_ns);
+    json.metric("fir_129tap_32k_speedup", direct_ns / fft_ns);
+  }
+
+  // Zero-phase filtering, same design point.
+  {
+    const dsp::Signal h = dsp::design_lowpass(1.0e6, 50.0e3, 129);
+    const dsp::Signal x = dsp::tone(1.0e6, 30.0e3, 1 << 15, 1.0);
+    const double direct_ns = time_ns([&] {
+      benchmark::DoNotOptimize(dsp::convolve_full_direct(x, h));
+    });
+    const double fft_ns = time_ns([&] {
+      benchmark::DoNotOptimize(dsp::filter_zero_phase(h, x));
+    });
+    json.metric("zero_phase_129tap_32k_direct_ns", direct_ns);
+    json.metric("zero_phase_129tap_32k_fft_ns", fft_ns);
+    json.metric("zero_phase_129tap_32k_speedup", direct_ns / fft_ns);
+  }
+
+  // Valid correlation of a 512-sample template against a 32k capture (the
+  // FM0 preamble search shape).
+  {
+    const dsp::Signal x = dsp::tone(1.0e6, 30.0e3, 1 << 15, 1.0);
+    const dsp::Signal h = dsp::tone(1.0e6, 30.0e3, 512, 1.0);
+    const double direct_ns = time_ns([&] {
+      const std::size_t out_len = x.size() - h.size() + 1;
+      dsp::Signal out(out_len, 0.0);
+      for (std::size_t k = 0; k < out_len; ++k) {
+        dsp::Real acc = 0.0;
+        for (std::size_t i = 0; i < h.size(); ++i) acc += x[k + i] * h[i];
+        out[k] = acc;
+      }
+      benchmark::DoNotOptimize(out);
+    });
+    const double fft_ns = time_ns([&] {
+      benchmark::DoNotOptimize(dsp::correlate_valid_fft(x, h));
+    });
+    json.metric("correlate_512tmpl_32k_direct_ns", direct_ns);
+    json.metric("correlate_512tmpl_32k_fft_ns", fft_ns);
+    json.metric("correlate_512tmpl_32k_speedup", direct_ns / fft_ns);
+  }
+
+  // Waveform-level uplink through the cached-resonator channel.
+  {
+    channel::ChannelConfig cfg;
+    cfg.distance = 0.5;
+    const channel::ConcreteChannel ch(channel::structures::s3_common_wall(),
+                                      cfg);
+    const dsp::Signal x = dsp::tone(cfg.fs, 230.0e3, 1 << 16, 0.01);
+    dsp::Rng rng(3);
+    json.metric("uplink_65536_ns", time_ns([&] {
+                  benchmark::DoNotOptimize(ch.uplink(x, 230.0e3, rng));
+                }));
+  }
+
+  // FDTD stepping, 256x256, serial vs a 4-worker pool. On a single
+  // hardware core the threaded number degrades to ~1x — the JSON records
+  // whatever this host can actually deliver.
+  {
+    const auto fdtd_ns = [](unsigned workers) {
+      core::ThreadPool pool(workers);
+      wave::ElasticFdtd::Config cfg;
+      cfg.nx = 256;
+      cfg.ny = 256;
+      cfg.pool = &pool;
+      wave::ElasticFdtd sim(wave::materials::reference_concrete(), cfg);
+      sim.add_force(128, 128, 1, 1.0);
+      return time_ns([&] { sim.step(); });
+    };
+    const double t1 = fdtd_ns(1);
+    const double t4 = fdtd_ns(4);
+    json.metric("fdtd_256_step_1t_ns", t1);
+    json.metric("fdtd_256_step_4t_ns", t4);
+    json.metric("fdtd_256_step_speedup_4t", t1 / t4);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ecocap::bench::BenchJson json("micro_dsp");
+  record_headline_metrics(json);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  json.write();
+  return 0;
+}

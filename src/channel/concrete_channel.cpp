@@ -23,6 +23,9 @@ ConcreteChannel::ConcreteChannel(Structure structure, ChannelConfig config)
   if (!config_.scatterers.empty()) {
     scatterer_field_.emplace(config_.scatterers, structure_.material);
   }
+  resonator_ = dsp::FilterCache::shared().bandpass_resonator(
+      config_.fs, config_.concrete_resonance, config_.concrete_q);
+  mode_taps_ = compute_mode_taps();
 }
 
 Real ConcreteChannel::scatterer_gain(Real frequency) const {
@@ -39,7 +42,7 @@ Real ConcreteChannel::path_gain() const {
          scatterer_gain(config_.carrier_for_scatterers);
 }
 
-std::vector<wave::Tap> ConcreteChannel::mode_taps() const {
+std::vector<wave::Tap> ConcreteChannel::compute_mode_taps() const {
   std::vector<wave::Tap> taps;
   const Real gain = path_gain();
   const Real cs =
@@ -111,9 +114,8 @@ Signal ConcreteChannel::apply_taps(std::span<const Real> x,
 }
 
 Signal ConcreteChannel::apply_resonance(std::span<const Real> x) const {
-  dsp::Biquad bp = dsp::Biquad::bandpass(config_.fs, config_.concrete_resonance,
-                                         config_.concrete_q);
-  const Real g0 = bp.magnitude_at(config_.fs, config_.concrete_resonance);
+  dsp::Biquad bp = resonator_->prototype;  // zero-state copy
+  const Real g0 = resonator_->peak_gain;
   Signal out = bp.process(x);
   if (g0 > 0.0) dsp::scale(out, 1.0 / g0);
   return out;

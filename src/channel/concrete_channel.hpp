@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "channel/scatterers.hpp"
 #include "channel/structures.hpp"
 #include "dsp/biquad.hpp"
+#include "dsp/filter_cache.hpp"
 #include "dsp/rng.hpp"
 #include "dsp/types.hpp"
 #include "wave/prism.hpp"
@@ -79,8 +81,10 @@ class ConcreteChannel {
   /// fine-tuning against the actual deployment.
   Real scatterer_gain(Real frequency) const;
 
-  /// The mode tap set actually used (delay seconds, amplitude).
-  std::vector<wave::Tap> mode_taps() const;
+  /// The mode tap set actually used (delay seconds, amplitude). Computed
+  /// once at construction (the geometry is immutable) and shared by every
+  /// downlink call, so ray tracing drops out of the per-trial loop.
+  const std::vector<wave::Tap>& mode_taps() const { return mode_taps_; }
 
   const Structure& structure() const { return structure_; }
   const ChannelConfig& config() const { return config_; }
@@ -89,11 +93,16 @@ class ConcreteChannel {
   Signal apply_taps(std::span<const Real> x,
                     const std::vector<wave::Tap>& taps) const;
   Signal apply_resonance(std::span<const Real> x) const;
+  std::vector<wave::Tap> compute_mode_taps() const;
 
   Structure structure_;
   ChannelConfig config_;
   wave::WavePrism prism_;
   std::optional<ScattererField> scatterer_field_;
+  /// Designed once via the process-wide FilterCache; apply_resonance copies
+  /// the zero-state prototype per call instead of redesigning the biquad.
+  std::shared_ptr<const dsp::FilterCache::ResonatorDesign> resonator_;
+  std::vector<wave::Tap> mode_taps_;
 };
 
 }  // namespace ecocap::channel

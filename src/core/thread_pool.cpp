@@ -45,7 +45,22 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
+namespace {
+
+/// True while this thread is executing a job's indices. A parallel_for
+/// issued from inside a running job (e.g. an FDTD step inside a TrialRunner
+/// leg) runs inline instead of re-entering the single-job pool.
+thread_local bool t_in_job = false;
+
+struct InJobScope {
+  InJobScope() { t_in_job = true; }
+  ~InJobScope() { t_in_job = false; }
+};
+
+}  // namespace
+
 void ThreadPool::run_job(Job& job) {
+  InJobScope scope;
   while (true) {
     const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job.n) break;
@@ -80,7 +95,9 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  if (threads_.empty() || n == 1) {
+  if (t_in_job || threads_.empty() || n == 1) {
+    // Nested jobs run inline: the pool handles one job at a time, and a
+    // worker that blocked on a child job would deadlock the parent.
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }

@@ -37,6 +37,8 @@ class ThreadPool {
   /// atomic counter; the calling thread participates, so a 1-worker pool
   /// runs everything inline. Blocks until all n calls return. The first
   /// exception thrown by fn is rethrown on the caller after the job drains.
+  /// A parallel_for issued from inside a running job (nesting) executes
+  /// fully inline on the calling thread — safe, but not parallel.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Process-wide pool, built lazily with the default worker count. The

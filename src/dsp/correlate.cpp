@@ -2,10 +2,15 @@
 
 #include <cmath>
 
+#include "dsp/fast_convolve.hpp"
+
 namespace ecocap::dsp {
 
 Signal correlate_valid(std::span<const Real> x, std::span<const Real> h) {
   if (h.empty() || x.size() < h.size()) return {};
+  if (use_fft_convolution(x.size(), h.size())) {
+    return correlate_valid_fft(x, h);
+  }
   const std::size_t out_len = x.size() - h.size() + 1;
   Signal out(out_len, 0.0);
   for (std::size_t k = 0; k < out_len; ++k) {

@@ -2,8 +2,37 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace ecocap::dsp {
+
+namespace {
+
+/// Forward twiddles for every butterfly stage, cached per size and laid out
+/// stage-contiguously as interleaved (cos, sin) pairs: the stage with
+/// half-width H starts at offset 2*(H-1) and holds exp(-i pi k / H) for
+/// k < H. The table kills the serial `w *= wlen` recurrence in the butterfly
+/// (a complex multiply on the critical path of every butterfly, accumulating
+/// rounding error to boot) while keeping the inner-loop reads sequential.
+/// thread_local keeps parallel Monte-Carlo legs lock-free; the handful of
+/// distinct sizes per run makes the memory cost trivial.
+const Real* twiddle_table(std::size_t n) {
+  thread_local std::unordered_map<std::size_t, Signal> tables;
+  Signal& t = tables[n];
+  if (t.empty()) {
+    t.resize(2 * (n - 1));
+    for (std::size_t half = 1; half < n; half <<= 1) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const Real ang = -kPi * static_cast<Real>(k) / static_cast<Real>(half);
+        t[2 * (half - 1 + k)] = std::cos(ang);
+        t[2 * (half - 1 + k) + 1] = std::sin(ang);
+      }
+    }
+  }
+  return t.data();
+}
+
+}  // namespace
 
 std::size_t next_pow2(std::size_t n) {
   std::size_t p = 1;
@@ -24,22 +53,37 @@ void fft_inplace(ComplexSignal& x, bool inverse) {
     j ^= bit;
     if (i < j) std::swap(x[i], x[j]);
   }
+  if (n == 1) return;
+  const Real* tw = twiddle_table(n);
+  // Butterflies on raw interleaved doubles: std::complex arithmetic drags
+  // in the IEEE `__muldc3` NaN-fixup checks and (with GCC) a stack
+  // round-trip per butterfly; spelled out as real ops the loop stays in
+  // registers. std::complex<Real> is layout-guaranteed {re, im}.
+  Real* d = reinterpret_cast<Real*>(x.data());
+  const Real wi_sign = inverse ? -1.0 : 1.0;
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const Real ang = (inverse ? kTwoPi : -kTwoPi) / static_cast<Real>(len);
-    const Complex wlen(std::cos(ang), std::sin(ang));
+    const std::size_t half = len / 2;
+    const Real* stage = tw + 2 * (half - 1);
     for (std::size_t i = 0; i < n; i += len) {
-      Complex w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const Complex u = x[i + k];
-        const Complex v = x[i + k + len / 2] * w;
-        x[i + k] = u + v;
-        x[i + k + len / 2] = u - v;
-        w *= wlen;
+      Real* lo = d + 2 * i;
+      Real* hi = lo + 2 * half;
+      for (std::size_t k = 0; k < half; ++k) {
+        const Real wr = stage[2 * k];
+        const Real wi = wi_sign * stage[2 * k + 1];
+        const Real xr = hi[2 * k], xi = hi[2 * k + 1];
+        const Real vr = xr * wr - xi * wi;
+        const Real vi = xr * wi + xi * wr;
+        const Real ur = lo[2 * k], ui = lo[2 * k + 1];
+        lo[2 * k] = ur + vr;
+        lo[2 * k + 1] = ui + vi;
+        hi[2 * k] = ur - vr;
+        hi[2 * k + 1] = ui - vi;
       }
     }
   }
   if (inverse) {
-    for (Complex& v : x) v /= static_cast<Real>(n);
+    const Real s = 1.0 / static_cast<Real>(n);
+    for (std::size_t i = 0; i < 2 * n; ++i) d[i] *= s;
   }
 }
 

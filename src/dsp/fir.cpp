@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dsp/fast_convolve.hpp"
+
 namespace ecocap::dsp {
 
 namespace {
@@ -92,8 +94,31 @@ Real FirFilter::process(Real x) {
 }
 
 Signal FirFilter::process(std::span<const Real> x) {
-  Signal out(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) out[i] = process(x[i]);
+  const std::size_t m = coeff_.size();
+  // The FFT path needs at least a full window of new samples so the delay
+  // line can be rebuilt from the batch alone; short buffers stay direct.
+  if (x.size() < m || !use_fft_convolution(x.size(), m)) {
+    Signal out(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) out[i] = process(x[i]);
+    return out;
+  }
+  // Overlap-save: prepend the last m-1 inputs (the streaming history held
+  // in the circular delay line, oldest first) so the batch result is
+  // identical to feeding the samples one at a time.
+  Signal in(m - 1 + x.size());
+  for (std::size_t k = 0; k < m - 1; ++k) {
+    in[k] = delay_[(pos_ + 1 + k) % m];
+  }
+  std::copy(x.begin(), x.end(), in.begin() + static_cast<std::ptrdiff_t>(m - 1));
+  const Signal full = convolve_full_fft(in, coeff_);
+  Signal out(full.begin() + static_cast<std::ptrdiff_t>(m - 1),
+             full.begin() + static_cast<std::ptrdiff_t>(m - 1 + x.size()));
+  // Rebuild the delay line: the last m inputs in chronological order, with
+  // the next write slot at index 0 (so delay_[m-1] is the newest sample).
+  for (std::size_t k = 0; k < m; ++k) {
+    delay_[k] = in[in.size() - m + k];
+  }
+  pos_ = 0;
   return out;
 }
 
@@ -103,15 +128,17 @@ void FirFilter::reset() {
 }
 
 Signal filter_zero_phase(const Signal& coefficients, std::span<const Real> x) {
-  FirFilter f(coefficients);
-  const std::size_t delay = (coefficients.size() - 1) / 2;
-  Signal out(x.size(), 0.0);
-  for (std::size_t i = 0; i < x.size() + delay; ++i) {
-    const Real in = (i < x.size()) ? x[i] : 0.0;
-    const Real y = f.process(in);
-    if (i >= delay) out[i - delay] = y;
+  if (coefficients.empty()) {
+    throw std::invalid_argument("filter_zero_phase: empty coefficients");
   }
-  return out;
+  if (x.empty()) return {};
+  // The zero-phase output is the full linear convolution shifted by the
+  // group delay — one convolution pass (direct or FFT per the dispatcher)
+  // instead of streaming through a delay line plus a zero-fed tail drain.
+  const std::size_t delay = (coefficients.size() - 1) / 2;
+  const Signal full = convolve_full(x, coefficients);
+  return Signal(full.begin() + static_cast<std::ptrdiff_t>(delay),
+                full.begin() + static_cast<std::ptrdiff_t>(delay + x.size()));
 }
 
 }  // namespace ecocap::dsp

@@ -6,7 +6,9 @@
 
 #include "dsp/biquad.hpp"
 #include "dsp/correlate.hpp"
+#include "dsp/fast_convolve.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/filter_cache.hpp"
 #include "dsp/fir.hpp"
 #include "dsp/signal_ops.hpp"
 #include "phy/carrier.hpp"
@@ -17,22 +19,16 @@ Receiver::Receiver(ReceiverConfig config) : config_(config) {}
 
 dsp::ComplexSignal Receiver::to_baseband(std::span<const Real> rx,
                                          Real carrier) const {
-  dsp::ComplexSignal z = dsp::mix_down(rx, config_.fs, carrier);
+  const dsp::ComplexSignal z = dsp::mix_down(rx, config_.fs, carrier);
   // Low-pass both rails: wide enough for the subcarrier + data sidebands.
+  // The design is cached process-wide (every decode used to redesign the
+  // identical windowed sinc) and the complex baseband is filtered in one
+  // pass instead of splitting into separate re/im buffers and back.
   const Real cutoff =
       std::max(2.5 * config_.uplink.bitrate + config_.blf, 8.0e3);
-  const Signal h = dsp::design_lowpass(config_.fs, cutoff, config_.lowpass_taps);
-  Signal re(z.size()), im(z.size());
-  for (std::size_t i = 0; i < z.size(); ++i) {
-    re[i] = z[i].real();
-    im[i] = z[i].imag();
-  }
-  re = dsp::filter_zero_phase(h, re);
-  im = dsp::filter_zero_phase(h, im);
-  for (std::size_t i = 0; i < z.size(); ++i) {
-    z[i] = dsp::Complex(re[i], im[i]);
-  }
-  return z;
+  const std::shared_ptr<const Signal> h = dsp::FilterCache::shared().lowpass(
+      config_.fs, cutoff, config_.lowpass_taps);
+  return dsp::filter_zero_phase(*h, z);
 }
 
 Signal Receiver::phase_align(const dsp::ComplexSignal& z) const {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/thread_pool.hpp"
+
 namespace ecocap::wave {
 
 ElasticFdtd::ElasticFdtd(const Material& medium, Config config)
@@ -82,13 +84,10 @@ void ElasticFdtd::add_force(std::size_t ix, std::size_t iy, int direction,
   }
 }
 
-void ElasticFdtd::step() {
+void ElasticFdtd::update_velocity_rows(std::size_t y0, std::size_t y1) {
   const std::size_t nx = config_.nx;
-  const std::size_t ny = config_.ny;
   const Real inv_dx = 1.0 / config_.dx;
-
-  // 1. Update velocities from stress gradients (+ pending body forces).
-  for (std::size_t iy = 1; iy + 1 < ny; ++iy) {
+  for (std::size_t iy = y0; iy < y1; ++iy) {
     for (std::size_t ix = 1; ix + 1 < nx; ++ix) {
       const std::size_t i = idx(ix, iy);
       const Real dsxx_dx = (sxx_[i] - sxx_[i - 1]) * inv_dx;
@@ -100,11 +99,12 @@ void ElasticFdtd::step() {
       vy_[i] += dt_ * inv_rho * (dsxy_dx + dsyy_dy + pending_fy_[i]);
     }
   }
-  std::fill(pending_fx_.begin(), pending_fx_.end(), 0.0);
-  std::fill(pending_fy_.begin(), pending_fy_.end(), 0.0);
+}
 
-  // 2. Update stresses from velocity gradients.
-  for (std::size_t iy = 1; iy + 1 < ny; ++iy) {
+void ElasticFdtd::update_stress_rows(std::size_t y0, std::size_t y1) {
+  const std::size_t nx = config_.nx;
+  const Real inv_dx = 1.0 / config_.dx;
+  for (std::size_t iy = y0; iy < y1; ++iy) {
     for (std::size_t ix = 1; ix + 1 < nx; ++ix) {
       const std::size_t i = idx(ix, iy);
       const Real dvx_dx = (vx_[idx(ix + 1, iy)] - vx_[i]) * inv_dx;
@@ -118,17 +118,10 @@ void ElasticFdtd::step() {
       sxy_[i] += dt_ * m * (dvx_dy + dvy_dx);
     }
   }
-
-  // 3. Free surfaces at the grid edges: the one-cell border keeps zero
-  //    stress (never updated), which reflects nearly all energy — the
-  //    concrete/air boundary of Eq. 1. The optional sponge absorbs instead.
-  if (config_.sponge_cells > 0) apply_sponge();
-
-  ++steps_done_;
 }
 
-void ElasticFdtd::apply_sponge() {
-  for (std::size_t i = 0; i < sponge_.size(); ++i) {
+void ElasticFdtd::apply_sponge_rows(std::size_t y0, std::size_t y1) {
+  for (std::size_t i = idx(0, y0); i < idx(0, y1); ++i) {
     const Real g = sponge_[i];
     if (g < 1.0) {
       vx_[i] *= g;
@@ -138,6 +131,58 @@ void ElasticFdtd::apply_sponge() {
       sxy_[i] *= g;
     }
   }
+}
+
+template <typename Fn>
+void ElasticFdtd::for_row_bands(const Fn& fn) {
+  const std::size_t rows = config_.ny - 2;  // interior rows [1, ny-1)
+  core::ThreadPool* pool = nullptr;
+  if (config_.parallel) {
+    pool = config_.pool ? config_.pool : &core::ThreadPool::shared();
+  }
+  // Each pass reads one field set and writes the other, so rows within a
+  // pass are independent; parallel_for's join is the halo barrier between
+  // the velocity and stress passes. Small grids stay serial — the pool
+  // fan-out costs more than the arithmetic it would split.
+  const bool go_parallel = pool && pool->size() > 1 &&
+                           rows >= 2 * pool->size() &&
+                           rows * config_.nx >= 8192;
+  if (!go_parallel) {
+    fn(1, config_.ny - 1);
+    return;
+  }
+  const std::size_t bands =
+      std::min<std::size_t>(rows, static_cast<std::size_t>(pool->size()) * 4);
+  pool->parallel_for(bands, [&](std::size_t b) {
+    const std::size_t y0 = 1 + b * rows / bands;
+    const std::size_t y1 = 1 + (b + 1) * rows / bands;
+    fn(y0, y1);
+  });
+}
+
+void ElasticFdtd::step() {
+  // 1. Update velocities from stress gradients (+ pending body forces).
+  for_row_bands([this](std::size_t y0, std::size_t y1) {
+    update_velocity_rows(y0, y1);
+  });
+  std::fill(pending_fx_.begin(), pending_fx_.end(), 0.0);
+  std::fill(pending_fy_.begin(), pending_fy_.end(), 0.0);
+
+  // 2. Update stresses from velocity gradients.
+  for_row_bands([this](std::size_t y0, std::size_t y1) {
+    update_stress_rows(y0, y1);
+  });
+
+  // 3. Free surfaces at the grid edges: the one-cell border keeps zero
+  //    stress (never updated), which reflects nearly all energy — the
+  //    concrete/air boundary of Eq. 1. The optional sponge absorbs instead.
+  if (config_.sponge_cells > 0) {
+    for_row_bands([this](std::size_t y0, std::size_t y1) {
+      apply_sponge_rows(y0, y1);
+    });
+  }
+
+  ++steps_done_;
 }
 
 void ElasticFdtd::run(std::size_t steps, std::size_t src_x, std::size_t src_y,

@@ -5,6 +5,10 @@
 
 #include "wave/material.hpp"
 
+namespace ecocap::core {
+class ThreadPool;
+}  // namespace ecocap::core
+
 namespace ecocap::wave {
 
 /// 2-D elastodynamic finite-difference time-domain solver (P-SV waves,
@@ -30,6 +34,14 @@ class ElasticFdtd {
     /// surfaces everywhere (the concrete/air boundary).
     std::size_t sponge_cells = 0;
     Real sponge_strength = 0.015;  // per-step damping at the outer edge
+    /// Split each update pass into row bands across a core::ThreadPool.
+    /// Every cell update is independent within a pass, so the fields are
+    /// bit-identical at any worker count. false forces serial stepping.
+    bool parallel = true;
+    /// Pool used when `parallel`; nullptr selects ThreadPool::shared()
+    /// (worker count from ECOCAP_THREADS / hardware_concurrency). Grids too
+    /// small to amortize the fan-out run serially either way.
+    core::ThreadPool* pool = nullptr;
   };
 
   /// Homogeneous medium.
@@ -89,7 +101,13 @@ class ElasticFdtd {
   std::size_t idx(std::size_t ix, std::size_t iy) const {
     return iy * config_.nx + ix;
   }
-  void apply_sponge();
+  void update_velocity_rows(std::size_t y0, std::size_t y1);
+  void update_stress_rows(std::size_t y0, std::size_t y1);
+  void apply_sponge_rows(std::size_t y0, std::size_t y1);
+  /// Run fn over interior row bands [y0, y1), in parallel when the grid is
+  /// big enough to amortize the pool fan-out.
+  template <typename Fn>
+  void for_row_bands(const Fn& fn);
 
   Config config_;
   Real dt_ = 0.0;

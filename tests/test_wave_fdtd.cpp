@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "core/thread_pool.hpp"
 #include "wave/fdtd.hpp"
 
 namespace ecocap::wave {
@@ -217,6 +218,45 @@ TEST(Fdtd, RegionFillChangesLocalSpeed) {
   ASSERT_GT(t_steel, 0.0);
   ASSERT_GT(t_conc, 0.0);
   EXPECT_LT(t_steel, t_conc);
+}
+
+TEST(Fdtd, SerialAndFourThreadStepsBitIdentical) {
+  // Row-band parallelism must not change a single bit: every cell update
+  // within a pass is independent, so the fields can't depend on worker
+  // count. Run the same excitation serially and on a 4-worker pool and
+  // require exact equality everywhere.
+  core::ThreadPool pool(4);
+  ElasticFdtd::Config serial_cfg;
+  serial_cfg.nx = 128;
+  serial_cfg.ny = 128;
+  serial_cfg.dx = 2.0e-3;
+  serial_cfg.sponge_cells = 12;
+  serial_cfg.parallel = false;
+  ElasticFdtd::Config par_cfg = serial_cfg;
+  par_cfg.parallel = true;
+  par_cfg.pool = &pool;
+
+  ElasticFdtd serial(kMedium, serial_cfg);
+  ElasticFdtd parallel(kMedium, par_cfg);
+  const auto src = ricker(90.0e3, serial.dt(), 120);
+  for (std::size_t t = 0; t < 200; ++t) {
+    if (t < src.size()) {
+      serial.add_force(64, 64, 1, src[t]);
+      parallel.add_force(64, 64, 1, src[t]);
+    }
+    serial.step();
+    parallel.step();
+  }
+  ASSERT_GT(serial.total_energy(), 0.0);
+  EXPECT_EQ(serial.total_energy(), parallel.total_energy());
+  for (std::size_t iy = 0; iy < serial_cfg.ny; ++iy) {
+    for (std::size_t ix = 0; ix < serial_cfg.nx; ++ix) {
+      ASSERT_EQ(serial.vx(ix, iy), parallel.vx(ix, iy))
+          << "vx mismatch at (" << ix << ", " << iy << ")";
+      ASSERT_EQ(serial.vy(ix, iy), parallel.vy(ix, iy))
+          << "vy mismatch at (" << ix << ", " << iy << ")";
+    }
+  }
 }
 
 TEST(Fdtd, ForceOffGridThrows) {
