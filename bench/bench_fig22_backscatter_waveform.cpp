@@ -3,6 +3,7 @@
 // (CBW lead-in, then the alternating backscatter square wave) and verifies
 // the frame decodes.
 
+#include <cmath>
 #include <cstdio>
 
 #include "core/link_simulator.hpp"
@@ -33,7 +34,12 @@ int main() {
   std::printf("uplink_decoded,%d\n", result.uplink_decoded ? 1 : 0);
   std::printf("payload_match,%d\n",
               (result.uplink_payload == payload) ? 1 : 0);
-  std::printf("uplink_snr_db,%.1f\n", result.uplink_snr_db);
+  // NaN-until-valid: an undecoded round carries no SNR measurement.
+  if (std::isnan(result.uplink_snr_db)) {
+    std::printf("uplink_snr_db,invalid\n");
+  } else {
+    std::printf("uplink_snr_db,%.1f\n", result.uplink_snr_db);
+  }
   std::printf("carrier_estimate_hz,%.0f\n", result.carrier_estimate);
 
   // Reproduce the figure itself: synthesize the same uplink (4 ms of bare

@@ -16,7 +16,9 @@
 #include "bench_json.hpp"
 #include "channel/concrete_channel.hpp"
 #include "core/ber_harness.hpp"
+#include "core/link_simulator.hpp"
 #include "core/thread_pool.hpp"
+#include "core/workspace_pool.hpp"
 #include "dsp/envelope.hpp"
 #include "dsp/fast_convolve.hpp"
 #include "dsp/fft.hpp"
@@ -297,6 +299,56 @@ void record_headline_metrics(ecocap::bench::BenchJson& json) {
     json.metric("uplink_65536_ns", time_ns([&] {
                   benchmark::DoNotOptimize(ch.uplink(x, 230.0e3, rng));
                 }));
+  }
+
+  // End-to-end interrogation through the zero-copy stage pipeline: the
+  // workspace stats hook counts heap allocations per uplink_once() trial
+  // with pooling off (the allocate-per-checkout "before" behaviour) and on
+  // (steady-state reuse), plus the interrogation rate in both modes.
+  {
+    core::SystemConfig cfg = core::default_system();
+    cfg.channel.distance = 0.10;
+    cfg.channel.noise_sigma = 1e-4;
+    const core::SystemSnapshot snapshot =
+        std::make_shared<const core::SystemConfig>(cfg);
+    dsp::Rng prng(5);
+    const phy::Bits payload = phy::random_bits(32, prng);
+    core::WorkspacePool& pool = core::WorkspacePool::shared();
+
+    std::uint64_t trial = 0;
+    const auto one_trial = [&] {
+      core::LinkSimulator sim(snapshot, dsp::trial_seed(cfg.seed, trial++));
+      benchmark::DoNotOptimize(sim.uplink_once(payload));
+    };
+    const auto allocs_per_trial = [&] {
+      // Average the stats over a few trials AFTER a warm-up trial has
+      // populated the pool (steady state is what the harnesses run in).
+      constexpr std::size_t kTrials = 5;
+      one_trial();
+      pool.reset_stats();
+      for (std::size_t i = 0; i < kTrials; ++i) one_trial();
+      const dsp::Workspace::Stats s = pool.total_stats();
+      return static_cast<double>(s.heap_allocations) /
+             static_cast<double>(kTrials);
+    };
+
+    pool.set_pooling(false);
+    pool.clear();
+    const double allocs_before = allocs_per_trial();
+    const double before_ns = time_ns(one_trial, 0.2);
+
+    pool.set_pooling(true);
+    pool.clear();
+    const double allocs_after = allocs_per_trial();
+    const double after_ns = time_ns(one_trial, 0.2);
+
+    json.metric("e2e_interrogate_allocs_per_trial_unpooled", allocs_before);
+    json.metric("e2e_interrogate_allocs_per_trial_pooled", allocs_after);
+    json.metric("e2e_interrogate_alloc_reduction",
+                allocs_before / std::max(allocs_after, 1.0));
+    json.metric("e2e_interrogate_unpooled_per_sec", 1e9 / before_ns);
+    json.metric("e2e_interrogate_pooled_per_sec", 1e9 / after_ns);
+    json.metric("e2e_interrogate_speedup", before_ns / after_ns);
   }
 
   // FDTD stepping, 256x256, serial vs a 4-worker pool. On a single

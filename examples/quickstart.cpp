@@ -2,6 +2,7 @@
 // concrete block and read its temperature sensor through the full waveform
 // pipeline — the "hello world" of the library.
 
+#include <cmath>
 #include <cstdio>
 
 #include "core/link_simulator.hpp"
@@ -32,7 +33,13 @@ int main() {
   std::printf("storage cap voltage: %.2f V\n", r.cap_voltage);
   std::printf("command decoded:     %s\n", r.command_decoded ? "yes" : "no");
   std::printf("carrier estimate:    %.1f kHz\n", r.carrier_estimate / 1e3);
-  std::printf("uplink SNR:          %.1f dB\n", r.uplink_snr_db);
+  // uplink_snr_db is NaN until a frame decodes — there is no measurement
+  // to print for a failed round.
+  if (std::isnan(r.uplink_snr_db)) {
+    std::printf("uplink SNR:          <no decoded frame>\n");
+  } else {
+    std::printf("uplink SNR:          %.1f dB\n", r.uplink_snr_db);
+  }
   if (r.sensor_value) {
     std::printf("temperature read:    %.2f degC (truth: %.2f)\n",
                 *r.sensor_value, env.temperature_c);

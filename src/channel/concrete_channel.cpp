@@ -12,19 +12,38 @@
 
 namespace ecocap::channel {
 
+namespace {
+// Null-checks that must fire before the member-init list dereferences the
+// snapshots (prism_ is built from structure_->material).
+const Structure& require(const std::shared_ptr<const Structure>& s) {
+  if (!s) throw std::invalid_argument("ConcreteChannel: null structure");
+  return *s;
+}
+const ChannelConfig& require(const std::shared_ptr<const ChannelConfig>& c) {
+  if (!c) throw std::invalid_argument("ConcreteChannel: null config");
+  return *c;
+}
+}  // namespace
+
 ConcreteChannel::ConcreteChannel(Structure structure, ChannelConfig config)
+    : ConcreteChannel(
+          std::make_shared<const Structure>(std::move(structure)),
+          std::make_shared<const ChannelConfig>(std::move(config))) {}
+
+ConcreteChannel::ConcreteChannel(std::shared_ptr<const Structure> structure,
+                                 std::shared_ptr<const ChannelConfig> config)
     : structure_(std::move(structure)),
       config_(std::move(config)),
-      prism_(wave::materials::pla(), structure_.material,
-             wave::deg_to_rad(config_.prism_angle_deg)) {
-  if (config_.fs <= 0.0 || config_.distance < 0.0) {
+      prism_(wave::materials::pla(), require(structure_).material,
+             wave::deg_to_rad(require(config_).prism_angle_deg)) {
+  if (config_->fs <= 0.0 || config_->distance < 0.0) {
     throw std::invalid_argument("ConcreteChannel: invalid config");
   }
-  if (!config_.scatterers.empty()) {
-    scatterer_field_.emplace(config_.scatterers, structure_.material);
+  if (!config_->scatterers.empty()) {
+    scatterer_field_.emplace(config_->scatterers, structure_->material);
   }
   resonator_ = dsp::FilterCache::shared().bandpass_resonator(
-      config_.fs, config_.concrete_resonance, config_.concrete_q);
+      config_->fs, config_->concrete_resonance, config_->concrete_q);
   mode_taps_ = compute_mode_taps();
 }
 
@@ -32,26 +51,26 @@ Real ConcreteChannel::scatterer_gain(Real frequency) const {
   if (!scatterer_field_) return 1.0;
   // The reader sits at x = 0 mid-thickness; the node at the configured
   // distance along the structure.
-  const wave::Point2 reader{0.0, structure_.thickness / 2.0};
-  const wave::Point2 node{config_.distance, structure_.thickness / 2.0};
+  const wave::Point2 reader{0.0, structure_->thickness / 2.0};
+  const wave::Point2 node{config_->distance, structure_->thickness / 2.0};
   return scatterer_field_->path_gain(reader, node, frequency);
 }
 
 Real ConcreteChannel::path_gain() const {
-  return std::exp(-structure_.effective_attenuation * config_.distance) *
-         scatterer_gain(config_.carrier_for_scatterers);
+  return std::exp(-structure_->effective_attenuation * config_->distance) *
+         scatterer_gain(config_->carrier_for_scatterers);
 }
 
 std::vector<wave::Tap> ConcreteChannel::compute_mode_taps() const {
   std::vector<wave::Tap> taps;
   const Real gain = path_gain();
-  const Real cs =
-      structure_.material.cs > 0.0 ? structure_.material.cs : structure_.material.cp;
-  const Real cp = structure_.material.cp;
+  const Real cs = structure_->material.cs > 0.0 ? structure_->material.cs
+                                                : structure_->material.cp;
+  const Real cp = structure_->material.cp;
 
-  if (config_.prism_angle_deg <= 1e-9 || structure_.material.is_fluid()) {
+  if (config_->prism_angle_deg <= 1e-9 || structure_->material.is_fluid()) {
     // Direct contact (or a fluid): a single P arrival.
-    taps.push_back(wave::Tap{config_.distance / cp, gain, 0});
+    taps.push_back(wave::Tap{config_->distance / cp, gain, 0});
     return taps;
   }
 
@@ -60,23 +79,24 @@ std::vector<wave::Tap> ConcreteChannel::compute_mode_taps() const {
   // is below the first critical angle) arrives earlier and carries the same
   // data — the intra-symbol interference the prism design eliminates.
   if (amps.s > 1e-6) {
-    taps.push_back(wave::Tap{config_.distance / cs, amps.s * gain, 0});
+    taps.push_back(wave::Tap{config_->distance / cs, amps.s * gain, 0});
   }
   if (amps.p > 1e-6) {
-    taps.push_back(wave::Tap{config_.distance / cp, amps.p * gain, 0});
+    taps.push_back(wave::Tap{config_->distance / cp, amps.p * gain, 0});
   }
 
-  if (config_.use_multipath && !structure_.material.is_fluid()) {
+  if (config_->use_multipath && !structure_->material.is_fluid()) {
     wave::RayTracer::Config rc;
-    rc.length = structure_.length;
-    rc.thickness = structure_.thickness;
-    rc.frequency = config_.concrete_resonance;
-    rc.rays = config_.multipath_rays;
-    const wave::RayTracer tracer(structure_.material, rc);
+    rc.length = structure_->length;
+    rc.thickness = structure_->thickness;
+    rc.frequency = config_->concrete_resonance;
+    rc.rays = config_->multipath_rays;
+    const wave::RayTracer tracer(structure_->material, rc);
     const Real launch = prism_.refraction().theta_s.value_or(
         wave::deg_to_rad(45.0));
     const auto ray_taps = tracer.trace(
-        0.0, launch, wave::Point2{config_.distance, structure_.thickness / 2.0});
+        0.0, launch,
+        wave::Point2{config_->distance, structure_->thickness / 2.0});
     // The direct mode taps above carry the calibrated total gain; the ray
     // taps add the reverberant tail, scaled to sit below the direct path.
     Real direct_amp = 0.0;
@@ -97,72 +117,85 @@ std::vector<wave::Tap> ConcreteChannel::compute_mode_taps() const {
   return taps;
 }
 
-Signal ConcreteChannel::apply_taps(std::span<const Real> x,
-                                   const std::vector<wave::Tap>& taps) const {
-  if (taps.empty()) return Signal(x.size(), 0.0);
+void ConcreteChannel::apply_taps(std::span<const Real> x,
+                                 const std::vector<wave::Tap>& taps,
+                                 Signal& out) const {
+  out.assign(x.size(), 0.0);
+  if (taps.empty()) return;
   const Real base_delay =
-      config_.preserve_absolute_delay ? 0.0 : taps.front().delay;
-  Signal out(x.size(), 0.0);
+      config_->preserve_absolute_delay ? 0.0 : taps.front().delay;
   for (const auto& t : taps) {
     const auto shift = static_cast<std::size_t>(
-        std::llround((t.delay - base_delay) * config_.fs));
+        std::llround((t.delay - base_delay) * config_->fs));
     for (std::size_t i = shift; i < out.size(); ++i) {
       out[i] += t.amplitude * x[i - shift];
     }
   }
-  return out;
 }
 
-Signal ConcreteChannel::apply_resonance(std::span<const Real> x) const {
+void ConcreteChannel::apply_resonance_inplace(Signal& x) const {
   dsp::Biquad bp = resonator_->prototype;  // zero-state copy
   const Real g0 = resonator_->peak_gain;
-  Signal out = bp.process(x);
-  if (g0 > 0.0) dsp::scale(out, 1.0 / g0);
-  return out;
+  // Direct-form-I reads the input sample before writing the output slot, so
+  // filtering in place is sample-for-sample identical to a fresh buffer.
+  bp.process(std::span<const Real>(x), x);
+  if (g0 > 0.0) dsp::scale(x, 1.0 / g0);
 }
 
 Signal ConcreteChannel::downlink(std::span<const Real> tx_acoustic,
                                  dsp::Rng& rng) const {
-  Signal y = apply_taps(tx_acoustic, mode_taps());
-  y = apply_resonance(y);
-  dsp::add_awgn(y, config_.noise_sigma, rng);
+  Signal y;
+  downlink(tx_acoustic, rng, y);
   return y;
+}
+
+void ConcreteChannel::downlink(std::span<const Real> tx_acoustic,
+                               dsp::Rng& rng, Signal& out) const {
+  apply_taps(tx_acoustic, mode_taps(), out);
+  apply_resonance_inplace(out);
+  dsp::add_awgn(out, config_->noise_sigma, rng);
 }
 
 Signal ConcreteChannel::uplink(std::span<const Real> node_emission,
                                Real carrier_frequency, dsp::Rng& rng) const {
+  Signal y;
+  uplink(node_emission, carrier_frequency, rng, y);
+  return y;
+}
+
+void ConcreteChannel::uplink(std::span<const Real> node_emission,
+                             Real carrier_frequency, dsp::Rng& rng,
+                             Signal& out) const {
   // The uplink path carries only the S-reflections back (the node radiates
   // from inside the bulk; the prism mode split does not apply).
   const Real gain = path_gain();
-  Signal y;
-  if (config_.preserve_absolute_delay) {
-    const Real cs = structure_.material.cs > 0.0 ? structure_.material.cs
-                                                 : structure_.material.cp;
+  if (config_->preserve_absolute_delay) {
+    const Real cs = structure_->material.cs > 0.0 ? structure_->material.cs
+                                                  : structure_->material.cp;
     const auto shift = static_cast<std::size_t>(
-        std::llround(config_.distance / cs * config_.fs));
-    y.assign(node_emission.size() + shift, 0.0);
+        std::llround(config_->distance / cs * config_->fs));
+    out.assign(node_emission.size() + shift, 0.0);
     for (std::size_t i = 0; i < node_emission.size(); ++i) {
-      y[i + shift] = node_emission[i];
+      out[i + shift] = node_emission[i];
     }
   } else {
-    y.assign(node_emission.begin(), node_emission.end());
+    out.assign(node_emission.begin(), node_emission.end());
   }
-  dsp::scale(y, gain);
-  y = apply_resonance(y);
+  dsp::scale(out, gain);
+  apply_resonance_inplace(out);
 
   // Self-interference: the CBW leaks into the receiving PZT at an amplitude
-  // config_.self_interference_gain times the *backscatter* amplitude (§3.4:
+  // config_->self_interference_gain times the *backscatter* amplitude (§3.4:
   // "10x stronger than the backscattered signals").
-  const Real bs_rms = dsp::rms(y);
-  dsp::Oscillator cw(config_.fs, carrier_frequency);
+  const Real bs_rms = dsp::rms(out);
+  dsp::Oscillator cw(config_->fs, carrier_frequency);
   // A random starting phase decorrelates SI from the carrier snapshot the
   // node reflected.
   cw.reset_phase(rng.uniform(0.0, 2.0 * dsp::kPi));
-  for (Real& v : y) {
-    v += cw.next(config_.self_interference_gain * bs_rms * std::sqrt(2.0));
+  for (Real& v : out) {
+    v += cw.next(config_->self_interference_gain * bs_rms * std::sqrt(2.0));
   }
-  dsp::add_awgn(y, config_.noise_sigma, rng);
-  return y;
+  dsp::add_awgn(out, config_->noise_sigma, rng);
 }
 
 }  // namespace ecocap::channel

@@ -55,7 +55,15 @@ struct ChannelConfig {
 /// self-interference (paper §3.2-3.4).
 class ConcreteChannel {
  public:
+  /// Owning construction: copies the structure and config in.
   ConcreteChannel(Structure structure, ChannelConfig config);
+
+  /// Shared immutable snapshot construction: Monte-Carlo harnesses build
+  /// one SystemConfig snapshot and alias its structure/channel members into
+  /// every per-trial channel, so heavyweight fields (the scatterer list in
+  /// particular) are never copied per trial.
+  ConcreteChannel(std::shared_ptr<const Structure> structure,
+                  std::shared_ptr<const ChannelConfig> config);
 
   /// Propagate the reader's acoustic output to the node. Applies:
   ///  * prism mode split (an early P copy + the main S copy when the
@@ -65,11 +73,21 @@ class ConcreteChannel {
   ///  * additive Gaussian acoustic noise.
   Signal downlink(std::span<const Real> tx_acoustic, dsp::Rng& rng) const;
 
+  /// Downlink into a caller-provided buffer (resized to the input length).
+  /// `out` must not alias `tx_acoustic`.
+  void downlink(std::span<const Real> tx_acoustic, dsp::Rng& rng,
+                Signal& out) const;
+
   /// Propagate the node's backscatter emission to the reader RX, adding
   /// the self-interference carrier leakage.
   /// @param carrier_frequency frequency of the CBW for SI synthesis
   Signal uplink(std::span<const Real> node_emission, Real carrier_frequency,
                 dsp::Rng& rng) const;
+
+  /// Uplink into a caller-provided buffer. `out` must not alias
+  /// `node_emission`.
+  void uplink(std::span<const Real> node_emission, Real carrier_frequency,
+              dsp::Rng& rng, Signal& out) const;
 
   /// Amplitude scale of the direct path at the configured distance (the
   /// same quantity the link budget computes, normalized to TX amplitude 1),
@@ -86,17 +104,17 @@ class ConcreteChannel {
   /// downlink call, so ray tracing drops out of the per-trial loop.
   const std::vector<wave::Tap>& mode_taps() const { return mode_taps_; }
 
-  const Structure& structure() const { return structure_; }
-  const ChannelConfig& config() const { return config_; }
+  const Structure& structure() const { return *structure_; }
+  const ChannelConfig& config() const { return *config_; }
 
  private:
-  Signal apply_taps(std::span<const Real> x,
-                    const std::vector<wave::Tap>& taps) const;
-  Signal apply_resonance(std::span<const Real> x) const;
+  void apply_taps(std::span<const Real> x, const std::vector<wave::Tap>& taps,
+                  Signal& out) const;
+  void apply_resonance_inplace(Signal& x) const;
   std::vector<wave::Tap> compute_mode_taps() const;
 
-  Structure structure_;
-  ChannelConfig config_;
+  std::shared_ptr<const Structure> structure_;
+  std::shared_ptr<const ChannelConfig> config_;
   wave::WavePrism prism_;
   std::optional<ScattererField> scatterer_field_;
   /// Designed once via the process-wide FilterCache; apply_resonance copies

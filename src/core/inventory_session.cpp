@@ -6,7 +6,9 @@
 namespace ecocap::core {
 
 InventorySession::InventorySession(Config config)
-    : config_(std::move(config)), rng_(config_.seed) {}
+    : config_(std::move(config)),
+      budget_(config_.structure),
+      rng_(config_.seed) {}
 
 void InventorySession::deploy(const DeployedNode& node) {
   node::FirmwareConfig fc;
@@ -31,8 +33,7 @@ Real InventorySession::snr_for_distance(Real distance) const {
 }
 
 bool InventorySession::node_reachable(Real distance) const {
-  channel::LinkBudget budget(config_.structure);
-  const auto range = budget.max_powerup_range(config_.tx_voltage);
+  const auto range = budget_.max_powerup_range(config_.tx_voltage);
   return range.has_value() && *range >= distance;
 }
 

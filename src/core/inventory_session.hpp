@@ -59,6 +59,9 @@ class InventorySession {
 
  private:
   Config config_;
+  /// Built once from the (immutable) structure; node_reachable used to
+  /// construct a fresh LinkBudget per call inside the collect loop.
+  channel::LinkBudget budget_;
   dsp::Rng rng_;
   struct Slot {
     DeployedNode info;

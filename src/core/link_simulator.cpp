@@ -1,12 +1,24 @@
 #include "core/link_simulator.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <utility>
 
 #include "core/trial_runner.hpp"
+#include "core/workspace_pool.hpp"
 #include "dsp/signal_ops.hpp"
 
 namespace ecocap::core {
+
+namespace {
+// Null-check that must fire before the member-init list dereferences the
+// snapshot (transmitter_ is built from config_->transmitter).
+const SystemConfig& require(const SystemSnapshot& s) {
+  if (!s) throw std::invalid_argument("LinkSimulator: null snapshot");
+  return *s;
+}
+}  // namespace
 
 SystemConfig default_system() {
   SystemConfig c;
@@ -27,25 +39,40 @@ SystemConfig default_system() {
 }
 
 LinkSimulator::LinkSimulator(SystemConfig config)
-    : config_(std::move(config)),
-      rng_(config_.seed),
-      transmitter_(config_.transmitter),
-      receiver_(config_.receiver),
-      channel_(config_.structure, config_.channel),
-      capsule_(config_.capsule, config_.channel.fs, config_.seed ^ 0x9e3779b9) {}
+    : LinkSimulator(std::make_shared<const SystemConfig>(std::move(config))) {}
+
+LinkSimulator::LinkSimulator(SystemSnapshot snapshot)
+    : LinkSimulator(snapshot, require(snapshot).seed) {}
+
+LinkSimulator::LinkSimulator(SystemSnapshot snapshot, std::uint64_t seed)
+    : config_(std::move(snapshot)),
+      seed_(seed),
+      rng_(seed),
+      transmitter_(require(config_).transmitter),
+      receiver_(config_->receiver),
+      // Aliasing shared_ptrs: the channel shares the snapshot's structure
+      // and channel config instead of copying them (the scatterer list is
+      // the heavyweight member this avoids duplicating per trial).
+      channel_(std::shared_ptr<const channel::Structure>(config_,
+                                                         &config_->structure),
+               std::shared_ptr<const channel::ChannelConfig>(
+                   config_, &config_->channel)),
+      capsule_(config_->capsule, config_->channel.fs, seed ^ 0x9e3779b9) {}
 
 bool LinkSimulator::power_up() {
   // Stream CBW in 20 ms blocks until the MCU boots or 500 ms elapse.
   const node::ConcreteEnvironment env;
+  dsp::Workspace& ws = WorkspacePool::shared().local();
+  auto cw = ws.real(0);
+  auto at_node = ws.real(0);
   for (int i = 0; i < 25; ++i) {
-    const dsp::Signal cw = transmitter_.continuous_wave(0.020);
-    const dsp::Signal at_node = channel_.downlink(cw, rng_);
+    transmitter_.continuous_wave(0.020, *cw);
+    channel_.downlink(*cw, rng_, *at_node);
     // Scale by the reader drive voltage: the transmitter emits normalized
     // amplitude; the channel calibration maps volts to node voltage.
-    dsp::Signal scaled = at_node;
-    dsp::scale(scaled, config_.transmitter.tx_voltage /
-                           config_.structure.coupling_voltage * 0.5);
-    const auto r = capsule_.receive(scaled, env);
+    dsp::scale(*at_node, config_->transmitter.tx_voltage /
+                             config_->structure.coupling_voltage * 0.5);
+    const auto r = capsule_.receive(*at_node, env);
     if (r.powered) return true;
   }
   return false;
@@ -54,11 +81,14 @@ bool LinkSimulator::power_up() {
 InterrogationResult LinkSimulator::charge(Real duration) {
   InterrogationResult result;
   const node::ConcreteEnvironment env;
-  const dsp::Signal cw = transmitter_.continuous_wave(duration);
-  dsp::Signal at_node = channel_.downlink(cw, rng_);
-  dsp::scale(at_node, config_.transmitter.tx_voltage /
-                          config_.structure.coupling_voltage * 0.5);
-  const auto r = capsule_.receive(at_node, env);
+  dsp::Workspace& ws = WorkspacePool::shared().local();
+  auto cw = ws.real(0);
+  auto at_node = ws.real(0);
+  transmitter_.continuous_wave(duration, *cw);
+  channel_.downlink(*cw, rng_, *at_node);
+  dsp::scale(*at_node, config_->transmitter.tx_voltage /
+                           config_->structure.coupling_voltage * 0.5);
+  const auto r = capsule_.receive(*at_node, env);
   result.node_powered = r.powered;
   result.cap_voltage = r.cap_voltage;
   return result;
@@ -71,17 +101,23 @@ InterrogationResult LinkSimulator::interrogate(
   result.node_powered = true;
   result.cap_voltage = capsule_.harvester().cap_voltage();
 
-  const Real fs = config_.channel.fs;
-  const Real volts_scale = config_.transmitter.tx_voltage /
-                           config_.structure.coupling_voltage * 0.5;
+  dsp::Workspace& ws = WorkspacePool::shared().local();
+  const Real volts_scale = config_->transmitter.tx_voltage /
+                           config_->structure.coupling_voltage * 0.5;
+
+  // Stage buffers shared by every exchange of the protocol round.
+  auto tx = ws.real(0);
+  auto at_node = ws.real(0);
+  auto emission = ws.real(0);
+  auto at_reader = ws.real(0);
 
   auto exchange = [&](const phy::Command& cmd,
                       std::size_t reply_bits) -> std::optional<phy::Bits> {
     // 1. Downlink the command.
-    const dsp::Signal tx = transmitter_.transmit_command(cmd);
-    dsp::Signal at_node = channel_.downlink(tx, rng_);
-    dsp::scale(at_node, volts_scale);
-    const auto rx = capsule_.receive(at_node, env);
+    transmitter_.transmit_command(cmd, ws, *tx);
+    channel_.downlink(*tx, rng_, *at_node);
+    dsp::scale(*at_node, volts_scale);
+    const auto rx = capsule_.receive(*at_node, env);
     if (!rx.powered) return std::nullopt;
     if (!rx.frames.empty()) result.command_decoded = true;
     if (rx.frames.empty()) return phy::Bits{};  // command ok, no reply due
@@ -90,24 +126,24 @@ InterrogationResult LinkSimulator::interrogate(
     const node::UplinkFrame& frame = rx.frames.front();
     const Real frame_time =
         (static_cast<Real>(frame.payload.size()) +
-         static_cast<Real>(phy::fm0_preamble(config_.capsule.firmware.uplink)
+         static_cast<Real>(phy::fm0_preamble(config_->capsule.firmware.uplink)
                                .size()) + 4.0) /
         frame.bitrate;
-    const dsp::Signal cw = transmitter_.continuous_wave(frame_time);
-    dsp::Signal carrier_at_node = channel_.downlink(cw, rng_);
-    dsp::scale(carrier_at_node, volts_scale);
-    const dsp::Signal emission = capsule_.backscatter(frame, carrier_at_node);
-    const dsp::Signal at_reader = channel_.uplink(
-        emission, config_.transmitter.carrier.f_resonant, rng_);
+    transmitter_.continuous_wave(frame_time, *tx);
+    channel_.downlink(*tx, rng_, *at_node);
+    dsp::scale(*at_node, volts_scale);
+    capsule_.backscatter(frame, *at_node, ws, *emission);
+    channel_.uplink(*emission, config_->transmitter.carrier.f_resonant, rng_,
+                    *at_reader);
 
     // 3. Decode.
     receiver_.set_blf(frame.blf);
     receiver_.set_bitrate(frame.bitrate);
-    const reader::UplinkDecode dec = receiver_.decode(at_reader, reply_bits);
+    const reader::UplinkDecode dec =
+        receiver_.decode(*at_reader, reply_bits, ws);
     result.carrier_estimate = dec.carrier_estimate;
     if (!dec.valid) return std::nullopt;
     result.uplink_snr_db = dec.snr_db;  // only valid decodes carry an SNR
-    (void)fs;
     return dec.payload;
   };
 
@@ -144,29 +180,34 @@ InterrogationResult LinkSimulator::uplink_once(const phy::Bits& payload) {
   if (!power_up()) return result;
   result.node_powered = true;
 
-  const Real volts_scale = config_.transmitter.tx_voltage /
-                           config_.structure.coupling_voltage * 0.5;
+  dsp::Workspace& ws = WorkspacePool::shared().local();
+  const Real volts_scale = config_->transmitter.tx_voltage /
+                           config_->structure.coupling_voltage * 0.5;
   node::UplinkFrame frame;
   frame.payload = payload;
-  frame.bitrate = config_.capsule.firmware.uplink.bitrate;
-  frame.blf = config_.capsule.firmware.blf;
+  frame.bitrate = config_->capsule.firmware.uplink.bitrate;
+  frame.blf = config_->capsule.firmware.blf;
 
   const Real frame_time =
       (static_cast<Real>(payload.size()) +
        static_cast<Real>(
-           phy::fm0_preamble(config_.capsule.firmware.uplink).size()) + 4.0) /
+           phy::fm0_preamble(config_->capsule.firmware.uplink).size()) + 4.0) /
       frame.bitrate;
-  const dsp::Signal cw = transmitter_.continuous_wave(frame_time);
-  dsp::Signal carrier_at_node = channel_.downlink(cw, rng_);
-  dsp::scale(carrier_at_node, volts_scale);
-  const dsp::Signal emission = capsule_.backscatter(frame, carrier_at_node);
-  const dsp::Signal at_reader =
-      channel_.uplink(emission, config_.transmitter.carrier.f_resonant, rng_);
+  auto cw = ws.real(0);
+  auto carrier_at_node = ws.real(0);
+  auto emission = ws.real(0);
+  auto at_reader = ws.real(0);
+  transmitter_.continuous_wave(frame_time, *cw);
+  channel_.downlink(*cw, rng_, *carrier_at_node);
+  dsp::scale(*carrier_at_node, volts_scale);
+  capsule_.backscatter(frame, *carrier_at_node, ws, *emission);
+  channel_.uplink(*emission, config_->transmitter.carrier.f_resonant, rng_,
+                  *at_reader);
 
   receiver_.set_blf(frame.blf);
   receiver_.set_bitrate(frame.bitrate);
   const reader::UplinkDecode dec =
-      receiver_.decode(at_reader, payload.size());
+      receiver_.decode(*at_reader, payload.size(), ws);
   result.carrier_estimate = dec.carrier_estimate;
   result.uplink_decoded = dec.valid;
   if (dec.valid) {
@@ -180,14 +221,14 @@ UplinkSweepResult uplink_sweep(const SystemConfig& base,
                                const phy::Bits& payload, std::size_t trials) {
   // Waveform-level trials are heavy (each builds a full channel + capsule),
   // so shard them one per block: dynamic claiming then load-balances even
-  // when decode cost varies with the noise draw.
+  // when decode cost varies with the noise draw. One shared snapshot feeds
+  // every trial; only the seed differs.
+  const SystemSnapshot snapshot = std::make_shared<const SystemConfig>(base);
   const TrialRunner runner(ThreadPool::shared(), /*block_size=*/1);
   return runner.run<UplinkSweepResult>(
       trials, base.seed,
       [&](std::size_t t, dsp::Rng&, UplinkSweepResult& acc) {
-        SystemConfig cfg = base;
-        cfg.seed = dsp::trial_seed(base.seed, t);
-        LinkSimulator sim(cfg);
+        LinkSimulator sim(snapshot, dsp::trial_seed(base.seed, t));
         const InterrogationResult r = sim.uplink_once(payload);
         ++acc.trials;
         if (r.node_powered) ++acc.powered;
@@ -208,16 +249,20 @@ LinkSimulator::RangeEstimate LinkSimulator::estimate_node_distance() {
   RangeEstimate est;
   if (!power_up()) return est;
 
-  // Delay-preserving copy of the channel for the ranging exchange.
-  channel::ChannelConfig abs_cfg = config_.channel;
-  abs_cfg.preserve_absolute_delay = true;
-  const channel::ConcreteChannel abs_channel(config_.structure, abs_cfg);
+  // Delay-preserving copy of the channel config for the ranging exchange;
+  // the structure itself is shared from the snapshot.
+  auto abs_cfg = std::make_shared<channel::ChannelConfig>(config_->channel);
+  abs_cfg->preserve_absolute_delay = true;
+  const channel::ConcreteChannel abs_channel(
+      std::shared_ptr<const channel::Structure>(config_, &config_->structure),
+      std::move(abs_cfg));
 
-  const Real fs = config_.channel.fs;
-  const Real volts_scale = config_.transmitter.tx_voltage /
-                           config_.structure.coupling_voltage * 0.5;
-  phy::Fm0Params line = config_.capsule.firmware.uplink;
-  dsp::Rng payload_rng(config_.seed ^ 0x5157);
+  dsp::Workspace& ws = WorkspacePool::shared().local();
+  const Real fs = config_->channel.fs;
+  const Real volts_scale = config_->transmitter.tx_voltage /
+                           config_->structure.coupling_voltage * 0.5;
+  phy::Fm0Params line = config_->capsule.firmware.uplink;
+  dsp::Rng payload_rng(seed_ ^ 0x5157);
   const phy::Bits payload = phy::random_bits(16, payload_rng);
 
   const Real frame_time =
@@ -225,43 +270,48 @@ LinkSimulator::RangeEstimate LinkSimulator::estimate_node_distance() {
        4.0) /
       line.bitrate;
   // Extra room for the round trip.
-  const Real margin = 2.0 * config_.structure.length /
-                      std::max(config_.structure.material.cs, 500.0);
-  const dsp::Signal cw = transmitter_.continuous_wave(frame_time + margin);
-  dsp::Signal at_node = abs_channel.downlink(cw, rng_);
-  dsp::scale(at_node, volts_scale);
+  const Real margin = 2.0 * config_->structure.length /
+                      std::max(config_->structure.material.cs, 500.0);
+  auto cw = ws.real(0);
+  auto at_node = ws.real(0);
+  transmitter_.continuous_wave(frame_time + margin, *cw);
+  abs_channel.downlink(*cw, rng_, *at_node);
+  dsp::scale(*at_node, volts_scale);
 
   // The node triggers its switching when the CBW actually reaches it.
-  const Real pk = dsp::peak(at_node);
+  const Real pk = dsp::peak(*at_node);
   std::size_t arrival = 0;
-  while (arrival < at_node.size() &&
-         std::abs(at_node[arrival]) < 0.25 * pk) {
+  while (arrival < at_node->size() &&
+         std::abs((*at_node)[arrival]) < 0.25 * pk) {
     ++arrival;
   }
-  dsp::Signal switching(arrival, -1.0);  // absorptive until triggered
-  const dsp::Signal frame_wave = phy::fm0_encode_frame(payload, line, fs);
-  switching.insert(switching.end(), frame_wave.begin(), frame_wave.end());
-  if (switching.size() > at_node.size()) {
-    switching.resize(at_node.size());
+  auto switching = ws.real(arrival);
+  std::fill(switching->begin(), switching->end(), -1.0);  // absorptive
+  auto frame_wave = ws.real(0);
+  phy::fm0_encode_frame(payload, line, fs, *frame_wave);
+  switching->insert(switching->end(), frame_wave->begin(), frame_wave->end());
+  if (switching->size() > at_node->size()) {
+    switching->resize(at_node->size());
   }
 
-  phy::BackscatterParams bp = config_.capsule.backscatter;
-  bp.f_blf = config_.capsule.firmware.blf;
-  const dsp::Signal emission =
-      phy::backscatter_modulate(at_node, switching, fs, bp);
-  const dsp::Signal at_reader = abs_channel.uplink(
-      emission, config_.transmitter.carrier.f_resonant, rng_);
+  phy::BackscatterParams bp = config_->capsule.backscatter;
+  bp.f_blf = config_->capsule.firmware.blf;
+  auto emission = ws.real(0);
+  phy::backscatter_modulate(*at_node, *switching, fs, bp, *emission);
+  auto at_reader = ws.real(0);
+  abs_channel.uplink(*emission, config_->transmitter.carrier.f_resonant, rng_,
+                     *at_reader);
 
   receiver_.set_blf(bp.f_blf);
   receiver_.set_bitrate(line.bitrate);
   const reader::UplinkDecode dec =
-      receiver_.decode(at_reader, payload.size());
+      receiver_.decode(*at_reader, payload.size(), ws);
   if (!dec.valid) return est;
   est.valid = true;
   est.round_trip_s = dec.frame_start_s;
-  const Real cs = config_.structure.material.cs > 0.0
-                      ? config_.structure.material.cs
-                      : config_.structure.material.cp;
+  const Real cs = config_->structure.material.cs > 0.0
+                      ? config_->structure.material.cs
+                      : config_->structure.material.cp;
   est.distance = 0.5 * dec.frame_start_s * cs;
   return est;
 }

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <limits>
+#include <memory>
 #include <optional>
 
 #include "channel/concrete_channel.hpp"
@@ -28,13 +30,22 @@ struct SystemConfig {
 /// 20 cm distance.
 SystemConfig default_system();
 
+/// Immutable shared snapshot of a system configuration. Monte-Carlo sweeps
+/// build one snapshot and hand it to every per-trial simulator, so the
+/// heavyweight members (the channel scatterer list in particular) are shared
+/// instead of copied per trial.
+using SystemSnapshot = std::shared_ptr<const SystemConfig>;
+
 /// Outcome of a full interrogation round-trip at the waveform level.
 struct InterrogationResult {
   bool node_powered = false;
   bool command_decoded = false;   // node decoded at least one command
   bool uplink_decoded = false;    // reader recovered the node's frame
   double cap_voltage = 0.0;       // V on the node's storage cap at the end
-  double uplink_snr_db = 0.0;
+  /// Decision-domain SNR of the decoded uplink frame; NaN until a frame is
+  /// validly decoded (an undecoded round has no SNR measurement, and the
+  /// old 0.0 sentinel was indistinguishable from a genuine 0 dB link).
+  double uplink_snr_db = std::numeric_limits<double>::quiet_NaN();
   double carrier_estimate = 0.0;
   phy::Bits uplink_payload;       // raw decoded payload bits
   std::optional<double> sensor_value;  // when a Read round-trip succeeded
@@ -45,7 +56,15 @@ struct InterrogationResult {
 /// reader RX. One instance per experiment; deterministic under its seed.
 class LinkSimulator {
  public:
+  /// Owning construction: wraps the config into a private snapshot.
   explicit LinkSimulator(SystemConfig config);
+
+  /// Shared-snapshot construction; the trial seed is `snapshot->seed`.
+  explicit LinkSimulator(SystemSnapshot snapshot);
+
+  /// Shared-snapshot construction with an explicit seed override — the
+  /// per-trial form: one snapshot, many simulators, distinct seeds.
+  LinkSimulator(SystemSnapshot snapshot, std::uint64_t seed);
 
   /// Charge-only round: send CBW for `duration` and report the capsule's
   /// harvest state.
@@ -72,7 +91,8 @@ class LinkSimulator {
   };
   RangeEstimate estimate_node_distance();
 
-  SystemConfig& config() { return config_; }
+  const SystemConfig& config() const { return *config_; }
+  std::uint64_t seed() const { return seed_; }
   node::EcoCapsule& capsule() { return capsule_; }
   reader::Receiver& receiver() { return receiver_; }
 
@@ -80,7 +100,8 @@ class LinkSimulator {
   /// Ensure the node is powered by streaming CBW into it.
   bool power_up();
 
-  SystemConfig config_;
+  SystemSnapshot config_;
+  std::uint64_t seed_ = 0;
   dsp::Rng rng_;
   reader::Transmitter transmitter_;
   reader::Receiver receiver_;

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/workspace_pool.hpp"
 #include "dsp/signal_ops.hpp"
 
 namespace ecocap::core {
 
 MultiNodeLink::MultiNodeLink(Config config)
     : config_(std::move(config)),
+      structure_(std::make_shared<const channel::Structure>(config_.structure)),
       transmitter_(config_.transmitter),
       receiver_(config_.receiver) {}
 
@@ -19,10 +21,10 @@ void MultiNodeLink::deploy(const NodePlacement& placement) {
   cc.firmware.node_id = placement.node_id;
   d.capsule = std::make_unique<node::EcoCapsule>(
       cc, config_.channel.fs, config_.seed ^ placement.node_id);
-  channel::ChannelConfig ch = config_.channel;
-  ch.distance = placement.distance;
+  auto ch = std::make_shared<channel::ChannelConfig>(config_.channel);
+  ch->distance = placement.distance;
   d.channel =
-      std::make_unique<channel::ConcreteChannel>(config_.structure, ch);
+      std::make_unique<channel::ConcreteChannel>(structure_, std::move(ch));
   d.noise_rng = std::make_unique<dsp::Rng>(
       dsp::trial_seed(config_.seed, nodes_.size()));
   nodes_.push_back(std::move(d));
@@ -35,15 +37,21 @@ MultiNodeLink::broadcast(const phy::Command& cmd) {
   // capsule, noise stream) is private to its slot, so the fan-out is
   // lock-free and bit-identical at any thread count; responders are
   // assembled in deployment order afterwards.
-  const dsp::Signal tx = transmitter_.transmit_command(cmd);
+  dsp::Workspace& ws = WorkspacePool::shared().local();
+  auto tx = ws.real(0);
+  transmitter_.transmit_command(cmd, ws, *tx);
   const Real volts_scale = config_.transmitter.tx_voltage /
                            config_.structure.coupling_voltage * 0.5;
   std::vector<std::vector<node::UplinkFrame>> frames(nodes_.size());
   ThreadPool::shared().parallel_for(nodes_.size(), [&](std::size_t i) {
     Deployed& n = nodes_[i];
-    dsp::Signal at_node = n.channel->downlink(tx, *n.noise_rng);
-    dsp::scale(at_node, volts_scale);
-    const auto rx = n.capsule->receive(at_node, n.placement.environment);
+    // Each worker leases from its own thread-local workspace; the broadcast
+    // waveform lease above stays valid (and read-only) for the fan-out.
+    dsp::Workspace& wws = WorkspacePool::shared().local();
+    auto at_node = wws.real(0);
+    n.channel->downlink(*tx, *n.noise_rng, *at_node);
+    dsp::scale(*at_node, volts_scale);
+    const auto rx = n.capsule->receive(*at_node, n.placement.environment);
     if (rx.powered) frames[i] = rx.frames;
   });
 
@@ -75,21 +83,26 @@ reader::UplinkDecode MultiNodeLink::receive_slot(
         frame.bitrate;
     frame_time = std::max(frame_time, t);
   }
-  const dsp::Signal cw = transmitter_.continuous_wave(frame_time);
+  dsp::Workspace& ws = WorkspacePool::shared().local();
+  auto cw = ws.real(0);
+  transmitter_.continuous_wave(frame_time, *cw);
 
   // Each responder's backscatter leg is independent; compute the per-node
   // contributions in parallel, then superpose them in responder order so
-  // the floating-point sum is reproducible.
+  // the floating-point sum is reproducible. The contributions cross thread
+  // boundaries, so they stay plain Signals rather than workspace leases.
   std::vector<dsp::Signal> contributions(responders.size());
   ThreadPool::shared().parallel_for(responders.size(), [&](std::size_t i) {
     Deployed* n = responders[i].first;
     const node::UplinkFrame& frame = responders[i].second;
-    dsp::Signal carrier_at_node = n->channel->downlink(cw, *n->noise_rng);
-    dsp::scale(carrier_at_node, volts_scale);
-    const dsp::Signal emission =
-        n->capsule->backscatter(frame, carrier_at_node);
-    contributions[i] = n->channel->uplink(
-        emission, config_.transmitter.carrier.f_resonant, *n->noise_rng);
+    dsp::Workspace& wws = WorkspacePool::shared().local();
+    auto carrier_at_node = wws.real(0);
+    auto emission = wws.real(0);
+    n->channel->downlink(*cw, *n->noise_rng, *carrier_at_node);
+    dsp::scale(*carrier_at_node, volts_scale);
+    n->capsule->backscatter(frame, *carrier_at_node, wws, *emission);
+    n->channel->uplink(*emission, config_.transmitter.carrier.f_resonant,
+                       *n->noise_rng, contributions[i]);
   });
 
   dsp::Signal at_reader;
@@ -108,7 +121,7 @@ reader::UplinkDecode MultiNodeLink::receive_slot(
   }
   receiver_.set_blf(blf);
   receiver_.set_bitrate(bitrate);
-  return receiver_.decode(at_reader, reply_bits);
+  return receiver_.decode(at_reader, reply_bits, ws);
 }
 
 MultiNodeLink::Result MultiNodeLink::run_inventory() {
@@ -126,11 +139,13 @@ MultiNodeLink::Result MultiNodeLink::run_inventory() {
   }
   ThreadPool::shared().parallel_for(nodes_.size(), [&](std::size_t idx) {
     Deployed& n = nodes_[idx];
+    dsp::Workspace& wws = WorkspacePool::shared().local();
+    auto at_node = wws.real(0);
     for (const dsp::Signal& cw : charge_blocks) {
       if (n.capsule->harvester().mcu_powered()) break;
-      dsp::Signal at_node = n.channel->downlink(cw, *n.noise_rng);
-      dsp::scale(at_node, volts_scale);
-      n.capsule->receive(at_node, n.placement.environment);
+      n.channel->downlink(cw, *n.noise_rng, *at_node);
+      dsp::scale(*at_node, volts_scale);
+      n.capsule->receive(*at_node, n.placement.environment);
     }
   });
 

@@ -77,6 +77,9 @@ class MultiNodeLink {
       std::size_t reply_bits);
 
   Config config_;
+  /// Immutable snapshot of the structure shared by every deployed node's
+  /// channel (instead of one copy per node).
+  std::shared_ptr<const channel::Structure> structure_;
   reader::Transmitter transmitter_;
   reader::Receiver receiver_;
   std::vector<Deployed> nodes_;

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "dsp/workspace.hpp"
+
+namespace ecocap::core {
+
+/// Process-wide registry of per-thread dsp::Workspace arenas, the companion
+/// of core::ThreadPool for the zero-copy pipeline: every TrialRunner worker
+/// (and the main thread) gets its own workspace via `local()`, so a whole
+/// trial block reuses one arena with no locking on the checkout path.
+///
+/// `set_pooling(false)` switches every current and future workspace to the
+/// allocate-per-checkout mode — the "before" baseline the e2e benchmark
+/// measures against. `total_stats()` sums the counting hooks across
+/// threads; the per-thread counters are unsynchronized, so read them only
+/// while the pool's workers are quiescent (between parallel regions).
+class WorkspacePool {
+ public:
+  static WorkspacePool& shared();
+
+  /// This thread's workspace (created and registered on first use).
+  dsp::Workspace& local();
+
+  void set_pooling(bool enabled);
+  bool pooling() const;
+
+  dsp::Workspace::Stats total_stats() const;
+  void reset_stats();
+
+  /// Drop every registered thread's pooled buffers.
+  void clear();
+
+ private:
+  WorkspacePool() = default;
+
+  void enroll(dsp::Workspace* ws);
+  void retire(dsp::Workspace* ws);
+
+  struct Registration;
+
+  mutable std::mutex mutex_;
+  std::vector<dsp::Workspace*> workspaces_;
+  bool pooling_ = true;
+};
+
+}  // namespace ecocap::core

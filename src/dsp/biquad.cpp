@@ -66,9 +66,16 @@ Real Biquad::process(Real x) {
 }
 
 Signal Biquad::process(std::span<const Real> x) {
-  Signal out(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) out[i] = process(x[i]);
+  Signal out;
+  process(x, out);
   return out;
+}
+
+void Biquad::process(std::span<const Real> x, Signal& out) {
+  // In-place callers pass out.size() == x.size(), so the resize never
+  // reallocates under the input span.
+  out.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = process(x[i]);
 }
 
 void Biquad::reset() { x1_ = x2_ = y1_ = y2_ = 0.0; }

@@ -29,6 +29,10 @@ class Biquad {
 
   Real process(Real x);
   Signal process(std::span<const Real> x);
+  /// Filter into a caller-provided buffer (resized to match). `out` may be
+  /// the buffer `x` views for an in-place pass — direct form I reads each
+  /// sample before writing it.
+  void process(std::span<const Real> x, Signal& out);
   void reset();
 
   /// Magnitude response at frequency f (Hz) for sample rate fs.

@@ -48,13 +48,18 @@ Real correlation_coefficient(std::span<const Real> a,
 }
 
 ComplexSignal mix_down(std::span<const Real> x, Real fs, Real f0) {
-  ComplexSignal out(x.size());
+  ComplexSignal out;
+  mix_down(x, fs, f0, out);
+  return out;
+}
+
+void mix_down(std::span<const Real> x, Real fs, Real f0, ComplexSignal& out) {
+  out.resize(x.size());
   const Real step = kTwoPi * f0 / fs;
   for (std::size_t i = 0; i < x.size(); ++i) {
     const Real ph = step * static_cast<Real>(i);
     out[i] = x[i] * Complex(std::cos(ph), -std::sin(ph));
   }
-  return out;
 }
 
 Signal complex_magnitude(const ComplexSignal& x) {

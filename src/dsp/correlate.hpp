@@ -24,6 +24,9 @@ Real correlation_coefficient(std::span<const Real> a, std::span<const Real> b);
 /// routine only mixes.
 ComplexSignal mix_down(std::span<const Real> x, Real fs, Real f0);
 
+/// Mix into a caller-provided buffer (resized to match).
+void mix_down(std::span<const Real> x, Real fs, Real f0, ComplexSignal& out);
+
 /// Magnitude of a complex baseband signal.
 Signal complex_magnitude(const ComplexSignal& x);
 

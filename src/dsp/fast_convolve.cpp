@@ -199,12 +199,21 @@ Signal correlate_valid_fft(std::span<const Real> x, std::span<const Real> h) {
 
 ComplexSignal filter_zero_phase(std::span<const Real> coefficients,
                                 std::span<const Complex> x) {
-  if (coefficients.empty() || x.empty()) return ComplexSignal(x.size());
+  ComplexSignal out;
+  filter_zero_phase(coefficients, x, out);
+  return out;
+}
+
+void filter_zero_phase(std::span<const Real> coefficients,
+                       std::span<const Complex> x, ComplexSignal& out) {
+  if (coefficients.empty() || x.empty()) {
+    out.assign(x.size(), Complex(0.0, 0.0));
+    return;
+  }
   const std::size_t delay = (coefficients.size() - 1) / 2;
   const ComplexSignal full = convolve_full(x, coefficients);
-  return ComplexSignal(
-      full.begin() + static_cast<std::ptrdiff_t>(delay),
-      full.begin() + static_cast<std::ptrdiff_t>(delay + x.size()));
+  out.assign(full.begin() + static_cast<std::ptrdiff_t>(delay),
+             full.begin() + static_cast<std::ptrdiff_t>(delay + x.size()));
 }
 
 }  // namespace ecocap::dsp

@@ -60,4 +60,9 @@ Signal correlate_valid_fft(std::span<const Real> x, std::span<const Real> h);
 ComplexSignal filter_zero_phase(std::span<const Real> coefficients,
                                 std::span<const Complex> x);
 
+/// Zero-phase filter into a caller-provided buffer (resized to x.size()).
+/// `out` must not alias `x`.
+void filter_zero_phase(std::span<const Real> coefficients,
+                       std::span<const Complex> x, ComplexSignal& out);
+
 }  // namespace ecocap::dsp

@@ -24,9 +24,14 @@ Real Oscillator::next(Real amplitude) {
 }
 
 Signal Oscillator::generate(std::size_t n, Real amplitude) {
-  Signal out(n);
-  for (std::size_t i = 0; i < n; ++i) out[i] = next(amplitude);
+  Signal out;
+  generate(n, amplitude, out);
   return out;
+}
+
+void Oscillator::generate(std::size_t n, Real amplitude, Signal& out) {
+  out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = next(amplitude);
 }
 
 Signal tone(Real fs, Real f, std::size_t n, Real amplitude, Real phase0) {

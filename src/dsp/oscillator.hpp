@@ -27,6 +27,9 @@ class Oscillator {
   /// Produce `n` samples into a new buffer.
   Signal generate(std::size_t n, Real amplitude = 1.0);
 
+  /// Produce `n` samples into a caller-provided buffer (resized to n).
+  void generate(std::size_t n, Real amplitude, Signal& out);
+
   /// Current phase in radians, wrapped to [0, 2*pi).
   Real phase() const { return phase_; }
 

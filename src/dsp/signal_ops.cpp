@@ -58,12 +58,19 @@ Signal add(std::span<const Real> a, std::span<const Real> b) {
 }
 
 Signal multiply(std::span<const Real> a, std::span<const Real> b) {
+  Signal out;
+  multiply(a, b, out);
+  return out;
+}
+
+void multiply(std::span<const Real> a, std::span<const Real> b, Signal& out) {
   if (a.size() != b.size()) {
     throw std::invalid_argument("dsp::multiply: size mismatch");
   }
-  Signal out(a.size());
+  // Aliased (in-place) calls already have out.size() == a.size(), so the
+  // resize never reallocates under the input spans.
+  out.resize(a.size());
   for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
-  return out;
 }
 
 void scale(Signal& x, Real gain) {

@@ -38,6 +38,10 @@ Signal add(std::span<const Real> a, std::span<const Real> b);
 /// Element-wise product (e.g. mixing against a local oscillator).
 Signal multiply(std::span<const Real> a, std::span<const Real> b);
 
+/// Element-wise product into a caller-provided buffer (resized to match).
+/// `out` may alias `a` or `b` for an in-place product.
+void multiply(std::span<const Real> a, std::span<const Real> b, Signal& out);
+
 /// Multiply every sample by `gain`.
 void scale(Signal& x, Real gain);
 

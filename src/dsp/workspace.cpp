@@ -1,0 +1,64 @@
+#include "dsp/workspace.hpp"
+
+#include <algorithm>
+
+namespace ecocap::dsp {
+
+template <typename Buffer>
+Buffer Workspace::take(std::vector<Buffer>& free_list, std::size_t n) {
+  ++stats_.checkouts;
+  if (!pooling_ || free_list.empty()) {
+    // A fresh buffer has no capacity to reuse: it allocates as soon as the
+    // caller fills it, so every miss counts as one heap allocation.
+    ++stats_.heap_allocations;
+    Buffer fresh;
+    fresh.assign(n, typename Buffer::value_type{});
+    return fresh;
+  }
+  // Best fit: smallest capacity that already holds n; otherwise grow the
+  // largest block so repeated checkouts converge on one big buffer per
+  // concurrent lease instead of churning many small ones.
+  std::size_t best = free_list.size();
+  std::size_t largest = 0;
+  for (std::size_t i = 0; i < free_list.size(); ++i) {
+    const std::size_t cap = free_list[i].capacity();
+    if (cap >= n && (best == free_list.size() ||
+                     cap < free_list[best].capacity())) {
+      best = i;
+    }
+    if (free_list[i].capacity() >= free_list[largest].capacity()) largest = i;
+  }
+  const std::size_t pick = (best != free_list.size()) ? best : largest;
+  if (free_list[pick].capacity() < n) ++stats_.heap_allocations;
+  Buffer buf = std::move(free_list[pick]);
+  free_list[pick] = std::move(free_list.back());
+  free_list.pop_back();
+  // assign() writes the same zeros a fresh Buffer(n, 0) would hold, so a
+  // pooled checkout is bit-identical to an allocation and stale samples
+  // from the previous tenant can never leak.
+  buf.assign(n, typename Buffer::value_type{});
+  return buf;
+}
+
+Workspace::RealLease Workspace::real(std::size_t n) {
+  return RealLease(this, take(free_real_, n));
+}
+
+Workspace::ComplexLease Workspace::cplx(std::size_t n) {
+  return ComplexLease(this, take(free_cplx_, n));
+}
+
+void Workspace::give(Signal&& buf) {
+  if (pooling_) free_real_.push_back(std::move(buf));
+}
+
+void Workspace::give(ComplexSignal&& buf) {
+  if (pooling_) free_cplx_.push_back(std::move(buf));
+}
+
+void Workspace::clear() {
+  free_real_.clear();
+  free_cplx_.clear();
+}
+
+}  // namespace ecocap::dsp

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace ecocap::dsp {
+
+/// Arena of reusable waveform buffers for the zero-copy stage pipeline.
+///
+/// Every stage of the tx -> channel -> node -> rx chain used to return a
+/// freshly allocated Signal; after the FFT kernels made the math cheap the
+/// heap churn dominated the Monte-Carlo harnesses. A Workspace keeps the
+/// buffers those stages write into and hands them out again on the next
+/// checkout, so a steady-state interrogation allocates nothing.
+///
+/// Semantics:
+///  * `real(n)` / `cplx(n)` return an RAII lease over a buffer of exactly
+///    `n` elements, zero-filled — bit-identical to a fresh `Signal(n, 0.0)`,
+///    so pooled and unpooled paths produce the same samples and no stale
+///    tail can leak between checkouts. `real(0)` yields an empty buffer
+///    whose spare capacity is still reused (for push_back-style encoders).
+///  * A lease returns its buffer to the workspace on destruction (or
+///    `release()`); any number of leases can be live at once.
+///  * A Workspace is single-threaded: it and its leases must stay on the
+///    owning thread (use core::WorkspacePool for one workspace per worker).
+///  * `set_pooling(false)` turns reuse off — every checkout allocates and
+///    returned buffers are dropped. This is the "before" mode the
+///    allocation-counting benchmark compares against.
+///
+/// Stats are the counting hook for bench_micro_dsp's e2e_interrogate
+/// metrics: `checkouts` counts buffers requested, `heap_allocations`
+/// counts checkouts the free lists could not satisfy from capacity.
+class Workspace {
+ public:
+  struct Stats {
+    std::size_t checkouts = 0;
+    std::size_t heap_allocations = 0;
+  };
+
+  template <typename Buffer>
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Workspace* ws, Buffer&& buf) : ws_(ws), buf_(std::move(buf)) {}
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease(Lease&& other) noexcept
+        : ws_(std::exchange(other.ws_, nullptr)), buf_(std::move(other.buf_)) {}
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        ws_ = std::exchange(other.ws_, nullptr);
+        buf_ = std::move(other.buf_);
+      }
+      return *this;
+    }
+    ~Lease() { release(); }
+
+    Buffer& operator*() { return buf_; }
+    const Buffer& operator*() const { return buf_; }
+    Buffer* operator->() { return &buf_; }
+    const Buffer* operator->() const { return &buf_; }
+    Buffer& get() { return buf_; }
+    const Buffer& get() const { return buf_; }
+
+    /// Hand the buffer back before the scope ends.
+    void release() {
+      if (ws_ != nullptr) {
+        ws_->give(std::move(buf_));
+        ws_ = nullptr;
+      }
+      buf_ = Buffer();
+    }
+
+   private:
+    Workspace* ws_ = nullptr;
+    Buffer buf_;
+  };
+
+  using RealLease = Lease<Signal>;
+  using ComplexLease = Lease<ComplexSignal>;
+
+  /// Check out a zero-filled real buffer of length n.
+  RealLease real(std::size_t n);
+
+  /// Check out a zero-filled complex buffer of length n.
+  ComplexLease cplx(std::size_t n);
+
+  void set_pooling(bool enabled) { pooling_ = enabled; }
+  bool pooling() const { return pooling_; }
+
+  const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
+  /// Drop every pooled buffer (leases currently out are unaffected).
+  void clear();
+
+  /// Pooled buffers currently available for checkout.
+  std::size_t pooled_buffers() const {
+    return free_real_.size() + free_cplx_.size();
+  }
+
+ private:
+  template <typename Buffer>
+  friend class Lease;
+
+  void give(Signal&& buf);
+  void give(ComplexSignal&& buf);
+
+  /// Pick the free buffer whose capacity fits n best (smallest capacity
+  /// >= n, else the largest available so growth reuses the biggest block).
+  template <typename Buffer>
+  Buffer take(std::vector<Buffer>& free_list, std::size_t n);
+
+  std::vector<Signal> free_real_;
+  std::vector<ComplexSignal> free_cplx_;
+  Stats stats_;
+  bool pooling_ = true;
+};
+
+}  // namespace ecocap::dsp

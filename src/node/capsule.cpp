@@ -43,21 +43,31 @@ CapsuleRxResult EcoCapsule::receive(std::span<const dsp::Real> acoustic,
     return result;
   }
 
-  // 2. Demodulate and run the protocol.
-  const std::vector<bool> levels = frontend_.demodulate(acoustic);
-  result.frames = firmware_.process_downlink(levels, fs_, env);
+  // 2. Demodulate and run the protocol. The level buffer is a member so
+  //    repeated interrogations reuse its capacity.
+  frontend_.demodulate(acoustic, levels_);
+  result.frames = firmware_.process_downlink(levels_, fs_, env);
   return result;
 }
 
 dsp::Signal EcoCapsule::backscatter(
     const UplinkFrame& frame, std::span<const dsp::Real> incident_carrier) {
+  dsp::Workspace ws;
+  dsp::Signal out;
+  backscatter(frame, incident_carrier, ws, out);
+  return out;
+}
+
+void EcoCapsule::backscatter(const UplinkFrame& frame,
+                             std::span<const dsp::Real> incident_carrier,
+                             dsp::Workspace& ws, dsp::Signal& out) {
   phy::Fm0Params line = config_.firmware.uplink;
   line.bitrate = frame.bitrate;
-  const dsp::Signal switching =
-      phy::fm0_encode_frame(frame.payload, line, fs_);
+  auto switching = ws.real(0);
+  phy::fm0_encode_frame(frame.payload, line, fs_, *switching);
   phy::BackscatterParams bp = config_.backscatter;
   bp.f_blf = frame.blf;
-  return phy::backscatter_modulate(incident_carrier, switching, fs_, bp);
+  phy::backscatter_modulate(incident_carrier, *switching, fs_, bp, out);
 }
 
 }  // namespace ecocap::node

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "dsp/workspace.hpp"
 #include "node/firmware.hpp"
 #include "node/frontend.hpp"
 #include "node/harvester.hpp"
@@ -50,6 +51,13 @@ class EcoCapsule {
   dsp::Signal backscatter(const UplinkFrame& frame,
                           std::span<const dsp::Real> incident_carrier);
 
+  /// Backscatter into a caller-provided buffer; the FM0 switching waveform
+  /// lives in a workspace lease instead of a fresh heap allocation.
+  /// `out` must not alias `incident_carrier`.
+  void backscatter(const UplinkFrame& frame,
+                   std::span<const dsp::Real> incident_carrier,
+                   dsp::Workspace& ws, dsp::Signal& out);
+
   /// Direct access for tests and experiments.
   Firmware& firmware() { return firmware_; }
   Harvester& harvester() { return harvester_; }
@@ -66,6 +74,8 @@ class EcoCapsule {
   Harvester harvester_;
   AnalogFrontend frontend_;
   Firmware firmware_;
+  /// Demodulated level buffer reused across receive() calls.
+  std::vector<bool> levels_;
 };
 
 }  // namespace ecocap::node

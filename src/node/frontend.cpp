@@ -6,11 +6,17 @@ AnalogFrontend::AnalogFrontend(Real fs, Real envelope_cutoff)
     : detector_(fs, envelope_cutoff), slicer_(0.55, 0.45, 0.999995) {}
 
 std::vector<bool> AnalogFrontend::demodulate(std::span<const Real> acoustic) {
-  std::vector<bool> out(acoustic.size());
+  std::vector<bool> out;
+  demodulate(acoustic, out);
+  return out;
+}
+
+void AnalogFrontend::demodulate(std::span<const Real> acoustic,
+                                std::vector<bool>& out) {
+  out.resize(acoustic.size());
   for (std::size_t i = 0; i < acoustic.size(); ++i) {
     out[i] = slicer_.process(detector_.process(acoustic[i]));
   }
-  return out;
 }
 
 Signal AnalogFrontend::envelope(std::span<const Real> acoustic) {

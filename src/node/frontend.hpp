@@ -27,6 +27,10 @@ class AnalogFrontend {
   /// baseband the MCU sees.
   std::vector<bool> demodulate(std::span<const Real> acoustic);
 
+  /// Demodulate into a caller-provided buffer (resized to match), so a
+  /// capsule can reuse one level buffer across receive() calls.
+  void demodulate(std::span<const Real> acoustic, std::vector<bool>& out);
+
   /// The analog envelope itself (for harvesting and diagnostics).
   Signal envelope(std::span<const Real> acoustic);
 

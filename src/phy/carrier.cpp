@@ -7,11 +7,19 @@ namespace ecocap::phy {
 
 Signal modulate_downlink(std::span<const Real> baseband,
                          const CarrierParams& params, DownlinkScheme scheme) {
+  Signal out;
+  modulate_downlink(baseband, params, scheme, out);
+  return out;
+}
+
+void modulate_downlink(std::span<const Real> baseband,
+                       const CarrierParams& params, DownlinkScheme scheme,
+                       Signal& out) {
   if (params.fs <= 0.0) {
     throw std::invalid_argument("modulate_downlink: bad sample rate");
   }
   dsp::Oscillator osc(params.fs, params.f_resonant);
-  Signal out(baseband.size());
+  out.resize(baseband.size());
   switch (scheme) {
     case DownlinkScheme::kOok:
       for (std::size_t i = 0; i < baseband.size(); ++i) {
@@ -30,45 +38,62 @@ Signal modulate_downlink(std::span<const Real> baseband,
       }
       break;
   }
-  return out;
 }
 
 Signal backscatter_modulate(std::span<const Real> incident_carrier,
                             std::span<const Real> switching, Real fs,
                             const BackscatterParams& params) {
+  Signal out;
+  backscatter_modulate(incident_carrier, switching, fs, params, out);
+  return out;
+}
+
+void backscatter_modulate(std::span<const Real> incident_carrier,
+                          std::span<const Real> switching, Real fs,
+                          const BackscatterParams& params, Signal& out) {
   if (switching.size() > incident_carrier.size()) {
     throw std::invalid_argument("backscatter_modulate: switching too long");
   }
-  const Signal sq = (params.f_blf > 0.0)
-                        ? blf_square(fs, params.f_blf, incident_carrier.size())
-                        : Signal();
-  Signal out(incident_carrier.size());
+  const bool use_blf = params.f_blf > 0.0;
+  if (use_blf && fs <= 0.0) {
+    throw std::invalid_argument("backscatter_modulate: fs must be > 0");
+  }
+  // The subcarrier samples are computed inline (same fmod arithmetic as
+  // blf_square at phase 0) instead of materializing a square-wave buffer.
+  const Real period = use_blf ? fs / params.f_blf : 1.0;
+  out.resize(incident_carrier.size());
   const Real mid = 0.5 * (params.reflective_gain + params.absorptive_gain);
   const Real half = 0.5 * (params.reflective_gain - params.absorptive_gain);
   for (std::size_t i = 0; i < incident_carrier.size(); ++i) {
     // Before/after the data burst the switch rests in the absorptive state
     // (harvest as much as possible, paper §2).
     Real state = (i < switching.size()) ? switching[i] : -1.0;
-    if (!sq.empty() && i < switching.size()) {
-      state *= sq[i];  // bipolar XOR = product
+    if (use_blf && i < switching.size()) {
+      const Real t = std::fmod(static_cast<Real>(i), period) / period;
+      state *= (t < 0.5) ? 1.0 : -1.0;  // bipolar XOR = product
     }
     const Real gain = mid + half * state;
     out[i] = incident_carrier[i] * gain;
   }
-  return out;
 }
 
 Signal blf_square(Real fs, Real f_blf, std::size_t n, std::size_t phase) {
+  Signal out;
+  blf_square(fs, f_blf, n, phase, out);
+  return out;
+}
+
+void blf_square(Real fs, Real f_blf, std::size_t n, std::size_t phase,
+                Signal& out) {
   if (f_blf <= 0.0 || fs <= 0.0) {
     throw std::invalid_argument("blf_square: frequencies must be > 0");
   }
-  Signal out(n);
+  out.resize(n);
   const Real period = fs / f_blf;
   for (std::size_t i = 0; i < n; ++i) {
     const Real t = std::fmod(static_cast<Real>(i + phase), period) / period;
     out[i] = (t < 0.5) ? 1.0 : -1.0;
   }
-  return out;
 }
 
 }  // namespace ecocap::phy

@@ -35,6 +35,11 @@ struct CarrierParams {
 Signal modulate_downlink(std::span<const Real> baseband,
                          const CarrierParams& params, DownlinkScheme scheme);
 
+/// Modulate into a caller-provided buffer (resized to match).
+void modulate_downlink(std::span<const Real> baseband,
+                       const CarrierParams& params, DownlinkScheme scheme,
+                       Signal& out);
+
 /// Uplink backscatter modulation at the node. The impedance switch changes
 /// the PZT between absorptive and reflective states; the reflected wave is
 /// the incident carrier scaled by the modulation state (paper §2, Fig. 2).
@@ -57,7 +62,18 @@ Signal backscatter_modulate(std::span<const Real> incident_carrier,
                             std::span<const Real> switching, Real fs,
                             const BackscatterParams& params);
 
+/// Modulate into a caller-provided buffer (resized to match); the BLF
+/// subcarrier is synthesized inline, so no square-wave buffer is allocated.
+/// `out` must not alias the inputs.
+void backscatter_modulate(std::span<const Real> incident_carrier,
+                          std::span<const Real> switching, Real fs,
+                          const BackscatterParams& params, Signal& out);
+
 /// The bipolar square subcarrier itself (for receiver-side demodulation).
 Signal blf_square(Real fs, Real f_blf, std::size_t n, std::size_t phase = 0);
+
+/// Square subcarrier into a caller-provided buffer (resized to n).
+void blf_square(Real fs, Real f_blf, std::size_t n, std::size_t phase,
+                Signal& out);
 
 }  // namespace ecocap::phy

@@ -21,11 +21,18 @@ Bits fm0_preamble(const Fm0Params& params) {
 
 Signal fm0_encode(std::span<const std::uint8_t> bits, Real fs, Real bitrate,
                   Real start_level) {
+  Signal out;
+  fm0_encode(bits, fs, bitrate, start_level, out);
+  return out;
+}
+
+void fm0_encode(std::span<const std::uint8_t> bits, Real fs, Real bitrate,
+                Real start_level, Signal& out) {
   if (fs <= 0.0 || bitrate <= 0.0 || fs < 4.0 * bitrate) {
     throw std::invalid_argument("fm0_encode: need fs >= 4 * bitrate");
   }
   const Real spb = fs / bitrate;
-  Signal out;
+  out.clear();
   out.reserve(static_cast<std::size_t>(spb * static_cast<Real>(bits.size())) + 8);
   Real level = (start_level >= 0.0) ? 1.0 : -1.0;
   std::size_t produced = 0;
@@ -40,14 +47,20 @@ Signal fm0_encode(std::span<const std::uint8_t> bits, Real fs, Real bitrate,
     if ((bits[k] & 1u) == 0u) level = -level;  // data-0: mid transition
     for (; produced < sym_end; ++produced) out.push_back(level);
   }
-  return out;
 }
 
 Signal fm0_encode_frame(const Bits& payload, const Fm0Params& params,
                         Real fs) {
+  Signal out;
+  fm0_encode_frame(payload, params, fs, out);
+  return out;
+}
+
+void fm0_encode_frame(const Bits& payload, const Fm0Params& params, Real fs,
+                      Signal& out) {
   Bits all = fm0_preamble(params);
   all.insert(all.end(), payload.begin(), payload.end());
-  return fm0_encode(all, fs, params.bitrate);
+  fm0_encode(all, fs, params.bitrate, 1.0, out);
 }
 
 Bits fm0_decode(std::span<const Real> x, Real samples_per_bit,
@@ -105,12 +118,17 @@ Bits fm0_decode(std::span<const Real> x, Real samples_per_bit,
   return (paths[0].metric > paths[1].metric) ? paths[0].bits : paths[1].bits;
 }
 
-Fm0FrameDecode fm0_decode_frame(std::span<const Real> x,
-                                const Fm0Params& params, Real fs,
-                                std::size_t payload_bits, Real min_corr) {
+namespace {
+
+/// Shared frame-decode body; the template waveform is caller-owned (fresh
+/// or pooled), so both entry points align and slice identically.
+Fm0FrameDecode decode_frame_with_template(std::span<const Real> x,
+                                          const Fm0Params& params, Real fs,
+                                          std::size_t payload_bits,
+                                          Real min_corr,
+                                          std::span<const Real> tmpl,
+                                          std::size_t preamble_bits) {
   Fm0FrameDecode out;
-  const Bits pre = fm0_preamble(params);
-  const Signal tmpl = fm0_encode(pre, fs, params.bitrate);
   if (x.size() < tmpl.size()) return out;
 
   // FM0 information lives in the transitions, so an inverted waveform is an
@@ -124,20 +142,43 @@ Fm0FrameDecode fm0_decode_frame(std::span<const Real> x,
       start = i;
     }
   }
-  const Signal seg(x.begin() + static_cast<std::ptrdiff_t>(start),
-                   x.begin() + static_cast<std::ptrdiff_t>(start + tmpl.size()));
-  const Real corr = dsp::correlation_coefficient(seg, tmpl);
+  // The aligned segment is scored in place as a view of x — no copy.
+  const Real corr =
+      dsp::correlation_coefficient(x.subspan(start, tmpl.size()), tmpl);
   out.frame_start = start;
   out.preamble_correlation = std::abs(corr);
   if (std::abs(corr) < min_corr) return out;
 
   const Real spb = fs / params.bitrate;
   const std::size_t payload_start =
-      start + static_cast<std::size_t>(std::llround(spb * static_cast<Real>(pre.size())));
+      start + static_cast<std::size_t>(
+                  std::llround(spb * static_cast<Real>(preamble_bits)));
   if (payload_start >= x.size()) return out;
   const std::span<const Real> rest = x.subspan(payload_start);
   out.payload = fm0_decode(rest, spb, payload_bits);
   return out;
+}
+
+}  // namespace
+
+Fm0FrameDecode fm0_decode_frame(std::span<const Real> x,
+                                const Fm0Params& params, Real fs,
+                                std::size_t payload_bits, Real min_corr) {
+  const Bits pre = fm0_preamble(params);
+  const Signal tmpl = fm0_encode(pre, fs, params.bitrate);
+  return decode_frame_with_template(x, params, fs, payload_bits, min_corr,
+                                    tmpl, pre.size());
+}
+
+Fm0FrameDecode fm0_decode_frame(std::span<const Real> x,
+                                const Fm0Params& params, Real fs,
+                                std::size_t payload_bits, Real min_corr,
+                                dsp::Workspace& ws) {
+  const Bits pre = fm0_preamble(params);
+  auto tmpl = ws.real(0);
+  fm0_encode(pre, fs, params.bitrate, 1.0, *tmpl);
+  return decode_frame_with_template(x, params, fs, payload_bits, min_corr,
+                                    *tmpl, pre.size());
 }
 
 }  // namespace ecocap::phy

@@ -3,6 +3,7 @@
 #include <span>
 
 #include "dsp/types.hpp"
+#include "dsp/workspace.hpp"
 #include "phy/bits.hpp"
 
 namespace ecocap::phy {
@@ -29,8 +30,16 @@ Bits fm0_preamble(const Fm0Params& params);
 Signal fm0_encode(std::span<const std::uint8_t> bits, Real fs, Real bitrate,
                   Real start_level = 1.0);
 
+/// Encode into a caller-provided buffer (replaced, capacity reused).
+void fm0_encode(std::span<const std::uint8_t> bits, Real fs, Real bitrate,
+                Real start_level, Signal& out);
+
 /// Encode preamble + payload into one frame waveform.
 Signal fm0_encode_frame(const Bits& payload, const Fm0Params& params, Real fs);
+
+/// Frame encode into a caller-provided buffer (replaced, capacity reused).
+void fm0_encode_frame(const Bits& payload, const Fm0Params& params, Real fs,
+                      Signal& out);
 
 /// Maximum-likelihood FM0 decoder over soft bipolar samples. Implements a
 /// 2-state Viterbi (state = level entering the symbol): for each symbol and
@@ -55,5 +64,13 @@ Fm0FrameDecode fm0_decode_frame(std::span<const Real> x,
                                 const Fm0Params& params, Real fs,
                                 std::size_t payload_bits,
                                 Real min_corr = 0.5);
+
+/// Workspace-backed frame decode: the preamble template comes from a pooled
+/// buffer and the aligned segment is compared in place (a subspan of x), so
+/// the per-call scratch of the receiver's subcarrier phase sweep is reused.
+Fm0FrameDecode fm0_decode_frame(std::span<const Real> x,
+                                const Fm0Params& params, Real fs,
+                                std::size_t payload_bits, Real min_corr,
+                                dsp::Workspace& ws);
 
 }  // namespace ecocap::phy

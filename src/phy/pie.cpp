@@ -57,8 +57,15 @@ std::vector<Run> to_runs(const std::vector<bool>& levels,
 
 Signal pie_encode(const Bits& payload, const PieParams& params, Real fs,
                   const PiePreamble& preamble) {
-  if (fs <= 0.0) throw std::invalid_argument("pie_encode: fs must be > 0");
   Signal out;
+  pie_encode(payload, params, fs, preamble, out);
+  return out;
+}
+
+void pie_encode(const Bits& payload, const PieParams& params, Real fs,
+                const PiePreamble& preamble, Signal& out) {
+  if (fs <= 0.0) throw std::invalid_argument("pie_encode: fs must be > 0");
+  out.clear();
   // Leading CW so the node can charge and the delimiter is a clean 1->0.
   append_level(out, fs, 2.0 * params.tari, 1.0);
   const Real delimiter =
@@ -80,7 +87,6 @@ Signal pie_encode(const Bits& payload, const PieParams& params, Real fs,
   // an unambiguous end-of-frame (comfortably above the RTcal high interval,
   // the longest in-frame high).
   append_level(out, fs, (1.5 + params.one_length) * params.tari, 1.0);
-  return out;
 }
 
 std::optional<PieDecodeResult> pie_decode(const std::vector<bool>& levels,

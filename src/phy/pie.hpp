@@ -47,6 +47,10 @@ struct PiePreamble {
 Signal pie_encode(const Bits& payload, const PieParams& params, Real fs,
                   const PiePreamble& preamble = {});
 
+/// Encode into a caller-provided buffer (replaced, capacity reused).
+void pie_encode(const Bits& payload, const PieParams& params, Real fs,
+                const PiePreamble& preamble, Signal& out);
+
 /// Result of decoding a PIE frame from binarized levels.
 struct PieDecodeResult {
   Bits payload;

@@ -49,6 +49,10 @@ Signal RingingPzt::drive(std::span<const Real> excitation) {
   return out;
 }
 
+void RingingPzt::drive_inplace(std::span<Real> excitation) {
+  for (Real& v : excitation) v = process(v);
+}
+
 Real RingingPzt::process(Real x) {
   const Real a = std::abs(x);
   env_ = std::max(a, env_ * env_decay_);

@@ -44,6 +44,10 @@ class RingingPzt {
   /// normalized so that a steady resonant tone passes at unity gain.
   Signal drive(std::span<const Real> excitation);
 
+  /// Drive a waveform through the disc in place (zero-copy stage form:
+  /// the electrical buffer becomes the acoustic one).
+  void drive_inplace(std::span<Real> excitation);
+
   Real process(Real x);
   void reset();
 

@@ -17,9 +17,10 @@ namespace ecocap::reader {
 
 Receiver::Receiver(ReceiverConfig config) : config_(config) {}
 
-dsp::ComplexSignal Receiver::to_baseband(std::span<const Real> rx,
-                                         Real carrier) const {
-  const dsp::ComplexSignal z = dsp::mix_down(rx, config_.fs, carrier);
+void Receiver::to_baseband(std::span<const Real> rx, Real carrier,
+                           dsp::Workspace& ws, dsp::ComplexSignal& out) const {
+  auto z = ws.cplx(0);
+  dsp::mix_down(rx, config_.fs, carrier, *z);
   // Low-pass both rails: wide enough for the subcarrier + data sidebands.
   // The design is cached process-wide (every decode used to redesign the
   // identical windowed sinc) and the complex baseband is filtered in one
@@ -28,10 +29,10 @@ dsp::ComplexSignal Receiver::to_baseband(std::span<const Real> rx,
       std::max(2.5 * config_.uplink.bitrate + config_.blf, 8.0e3);
   const std::shared_ptr<const Signal> h = dsp::FilterCache::shared().lowpass(
       config_.fs, cutoff, config_.lowpass_taps);
-  return dsp::filter_zero_phase(*h, z);
+  dsp::filter_zero_phase(*h, *z, out);
 }
 
-Signal Receiver::phase_align(const dsp::ComplexSignal& z) const {
+void Receiver::phase_align(const dsp::ComplexSignal& z, Signal& out) const {
   // The self-interference shows up as a (large) DC offset in the complex
   // baseband; remove the mean first, then project onto the principal phase
   // axis (0.5 * arg of the sum of squares).
@@ -46,11 +47,10 @@ Signal Receiver::phase_align(const dsp::ComplexSignal& z) const {
   }
   const Real theta = 0.5 * std::arg(sq);
   const dsp::Complex rot = std::polar<Real>(1.0, -theta);
-  Signal out(z.size());
+  out.resize(z.size());
   for (std::size_t i = 0; i < z.size(); ++i) {
     out[i] = ((z[i] - mean) * rot).real();
   }
-  return out;
 }
 
 namespace {
@@ -145,32 +145,48 @@ std::optional<Real> decision_snr_db(std::span<const Real> demod,
 Signal Receiver::demodulated_baseband(std::span<const Real> rx) const {
   const Real carrier = dsp::estimate_tone_frequency(
       rx, config_.fs, config_.carrier_search_lo, config_.carrier_search_hi);
-  return phase_align(to_baseband(rx, carrier));
+  dsp::Workspace ws;
+  auto z = ws.cplx(0);
+  to_baseband(rx, carrier, ws, *z);
+  Signal out;
+  phase_align(*z, out);
+  return out;
 }
 
 UplinkDecode Receiver::decode(std::span<const Real> rx,
                               std::size_t payload_bits) const {
+  dsp::Workspace ws;
+  return decode(rx, payload_bits, ws);
+}
+
+UplinkDecode Receiver::decode(std::span<const Real> rx,
+                              std::size_t payload_bits,
+                              dsp::Workspace& ws) const {
   UplinkDecode best;
   if (rx.empty()) return best;
 
   best.carrier_estimate = dsp::estimate_tone_frequency(
       rx, config_.fs, config_.carrier_search_lo, config_.carrier_search_hi);
-  const dsp::ComplexSignal z = to_baseband(rx, best.carrier_estimate);
+  auto z = ws.cplx(0);
+  to_baseband(rx, best.carrier_estimate, ws, *z);
 
   // Decimate the filtered complex baseband, then phase-align.
   const std::size_t m =
       pick_decimation(config_.fs, config_.blf, config_.uplink.bitrate);
-  dsp::ComplexSignal zd;
-  zd.reserve(z.size() / m + 1);
-  for (std::size_t i = 0; i < z.size(); i += m) zd.push_back(z[i]);
+  auto zd = ws.cplx(0);
+  zd->reserve(z->size() / m + 1);
+  for (std::size_t i = 0; i < z->size(); i += m) zd->push_back((*z)[i]);
+  z.release();  // the full-rate baseband is no longer needed
   const Real fs2 = config_.fs / static_cast<Real>(m);
   // Carve out the residual self-interference near DC; the data sits at
   // +-BLF (or, without a subcarrier, around the DC-free FM0 band).
   const Real dc_cutoff = (config_.blf > 0.0)
                              ? std::max(300.0, 0.1 * config_.blf)
                              : std::max(50.0, 0.05 * config_.uplink.bitrate);
-  dc_block(zd, fs2, dc_cutoff);
-  const Signal r = phase_align(zd);
+  dc_block(*zd, fs2, dc_cutoff);
+  auto r = ws.real(0);
+  phase_align(*zd, *r);
+  zd.release();
 
   // With a BLF subcarrier the switching waveform is fm0 XOR square; search
   // the subcarrier phase at the decimated rate.
@@ -181,17 +197,28 @@ UplinkDecode Receiver::decode(std::span<const Real> rx,
     phase_steps = static_cast<int>(std::min<std::size_t>(period2, 16));
   }
 
-  phy::Bits preamble_plus;
+  auto demod_lease = ws.real(0);
   for (int p = 0; p < phase_steps; ++p) {
-    Signal demod = r;
+    // Without a subcarrier there is a single phase and the demodulated
+    // baseband IS the aligned baseband; with one, the subcarrier square is
+    // synthesized inline (same fmod arithmetic as blf_square) and multiplied
+    // into the reused demod buffer.
+    std::span<const Real> demod(*r);
     if (config_.blf > 0.0) {
       const std::size_t offset = period2 * static_cast<std::size_t>(p) /
                                  static_cast<std::size_t>(phase_steps);
-      const Signal sq = phy::blf_square(fs2, config_.blf, r.size(), offset);
-      demod = dsp::multiply(r, sq);
+      const Real period = fs2 / config_.blf;
+      demod_lease->resize(r->size());
+      for (std::size_t i = 0; i < r->size(); ++i) {
+        const Real t =
+            std::fmod(static_cast<Real>(i + offset), period) / period;
+        (*demod_lease)[i] = (*r)[i] * ((t < 0.5) ? 1.0 : -1.0);
+      }
+      demod = std::span<const Real>(*demod_lease);
     }
-    const phy::Fm0FrameDecode fd = phy::fm0_decode_frame(
-        demod, config_.uplink, fs2, payload_bits, config_.min_preamble_corr);
+    const phy::Fm0FrameDecode fd =
+        phy::fm0_decode_frame(demod, config_.uplink, fs2, payload_bits,
+                              config_.min_preamble_corr, ws);
     if (fd.preamble_correlation > best.preamble_correlation) {
       best.preamble_correlation = fd.preamble_correlation;
       if (!fd.payload.empty()) {

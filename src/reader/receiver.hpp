@@ -5,6 +5,7 @@
 #include <span>
 
 #include "dsp/types.hpp"
+#include "dsp/workspace.hpp"
 #include "phy/fm0.hpp"
 
 namespace ecocap::reader {
@@ -50,6 +51,13 @@ class Receiver {
   /// that follow the FM0 preamble.
   UplinkDecode decode(std::span<const Real> rx, std::size_t payload_bits) const;
 
+  /// Workspace-backed decode: every intermediate stage buffer (complex
+  /// baseband, decimated rails, aligned real baseband, per-phase demod) is
+  /// leased from `ws` instead of heap-allocated per call. Bit-identical to
+  /// the plain overload.
+  UplinkDecode decode(std::span<const Real> rx, std::size_t payload_bits,
+                      dsp::Workspace& ws) const;
+
   /// The demodulated bipolar baseband before FM0 slicing (diagnostics,
   /// Fig. 22 reproduction).
   Signal demodulated_baseband(std::span<const Real> rx) const;
@@ -59,11 +67,12 @@ class Receiver {
   void set_bitrate(Real bitrate) { config_.uplink.bitrate = bitrate; }
 
  private:
-  /// Mix to complex baseband at the estimated carrier and low-pass.
-  dsp::ComplexSignal to_baseband(std::span<const Real> rx,
-                                 Real carrier) const;
+  /// Mix to complex baseband at the estimated carrier and low-pass, into a
+  /// caller-provided buffer. The mixer scratch is leased from `ws`.
+  void to_baseband(std::span<const Real> rx, Real carrier,
+                   dsp::Workspace& ws, dsp::ComplexSignal& out) const;
   /// Project the complex baseband onto its principal phase axis.
-  Signal phase_align(const dsp::ComplexSignal& z) const;
+  void phase_align(const dsp::ComplexSignal& z, Signal& out) const;
 
   ReceiverConfig config_;
 };

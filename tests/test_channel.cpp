@@ -335,7 +335,9 @@ TEST_P(StructureSweep, RangeLawSane) {
   const auto hi = budget.max_powerup_range(250.0);
   ASSERT_TRUE(hi.has_value());
   EXPECT_LE(*hi, s.length + 1e-9);
-  if (lo) EXPECT_LE(*lo, *hi);
+  if (lo) {
+    EXPECT_LE(*lo, *hi);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllStructures, StructureSweep,

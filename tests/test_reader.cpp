@@ -337,5 +337,90 @@ TEST_P(ReceiverBitrateSweep, DecodesAtBitrate) {
 INSTANTIATE_TEST_SUITE_P(Bitrates, ReceiverBitrateSweep,
                          ::testing::Values(1000.0, 2000.0, 4000.0, 8000.0));
 
+// Regression test for receiver retuning: set_blf / set_bitrate change the
+// low-pass cutoff, the decimation factor and the subcarrier sweep of the
+// decode chain. A stale cached filter design (the FilterCache is keyed on
+// the derived cutoff) or a latched decimation would make the retuned decode
+// differ from a receiver constructed with the right parameters directly.
+TEST(Receiver, RetuneBlfAndBitratePickedUpByDecodeChain) {
+  const Real fs = 2.0e6;
+  dsp::Rng rng(9);
+  phy::Fm0Params line;
+  line.bitrate = 1000.0;
+  const phy::Bits payload = phy::random_bits(32, rng);
+  const dsp::Signal switching = phy::fm0_encode_frame(payload, line, fs);
+  dsp::Oscillator osc(fs, 230.0e3);
+  const dsp::Signal carrier = osc.generate(switching.size() + 20000);
+  phy::BackscatterParams bp;
+  bp.f_blf = 4000.0;
+  dsp::Signal rx = phy::backscatter_modulate(carrier, switching, fs, bp);
+  dsp::add_awgn(rx, 0.01, rng);
+
+  // Start mis-tuned (wrong BLF and bitrate), then retune to the truth.
+  ReceiverConfig rcfg;
+  rcfg.fs = fs;
+  rcfg.blf = 12000.0;
+  rcfg.uplink = line;
+  rcfg.uplink.bitrate = 4000.0;
+  Receiver retuned(rcfg);
+  (void)retuned.decode(rx, payload.size());  // prime any cached designs
+  retuned.set_blf(4000.0);
+  retuned.set_bitrate(1000.0);
+  const UplinkDecode after = retuned.decode(rx, payload.size());
+
+  // Reference: a receiver built with the correct parameters from scratch.
+  ReceiverConfig good = rcfg;
+  good.blf = 4000.0;
+  good.uplink.bitrate = 1000.0;
+  Receiver reference(good);
+  const UplinkDecode expected = reference.decode(rx, payload.size());
+
+  ASSERT_TRUE(expected.valid);
+  ASSERT_TRUE(after.valid);
+  EXPECT_EQ(after.payload, payload);
+  EXPECT_EQ(after.payload, expected.payload);
+  EXPECT_DOUBLE_EQ(after.snr_db, expected.snr_db);
+  EXPECT_DOUBLE_EQ(after.carrier_estimate, expected.carrier_estimate);
+  EXPECT_DOUBLE_EQ(after.preamble_correlation, expected.preamble_correlation);
+}
+
+// The same retune must hold on a reused workspace: pooled scratch from the
+// mis-tuned decode (different buffer sizes after the different decimation)
+// cannot leak into the retuned one.
+TEST(Receiver, RetuneOnSharedWorkspaceMatchesFreshWorkspace) {
+  const Real fs = 1.0e6;
+  dsp::Rng rng(11);
+  phy::Fm0Params line;
+  line.bitrate = 2000.0;
+  const phy::Bits payload = phy::random_bits(24, rng);
+  const dsp::Signal switching = phy::fm0_encode_frame(payload, line, fs);
+  dsp::Oscillator osc(fs, 230.0e3);
+  const dsp::Signal carrier = osc.generate(switching.size() + 10000);
+  phy::BackscatterParams bp;
+  bp.f_blf = 8000.0;
+  dsp::Signal rx = phy::backscatter_modulate(carrier, switching, fs, bp);
+  dsp::add_awgn(rx, 0.01, rng);
+
+  ReceiverConfig rcfg;
+  rcfg.fs = fs;
+  rcfg.blf = 16000.0;  // mis-tuned
+  rcfg.uplink = line;
+  Receiver receiver(rcfg);
+
+  dsp::Workspace shared_ws;
+  (void)receiver.decode(rx, payload.size(), shared_ws);
+  receiver.set_blf(8000.0);
+  const UplinkDecode pooled = receiver.decode(rx, payload.size(), shared_ws);
+
+  dsp::Workspace fresh_ws;
+  const UplinkDecode fresh = receiver.decode(rx, payload.size(), fresh_ws);
+
+  ASSERT_TRUE(fresh.valid);
+  ASSERT_TRUE(pooled.valid);
+  EXPECT_EQ(pooled.payload, fresh.payload);
+  EXPECT_DOUBLE_EQ(pooled.snr_db, fresh.snr_db);
+  EXPECT_DOUBLE_EQ(pooled.preamble_correlation, fresh.preamble_correlation);
+}
+
 }  // namespace
 }  // namespace ecocap::reader

@@ -1,0 +1,139 @@
+// Workspace / WorkspacePool semantics: zero-filled leases, capacity reuse,
+// allocation accounting, and the end-to-end guarantee the zero-copy pipeline
+// rests on — pooled buffers never leak state between interrogations.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "core/link_simulator.hpp"
+#include "core/workspace_pool.hpp"
+#include "dsp/workspace.hpp"
+
+namespace {
+
+using ecocap::core::InterrogationResult;
+using ecocap::core::LinkSimulator;
+using ecocap::core::SystemConfig;
+using ecocap::core::WorkspacePool;
+using ecocap::dsp::Workspace;
+
+TEST(Workspace, LeasesAreZeroFilledEvenAfterDirtyReturn) {
+  Workspace ws;
+  {
+    auto lease = ws.real(64);
+    ASSERT_EQ(lease->size(), 64u);
+    for (auto& v : *lease) v = 7.5;  // dirty the buffer
+  }
+  // The next, shorter checkout reuses the same capacity but must read as a
+  // fresh Signal(n, 0.0): no stale tail, no stale head.
+  auto again = ws.real(16);
+  ASSERT_EQ(again->size(), 16u);
+  EXPECT_GE(again->capacity(), 16u);
+  for (const auto& v : *again) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Workspace, ReusesCapacityAndCountsAllocations) {
+  Workspace ws;
+  { auto a = ws.real(1024); }
+  EXPECT_EQ(ws.stats().checkouts, 1u);
+  EXPECT_EQ(ws.stats().heap_allocations, 1u);  // cold pool: a real allocation
+  EXPECT_EQ(ws.pooled_buffers(), 1u);
+
+  { auto b = ws.real(512); }  // fits in the returned 1024-capacity buffer
+  EXPECT_EQ(ws.stats().checkouts, 2u);
+  EXPECT_EQ(ws.stats().heap_allocations, 1u);  // served from the free list
+
+  { auto c = ws.real(4096); }  // grows the pooled buffer: counts as a miss
+  EXPECT_EQ(ws.stats().checkouts, 3u);
+  EXPECT_EQ(ws.stats().heap_allocations, 2u);
+}
+
+TEST(Workspace, ComplexLeasesArePooledIndependently) {
+  Workspace ws;
+  { auto z = ws.cplx(256); }
+  { auto z2 = ws.cplx(128); }
+  EXPECT_EQ(ws.stats().checkouts, 2u);
+  EXPECT_EQ(ws.stats().heap_allocations, 1u);
+}
+
+TEST(Workspace, UnpooledModeAllocatesEveryCheckout) {
+  Workspace ws;
+  ws.set_pooling(false);
+  { auto a = ws.real(100); }
+  { auto b = ws.real(100); }
+  EXPECT_EQ(ws.stats().checkouts, 2u);
+  EXPECT_EQ(ws.stats().heap_allocations, 2u);
+  EXPECT_EQ(ws.pooled_buffers(), 0u);  // returned buffers are dropped
+}
+
+bool bitwise_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+void expect_results_identical(const InterrogationResult& a,
+                              const InterrogationResult& b) {
+  EXPECT_EQ(a.node_powered, b.node_powered);
+  EXPECT_EQ(a.uplink_decoded, b.uplink_decoded);
+  EXPECT_EQ(a.uplink_payload, b.uplink_payload);
+  EXPECT_TRUE(bitwise_equal(a.uplink_snr_db, b.uplink_snr_db));
+  EXPECT_TRUE(bitwise_equal(a.carrier_estimate, b.carrier_estimate));
+  EXPECT_TRUE(bitwise_equal(a.cap_voltage, b.cap_voltage));
+}
+
+// The satellite guarantee of the zero-copy refactor: two interrogations of
+// DIFFERENT frame lengths run back-to-back on one pooled workspace (the
+// second reusing the first's larger buffers) must be bit-identical to the
+// allocate-per-checkout path. Any stale-tail leakage between checkouts
+// would surface here.
+TEST(WorkspacePool, PooledInterrogationsBitIdenticalToUnpooled) {
+  SystemConfig cfg = ecocap::core::default_system();
+  cfg.channel.distance = 0.10;
+  cfg.channel.noise_sigma = 1e-4;
+
+  ecocap::dsp::Rng prng(77);
+  const ecocap::phy::Bits long_payload = ecocap::phy::random_bits(48, prng);
+  const ecocap::phy::Bits short_payload = ecocap::phy::random_bits(16, prng);
+
+  auto run_pair = [&]() {
+    std::vector<InterrogationResult> out;
+    LinkSimulator sim_a(cfg);
+    out.push_back(sim_a.uplink_once(long_payload));
+    LinkSimulator sim_b(cfg);
+    out.push_back(sim_b.uplink_once(short_payload));
+    return out;
+  };
+
+  WorkspacePool& pool = WorkspacePool::shared();
+  pool.set_pooling(true);
+  pool.clear();
+  const auto pooled = run_pair();
+
+  pool.set_pooling(false);
+  pool.clear();
+  const auto unpooled = run_pair();
+  pool.set_pooling(true);  // restore the default for other tests
+
+  ASSERT_EQ(pooled.size(), 2u);
+  ASSERT_EQ(unpooled.size(), 2u);
+  // The rounds should actually exercise the decode chain.
+  EXPECT_TRUE(pooled[0].uplink_decoded);
+  EXPECT_TRUE(pooled[1].uplink_decoded);
+  expect_results_identical(pooled[0], unpooled[0]);
+  expect_results_identical(pooled[1], unpooled[1]);
+}
+
+TEST(WorkspacePool, TotalStatsAggregateLocalWorkspaces) {
+  WorkspacePool& pool = WorkspacePool::shared();
+  pool.reset_stats();
+  {
+    Workspace& ws = pool.local();
+    auto lease = ws.real(32);
+  }
+  const Workspace::Stats stats = pool.total_stats();
+  EXPECT_GE(stats.checkouts, 1u);
+}
+
+}  // namespace
