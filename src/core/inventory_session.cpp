@@ -52,6 +52,10 @@ reader::InventoryResult InventorySession::collect(
   auto cfg = config_.inventory;
   cfg.sensors_to_read = sensor_ids;
   reader::InventoryEngine engine(cfg, rng_.engine()());
+  // Bind this pass's fault realizations to (seed, pass index). An empty
+  // plan attaches nothing so the engine keeps its legacy fast path.
+  fault::Injector injector(config_.fault, config_.seed, pass_++);
+  if (injector.active()) engine.set_fault_injector(&injector);
   return engine.run(round);
 }
 

@@ -29,6 +29,9 @@ class InventorySession {
     Real snr_at_contact_db = 24.0;  // uplink SNR with the node at the reader
     reader::InventoryEngine::Config inventory;
     phy::Fm0Params uplink;
+    /// Fault plan applied per monitoring pass (protocol-level hooks). The
+    /// empty default attaches no injector, preserving the legacy draw path.
+    fault::FaultPlan fault;
     std::uint64_t seed = 1;
   };
 
@@ -68,6 +71,10 @@ class InventorySession {
     std::unique_ptr<node::Firmware> firmware;
   };
   std::vector<Slot> nodes_;
+  /// Monotone pass counter: pass k binds its injector to trial k of the
+  /// session seed, so each monitoring pass sees fresh fault realizations
+  /// that are still fully reproducible.
+  std::uint64_t pass_ = 0;
 };
 
 }  // namespace ecocap::core

@@ -57,7 +57,27 @@ LinkSimulator::LinkSimulator(SystemSnapshot snapshot, std::uint64_t seed)
                                                          &config_->structure),
                std::shared_ptr<const channel::ChannelConfig>(
                    config_, &config_->channel)),
-      capsule_(config_->capsule, config_->channel.fs, seed ^ 0x9e3779b9) {}
+      capsule_(config_->capsule, config_->channel.fs, seed ^ 0x9e3779b9),
+      injector_(config_->fault, seed) {
+  // Node-layer static faults that live outside the exchange flow.
+  capsule_.set_extra_load_amps(injector_.cap_leak_amps());
+}
+
+void LinkSimulator::faulted_downlink(const dsp::Signal& tx,
+                                     dsp::Signal& at_node) {
+  channel_.downlink(tx, rng_, at_node);
+  dsp::scale(at_node, config_->transmitter.tx_voltage /
+                          config_->structure.coupling_voltage * 0.5);
+  injector_.corrupt_waveform(at_node, config_->channel.fs);
+}
+
+void LinkSimulator::faulted_uplink(const dsp::Signal& emission,
+                                   dsp::Signal& at_reader) {
+  channel_.uplink(emission, config_->transmitter.carrier.f_resonant, rng_,
+                  at_reader);
+  injector_.corrupt_waveform(at_reader, config_->channel.fs);
+  injector_.clip_adc(at_reader);
+}
 
 bool LinkSimulator::power_up() {
   // Stream CBW in 20 ms blocks until the MCU boots or 500 ms elapse.
@@ -67,11 +87,9 @@ bool LinkSimulator::power_up() {
   auto at_node = ws.real(0);
   for (int i = 0; i < 25; ++i) {
     transmitter_.continuous_wave(0.020, *cw);
-    channel_.downlink(*cw, rng_, *at_node);
-    // Scale by the reader drive voltage: the transmitter emits normalized
+    // Scaled by the reader drive voltage: the transmitter emits normalized
     // amplitude; the channel calibration maps volts to node voltage.
-    dsp::scale(*at_node, config_->transmitter.tx_voltage /
-                             config_->structure.coupling_voltage * 0.5);
+    faulted_downlink(*cw, *at_node);
     const auto r = capsule_.receive(*at_node, env);
     if (r.powered) return true;
   }
@@ -85,9 +103,7 @@ InterrogationResult LinkSimulator::charge(Real duration) {
   auto cw = ws.real(0);
   auto at_node = ws.real(0);
   transmitter_.continuous_wave(duration, *cw);
-  channel_.downlink(*cw, rng_, *at_node);
-  dsp::scale(*at_node, config_->transmitter.tx_voltage /
-                           config_->structure.coupling_voltage * 0.5);
+  faulted_downlink(*cw, *at_node);
   const auto r = capsule_.receive(*at_node, env);
   result.node_powered = r.powered;
   result.cap_voltage = r.cap_voltage;
@@ -102,8 +118,6 @@ InterrogationResult LinkSimulator::interrogate(
   result.cap_voltage = capsule_.harvester().cap_voltage();
 
   dsp::Workspace& ws = WorkspacePool::shared().local();
-  const Real volts_scale = config_->transmitter.tx_voltage /
-                           config_->structure.coupling_voltage * 0.5;
 
   // Stage buffers shared by every exchange of the protocol round.
   auto tx = ws.real(0);
@@ -115,30 +129,47 @@ InterrogationResult LinkSimulator::interrogate(
                       std::size_t reply_bits) -> std::optional<phy::Bits> {
     // 1. Downlink the command.
     transmitter_.transmit_command(cmd, ws, *tx);
-    channel_.downlink(*tx, rng_, *at_node);
-    dsp::scale(*at_node, volts_scale);
+    faulted_downlink(*tx, *at_node);
     const auto rx = capsule_.receive(*at_node, env);
     if (!rx.powered) return std::nullopt;
     if (!rx.frames.empty()) result.command_decoded = true;
     if (rx.frames.empty()) return phy::Bits{};  // command ok, no reply due
 
-    // 2. The node backscatters its frame off a fresh CBW.
-    const node::UplinkFrame& frame = rx.frames.front();
+    // 2. The node backscatters its frame off a fresh CBW. Node-layer
+    // faults perturb only the emission: flipped bits in node memory, a
+    // drifted RC timebase. The reader still locks to the nominal line
+    // parameters it negotiated, so drift degrades the decode.
+    const node::UplinkFrame& nominal = rx.frames.front();
+    node::UplinkFrame perturbed;
+    const node::UplinkFrame* frame = &nominal;
+    if (injector_.active()) {
+      perturbed = nominal;
+      injector_.corrupt_frame_bits(perturbed.payload);
+      const Real drift = injector_.clock_drift_factor();
+      perturbed.bitrate *= drift;
+      perturbed.blf *= drift;
+      frame = &perturbed;
+    }
     const Real frame_time =
-        (static_cast<Real>(frame.payload.size()) +
+        (static_cast<Real>(frame->payload.size()) +
          static_cast<Real>(phy::fm0_preamble(config_->capsule.firmware.uplink)
                                .size()) + 4.0) /
-        frame.bitrate;
+        frame->bitrate;
     transmitter_.continuous_wave(frame_time, *tx);
-    channel_.downlink(*tx, rng_, *at_node);
-    dsp::scale(*at_node, volts_scale);
-    capsule_.backscatter(frame, *at_node, ws, *emission);
-    channel_.uplink(*emission, config_->transmitter.carrier.f_resonant, rng_,
-                    *at_reader);
+    faulted_downlink(*tx, *at_node);
+    capsule_.backscatter(*frame, *at_node, ws, *emission);
+    if (injector_.brownout_aborts_frame()) {
+      // Mid-frame brownout: the emission truncates and the MCU loses its
+      // protocol state (it reboots into standby on the next downlink).
+      emission->resize(static_cast<std::size_t>(
+          injector_.brownout_cut() * static_cast<Real>(emission->size())));
+      capsule_.firmware().power_off();
+    }
+    faulted_uplink(*emission, *at_reader);
 
-    // 3. Decode.
-    receiver_.set_blf(frame.blf);
-    receiver_.set_bitrate(frame.bitrate);
+    // 3. Decode against the nominal line parameters.
+    receiver_.set_blf(nominal.blf);
+    receiver_.set_bitrate(nominal.bitrate);
     const reader::UplinkDecode dec =
         receiver_.decode(*at_reader, reply_bits, ws);
     result.carrier_estimate = dec.carrier_estimate;
@@ -181,12 +212,18 @@ InterrogationResult LinkSimulator::uplink_once(const phy::Bits& payload) {
   result.node_powered = true;
 
   dsp::Workspace& ws = WorkspacePool::shared().local();
-  const Real volts_scale = config_->transmitter.tx_voltage /
-                           config_->structure.coupling_voltage * 0.5;
   node::UplinkFrame frame;
   frame.payload = payload;
   frame.bitrate = config_->capsule.firmware.uplink.bitrate;
   frame.blf = config_->capsule.firmware.blf;
+  const Real nominal_blf = frame.blf;
+  const Real nominal_bitrate = frame.bitrate;
+  if (injector_.active()) {
+    injector_.corrupt_frame_bits(frame.payload);
+    const Real drift = injector_.clock_drift_factor();
+    frame.bitrate *= drift;
+    frame.blf *= drift;
+  }
 
   const Real frame_time =
       (static_cast<Real>(payload.size()) +
@@ -198,14 +235,16 @@ InterrogationResult LinkSimulator::uplink_once(const phy::Bits& payload) {
   auto emission = ws.real(0);
   auto at_reader = ws.real(0);
   transmitter_.continuous_wave(frame_time, *cw);
-  channel_.downlink(*cw, rng_, *carrier_at_node);
-  dsp::scale(*carrier_at_node, volts_scale);
+  faulted_downlink(*cw, *carrier_at_node);
   capsule_.backscatter(frame, *carrier_at_node, ws, *emission);
-  channel_.uplink(*emission, config_->transmitter.carrier.f_resonant, rng_,
-                  *at_reader);
+  if (injector_.brownout_aborts_frame()) {
+    emission->resize(static_cast<std::size_t>(
+        injector_.brownout_cut() * static_cast<Real>(emission->size())));
+  }
+  faulted_uplink(*emission, *at_reader);
 
-  receiver_.set_blf(frame.blf);
-  receiver_.set_bitrate(frame.bitrate);
+  receiver_.set_blf(nominal_blf);
+  receiver_.set_bitrate(nominal_bitrate);
   const reader::UplinkDecode dec =
       receiver_.decode(*at_reader, payload.size(), ws);
   result.carrier_estimate = dec.carrier_estimate;

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "channel/concrete_channel.hpp"
+#include "fault/fault.hpp"
 #include "node/capsule.hpp"
 #include "reader/receiver.hpp"
 #include "reader/transmitter.hpp"
@@ -22,6 +23,9 @@ struct SystemConfig {
   node::CapsuleConfig capsule;
   channel::Structure structure;
   channel::ChannelConfig channel;
+  /// Deterministic fault-injection plan; empty (the default) is perfectly
+  /// inert — the pipeline stays bit-identical to a plan-free build.
+  fault::FaultPlan fault;
   std::uint64_t seed = 1;
 };
 
@@ -95,10 +99,19 @@ class LinkSimulator {
   std::uint64_t seed() const { return seed_; }
   node::EcoCapsule& capsule() { return capsule_; }
   reader::Receiver& receiver() { return receiver_; }
+  /// Per-trial fault source bound to this simulator's seed; inert when the
+  /// config's plan is empty.
+  fault::Injector& injector() { return injector_; }
 
  private:
   /// Ensure the node is powered by streaming CBW into it.
   bool power_up();
+
+  /// Downlink leg: propagate, scale to node volts, then apply the
+  /// channel-layer faults at the node. Uplink leg: propagate, apply the
+  /// channel-layer faults plus ADC saturation at the reader.
+  void faulted_downlink(const dsp::Signal& tx, dsp::Signal& at_node);
+  void faulted_uplink(const dsp::Signal& emission, dsp::Signal& at_reader);
 
   SystemSnapshot config_;
   std::uint64_t seed_ = 0;
@@ -107,6 +120,7 @@ class LinkSimulator {
   reader::Receiver receiver_;
   channel::ConcreteChannel channel_;
   node::EcoCapsule capsule_;
+  fault::Injector injector_;
 };
 
 /// Aggregate of many independent waveform-level uplink rounds (the Monte

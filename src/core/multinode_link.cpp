@@ -105,16 +105,21 @@ reader::UplinkDecode MultiNodeLink::receive_slot(
                        *n->noise_rng, contributions[i]);
   });
 
-  dsp::Signal at_reader;
+  // Superpose over the longest contribution. Truncating to the first
+  // frame's length (the old behavior) silently dropped the tail of any
+  // longer colliding frame, which left the shorter frame nearly clean —
+  // the reader would then "decode" a collided slot as a success.
+  std::size_t longest = 0;
+  for (const dsp::Signal& c : contributions) {
+    longest = std::max(longest, c.size());
+  }
+  dsp::Signal at_reader(longest, 0.0);
   Real blf = config_.capsule.firmware.blf;
   Real bitrate = config_.capsule.firmware.uplink.bitrate;
   for (std::size_t i = 0; i < responders.size(); ++i) {
-    dsp::Signal& contribution = contributions[i];
-    if (at_reader.empty()) {
-      at_reader = std::move(contribution);
-    } else {
-      const std::size_t m = std::min(at_reader.size(), contribution.size());
-      for (std::size_t j = 0; j < m; ++j) at_reader[j] += contribution[j];
+    const dsp::Signal& contribution = contributions[i];
+    for (std::size_t j = 0; j < contribution.size(); ++j) {
+      at_reader[j] += contribution[j];
     }
     blf = responders[i].second.blf;
     bitrate = responders[i].second.bitrate;
@@ -173,8 +178,16 @@ MultiNodeLink::Result MultiNodeLink::run_inventory() {
         continue;
       }
       if (slot_replies.size() > 1) {
+        // A real reader cannot know a priori that the slot collided: it
+        // runs its decoder on the superposition anyway. A bare RN16 carries
+        // no CRC, so a garbled superposition can still produce a "valid"
+        // decode — that must be scored as a collision loss, never as a
+        // singleton success (the frame it resembles was not cleanly
+        // received, and acking it would desync the arbitration).
         ++result.collisions;
-        continue;  // superposed frames: don't even try (validated in tests)
+        const auto dec = receive_slot(slot_replies, phy::rn16_response_bits());
+        if (dec.valid) ++result.collision_false_decodes;
+        continue;
       }
 
       // Singleton: decode the RN16 off the summed (single) waveform.

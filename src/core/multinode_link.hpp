@@ -45,6 +45,10 @@ class MultiNodeLink {
     int collisions = 0;   // slots where >1 node answered
     int empty_slots = 0;
     int decode_failures = 0;  // singleton slots the receiver still lost
+    /// Collided slots whose superposed waveform still produced a "valid"
+    /// RN16 decode at the receiver. These are classified as collision
+    /// losses (the arbitration retries), not successes.
+    int collision_false_decodes = 0;
   };
 
   /// Charge every node, then run Query/QueryRep/Ack rounds entirely at the

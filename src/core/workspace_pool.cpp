@@ -56,6 +56,7 @@ dsp::Workspace::Stats WorkspacePool::total_stats() const {
   for (const dsp::Workspace* ws : workspaces_) {
     total.checkouts += ws->stats().checkouts;
     total.heap_allocations += ws->stats().heap_allocations;
+    total.returns += ws->stats().returns;
   }
   return total;
 }

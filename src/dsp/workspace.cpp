@@ -49,10 +49,12 @@ Workspace::ComplexLease Workspace::cplx(std::size_t n) {
 }
 
 void Workspace::give(Signal&& buf) {
+  ++stats_.returns;
   if (pooling_) free_real_.push_back(std::move(buf));
 }
 
 void Workspace::give(ComplexSignal&& buf) {
+  ++stats_.returns;
   if (pooling_) free_cplx_.push_back(std::move(buf));
 }
 

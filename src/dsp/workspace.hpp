@@ -38,6 +38,10 @@ class Workspace {
   struct Stats {
     std::size_t checkouts = 0;
     std::size_t heap_allocations = 0;
+    /// Buffers handed back by lease destruction/release. When no leases
+    /// are live, `returns == checkouts` — the fault-path tests assert this
+    /// balance to prove aborted interrogations leak nothing.
+    std::size_t returns = 0;
   };
 
   template <typename Buffer>

@@ -31,7 +31,8 @@ CapsuleRxResult EcoCapsule::receive(std::span<const dsp::Real> acoustic,
     const double amp =
         dsp::peak(acoustic.subspan(i, n)) * config_.hra_gain;
     const double load =
-        harvester_.mcu_powered() ? draw.total() / rail : 0.0;
+        (harvester_.mcu_powered() ? draw.total() / rail : 0.0) +
+        extra_load_amps_;
     harvester_.step(static_cast<double>(n) / fs_, amp, load);
   }
   result.cap_voltage = harvester_.cap_voltage();

@@ -58,6 +58,12 @@ class EcoCapsule {
                    std::span<const dsp::Real> incident_carrier,
                    dsp::Workspace& ws, dsp::Signal& out);
 
+  /// Constant parasitic load (A) on the storage cap, on top of the MCU
+  /// draw — the fault layer's aged/leaky-cap model. Drains even while the
+  /// MCU is off (a leak does not wait for boot). Zero by default.
+  void set_extra_load_amps(double amps) { extra_load_amps_ = amps; }
+  double extra_load_amps() const { return extra_load_amps_; }
+
   /// Direct access for tests and experiments.
   Firmware& firmware() { return firmware_; }
   Harvester& harvester() { return harvester_; }
@@ -74,6 +80,7 @@ class EcoCapsule {
   Harvester harvester_;
   AnalogFrontend frontend_;
   Firmware firmware_;
+  double extra_load_amps_ = 0.0;
   /// Demodulated level buffer reused across receive() calls.
   std::vector<bool> levels_;
 };

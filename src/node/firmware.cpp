@@ -111,7 +111,12 @@ std::optional<UplinkFrame> Firmware::on_query_rep() {
 }
 
 std::optional<UplinkFrame> Firmware::on_ack(const phy::AckCommand& a) {
-  if (state_ != McuState::kReplied || a.rn16 != rn16_) return std::nullopt;
+  // kAcked also answers: a reader that lost the id reply re-Acks the same
+  // RN16 (the retry path), and the node must not fall silent.
+  if ((state_ != McuState::kReplied && state_ != McuState::kAcked) ||
+      a.rn16 != rn16_) {
+    return std::nullopt;
+  }
   state_ = McuState::kAcked;
   // Reply with the capsule id (the Gen2 EPC analog).
   return make_frame(phy::Response{phy::IdResponse{config_.node_id}});

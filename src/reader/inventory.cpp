@@ -17,9 +17,52 @@ bool InventoryEngine::frame_survives(const InventoriedNode& n,
   return rng_.chance(p_ok);
 }
 
+bool InventoryEngine::exchange_with_retry(const InventoriedNode& n,
+                                          std::size_t bits,
+                                          InventoryStats& stats) {
+  const RetryPolicy& policy = config_.retry;
+  // Legacy fast path: exactly one frame_survives draw, no extra state.
+  // (An attached injector with an empty plan also lands here in effect —
+  // its protocol hooks consume zero draws — but branching early keeps the
+  // draw sequence trivially identical to the pre-fault-layer engine.)
+  if (!policy.enabled && fault_ == nullptr) return frame_survives(n, bits);
+
+  int backoff = policy.backoff_base_slots;
+  for (int attempt = 0;; ++attempt) {
+    // Classify this attempt: a lost reply reads as a reader-side timeout
+    // (the slot_timeout_s wait elapses with no FM0 preamble); a corrupted
+    // one as a CRC / handshake failure. Injector faults stack on top of
+    // the SNR-derived bit-error survival draw.
+    const bool lost = fault_ != nullptr && fault_->reply_lost();
+    bool corrupted = false;
+    if (!lost) {
+      corrupted = (fault_ != nullptr && fault_->reply_corrupted()) ||
+                  !frame_survives(n, bits);
+    }
+    if (!lost && !corrupted) return true;
+    if (lost) {
+      ++stats.timeouts;
+    } else {
+      ++stats.crc_fails;
+    }
+    // Give-up transitions: policy off, per-exchange retries exhausted, or
+    // the session-wide budget spent.
+    if (!policy.enabled || attempt >= policy.max_retries ||
+        retry_budget_ <= 0) {
+      return false;
+    }
+    // Retry transition: wait out the backoff window, then re-query.
+    --retry_budget_;
+    ++stats.retries;
+    stats.backoff_slots += backoff;
+    backoff = std::min(backoff * 2, policy.backoff_max_slots);
+  }
+}
+
 InventoryResult InventoryEngine::run(std::vector<InventoriedNode>& nodes) {
   InventoryResult result;
   std::vector<bool> done(nodes.size(), false);
+  retry_budget_ = config_.retry.giveup_budget;
 
   for (int round = 0; round < config_.max_rounds; ++round) {
     if (std::all_of(done.begin(), done.end(), [](bool d) { return d; })) break;
@@ -69,11 +112,16 @@ InventoryResult InventoryEngine::run(std::vector<InventoriedNode>& nodes) {
       InventoriedNode& n = nodes[idx];
 
       // RN16 must survive the uplink for the ACK to echo it correctly.
-      if (!frame_survives(n, phy::rn16_response_bits())) continue;
+      if (!exchange_with_retry(n, phy::rn16_response_bits(), result.stats)) {
+        continue;
+      }
       const std::uint16_t rn16 = n.firmware->current_rn16();
       const auto id_frame = n.firmware->handle_command(
           phy::Command{phy::AckCommand{rn16}}, n.environment);
-      if (!id_frame || !frame_survives(n, phy::id_response_bits())) continue;
+      if (!id_frame ||
+          !exchange_with_retry(n, phy::id_response_bits(), result.stats)) {
+        continue;
+      }
       const auto id = phy::parse_id_response(id_frame->payload);
       if (!id) continue;
       ++result.stats.acked;
@@ -83,7 +131,7 @@ InventoryResult InventoryEngine::run(std::vector<InventoriedNode>& nodes) {
         const auto data_frame = n.firmware->handle_command(
             phy::Command{phy::ReadCommand{rn16, sensor}}, n.environment);
         if (!data_frame) continue;
-        if (!frame_survives(n, phy::data_response_bits())) {
+        if (!exchange_with_retry(n, phy::data_response_bits(), result.stats)) {
           ++result.stats.read_failed;
           continue;
         }
@@ -99,6 +147,8 @@ InventoryResult InventoryEngine::run(std::vector<InventoriedNode>& nodes) {
       done[idx] = true;
     }
   }
+  result.stats.giveups =
+      static_cast<int>(std::count(done.begin(), done.end(), false));
   return result;
 }
 
@@ -109,8 +159,11 @@ std::vector<std::uint16_t> InventoryEngine::assign_blfs(
   for (auto& n : nodes) {
     // Re-inventory each node alone (administrative channel), then SetBlf.
     std::vector<InventoriedNode> single{n};
-    InventoryEngine solo(Config{0, 2, {}, config_.ber_penalty_db},
-                         rng_.engine()());
+    Config solo_cfg;
+    solo_cfg.q = 0;
+    solo_cfg.max_rounds = 2;
+    solo_cfg.ber_penalty_db = config_.ber_penalty_db;
+    InventoryEngine solo(solo_cfg, rng_.engine()());
     const InventoryResult r = solo.run(single);
     if (r.inventoried_ids.empty()) continue;
     const std::uint16_t rn16 = n.firmware->current_rn16();

@@ -5,6 +5,7 @@
 
 #include "channel/snr_models.hpp"
 #include "dsp/rng.hpp"
+#include "fault/fault.hpp"
 #include "node/firmware.hpp"
 #include "phy/protocol.hpp"
 
@@ -35,6 +36,15 @@ struct InventoryStats {
   int acked = 0;
   int read_ok = 0;
   int read_failed = 0;  // CRC failures from bit errors
+  // Recovery-path counters. retries/timeouts/crc_fails/backoff_slots stay
+  // zero when both the retry policy and the fault injector are absent (the
+  // legacy draw path skips the classifier entirely); giveups counts nodes
+  // left un-inventoried at session end regardless of policy.
+  int retries = 0;        // re-queries issued after a failed exchange
+  int timeouts = 0;       // exchanges where no reply arrived in time
+  int crc_fails = 0;      // exchanges whose reply failed CRC / bit check
+  int giveups = 0;        // nodes abandoned un-inventoried at session end
+  int backoff_slots = 0;  // idle slots spent in exponential backoff
 };
 
 struct InventoryResult {
@@ -43,12 +53,36 @@ struct InventoryResult {
   InventoryStats stats;
 };
 
+/// Reader-side recovery policy for lost/corrupted replies. Disabled by
+/// default: the engine then runs the exact legacy control flow (one
+/// `frame_survives` draw per exchange, failures wait for the next round),
+/// which keeps fault-free harness outputs bit-identical.
+struct RetryPolicy {
+  bool enabled = false;
+  /// Re-queries attempted per exchange (RN16 / Ack / Read) before the slot
+  /// is surrendered back to round-level arbitration.
+  int max_retries = 3;
+  /// Exponential backoff between re-queries, measured in idle slots the
+  /// reader waits before re-addressing the node: base, 2x, 4x... capped.
+  int backoff_base_slots = 1;
+  int backoff_max_slots = 8;
+  /// Session-wide retry budget; once spent, failing exchanges are given up
+  /// immediately (the give-up path of the state machine).
+  int giveup_budget = 64;
+  /// Reader-side wait before an exchange is declared timed out. The
+  /// protocol-level engine has no waveform clock, so this is a modelled
+  /// constant (documented in docs/protocol.md) surfaced for the record.
+  double slot_timeout_s = 0.02;
+};
+
 /// TDMA slotted-ALOHA inventory (paper §3.4: "TDMA as used in RFID Gen 2").
 /// The engine runs Query/QueryRep rounds; each powered node picks a random
 /// slot; singleton slots are ACKed and their sensors read. Collisions and
 /// bit errors (from each node's SNR through the FM0 BER model) are retried
 /// in later rounds. SHM tolerates the resulting latency — degradation takes
-/// days, not seconds (§3.4).
+/// days, not seconds (§3.4). With a RetryPolicy enabled the engine also
+/// recovers within a slot: timed-out or CRC-failed exchanges are re-queried
+/// under bounded exponential backoff against a session give-up budget.
 class InventoryEngine {
  public:
   struct Config {
@@ -56,9 +90,15 @@ class InventoryEngine {
     int max_rounds = 8;
     std::vector<std::uint8_t> sensors_to_read;  // sensor ids per node
     double ber_penalty_db = 0.0;
+    RetryPolicy retry;
   };
 
   InventoryEngine(Config config, std::uint64_t seed);
+
+  /// Attach a per-session fault injector (not owned; may be null). The
+  /// injector's protocol-level hooks decide lost and corrupted replies on
+  /// top of the SNR-derived bit-error model.
+  void set_fault_injector(fault::Injector* injector) { fault_ = injector; }
 
   /// Run a full inventory over the given nodes.
   InventoryResult run(std::vector<InventoriedNode>& nodes);
@@ -73,8 +113,17 @@ class InventoryEngine {
   /// frame survives (all bits intact or CRC catches nothing).
   bool frame_survives(const InventoriedNode& n, std::size_t bits);
 
+  /// One protocol exchange (reply of `bits` bits) with the retry state
+  /// machine wrapped around it: timeout/CRC classification, bounded
+  /// exponential backoff, session give-up budget. With the policy disabled
+  /// this is exactly one `frame_survives` draw.
+  bool exchange_with_retry(const InventoriedNode& n, std::size_t bits,
+                           InventoryStats& stats);
+
   Config config_;
   dsp::Rng rng_;
+  fault::Injector* fault_ = nullptr;
+  int retry_budget_ = 0;
 };
 
 }  // namespace ecocap::reader

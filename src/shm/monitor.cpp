@@ -2,8 +2,29 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <utility>
 
 namespace ecocap::shm {
+
+namespace {
+void accumulate(reader::InventoryStats& into,
+                const reader::InventoryStats& s) {
+  into.rounds += s.rounds;
+  into.slots += s.slots;
+  into.empty_slots += s.empty_slots;
+  into.collisions += s.collisions;
+  into.singleton_slots += s.singleton_slots;
+  into.acked += s.acked;
+  into.read_ok += s.read_ok;
+  into.read_failed += s.read_failed;
+  into.retries += s.retries;
+  into.timeouts += s.timeouts;
+  into.crc_fails += s.crc_fails;
+  into.giveups += s.giveups;
+  into.backoff_slots += s.backoff_slots;
+}
+}  // namespace
 
 MonitoringCampaign::MonitoringCampaign(Config config)
     : config_(std::move(config)) {}
@@ -28,6 +49,8 @@ CampaignResult MonitoringCampaign::run() {
   sess_cfg.structure = channel::structures::s3_common_wall();
   sess_cfg.tx_voltage = 200.0;
   sess_cfg.inventory.q = 3;
+  sess_cfg.inventory.retry = config_.retry;
+  sess_cfg.fault = config_.fault;
   sess_cfg.seed = config_.seed ^ 0xcaf;
   core::InventorySession session(sess_cfg);
   for (int i = 0; i < config_.capsule_count; ++i) {
@@ -36,6 +59,12 @@ CampaignResult MonitoringCampaign::run() {
     n.distance = 0.5 + 0.8 * static_cast<Real>(i);
     session.deploy(n);
   }
+
+  // Per-channel hold state for the degradation path: (node, sensor) ->
+  // (last good reading, the hour it was actually measured).
+  std::map<std::pair<std::uint16_t, std::uint8_t>,
+           std::pair<reader::SensorReading, Real>>
+      last_good;
 
   const auto steps = static_cast<std::size_t>(
       config_.days * 24.0 * 60.0 / config_.step_minutes);
@@ -95,12 +124,37 @@ CampaignResult MonitoringCampaign::run() {
         env.strain_y = 0.4 * env.strain_x;
         session.set_environment(static_cast<std::uint16_t>(0x100 + i), env);
       }
-      const auto readings = session.collect(
-          {static_cast<std::uint8_t>(node::SensorId::kAcceleration),
-           static_cast<std::uint8_t>(node::SensorId::kStress)});
+      const std::vector<std::uint8_t> sensor_ids{
+          static_cast<std::uint8_t>(node::SensorId::kAcceleration),
+          static_cast<std::uint8_t>(node::SensorId::kStress)};
+      const auto readings = session.collect(sensor_ids);
       result.capsule_readings.insert(result.capsule_readings.end(),
                                      readings.readings.begin(),
                                      readings.readings.end());
+      accumulate(result.inventory_totals, readings.stats);
+
+      // Graceful degradation: every (capsule, sensor) channel that has ever
+      // reported gets a log entry each poll. Missing channels hold their
+      // last good value and carry a staleness age for the dashboard.
+      const Real now_hours = t_days * 24.0;
+      for (const auto& r : readings.readings) {
+        last_good[{r.node_id, r.sensor_id}] = {r, now_hours};
+      }
+      for (int i = 0; i < config_.capsule_count; ++i) {
+        const auto node_id = static_cast<std::uint16_t>(0x100 + i);
+        for (std::uint8_t sensor : sensor_ids) {
+          const auto it = last_good.find({node_id, sensor});
+          if (it == last_good.end()) continue;  // never reported: no value
+          const Real age = now_hours - it->second.second;
+          const bool stale = age > 0.0;
+          result.capsule_log.push_back(
+              CapsuleReading{it->second.first, stale, age});
+          if (stale) {
+            Real& worst = result.max_staleness_hours[node_id];
+            worst = std::max(worst, age);
+          }
+        }
+      }
     }
   }
 

@@ -26,6 +26,16 @@ struct AnomalyWindow {
   Real peak_zscore = 0.0;
 };
 
+/// One entry of the capsule poll log. When a node misses a poll (fault,
+/// give-up, out of link budget) its last good value is held and the entry
+/// is flagged stale with the age of that held value — the dashboard keeps a
+/// row per capsule either way, it just greys out the stale ones.
+struct CapsuleReading {
+  reader::SensorReading reading;
+  bool stale = false;
+  Real age_hours = 0.0;  // hours since the value was actually measured
+};
+
 /// Result of a monitoring campaign.
 struct CampaignResult {
   TimeSeries acceleration;   // m/s^2, mid-span sensor
@@ -39,8 +49,17 @@ struct CampaignResult {
   std::map<char, std::map<char, int>> health_histogram;  // section -> letter -> count
   std::vector<AnomalyWindow> anomalies;
   int limit_violations = 0;
-  /// EcoCapsule cross-check readings collected over the protocol stack.
+  /// EcoCapsule cross-check readings collected over the protocol stack
+  /// (fresh readings only — the legacy view).
   std::vector<reader::SensorReading> capsule_readings;
+  /// Full poll log: one entry per deployed capsule per poll once it has
+  /// reported at least once, stale entries included.
+  std::vector<CapsuleReading> capsule_log;
+  /// Worst staleness age seen per node over the campaign (hours); nodes
+  /// that never went stale are absent.
+  std::map<std::uint16_t, Real> max_staleness_hours;
+  /// Aggregated inventory recovery counters over every poll.
+  reader::InventoryStats inventory_totals;
 };
 
 /// The long-term SHM campaign runner (paper §6): simulates the bridge +
@@ -59,6 +78,10 @@ class MonitoringCampaign {
     std::size_t baseline_window = 3 * 24 * 60;  // rolling baseline (3 days)
     int capsule_count = 5;         // EcoCapsules deployed for the pilot
     Real capsule_poll_hours = 6.0; // interrogation cadence
+    /// Reader recovery policy and fault plan for the capsule polls; both
+    /// default to off, reproducing the fault-free campaign bit-for-bit.
+    reader::RetryPolicy retry;
+    fault::FaultPlan fault;
     std::uint64_t seed = 2021;
   };
 

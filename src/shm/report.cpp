@@ -63,6 +63,25 @@ std::string render_campaign_report(const CampaignResult& result,
   appendf(out, "limit violations: %d\n", result.limit_violations);
   appendf(out, "capsule readings collected: %zu\n",
           result.capsule_readings.size());
+  if (!result.capsule_log.empty()) {
+    std::size_t stale = 0;
+    for (const auto& e : result.capsule_log) {
+      if (e.stale) ++stale;
+    }
+    appendf(out, "capsule poll log: %zu entries, %zu stale\n",
+            result.capsule_log.size(), stale);
+    for (const auto& [node, hours] : result.max_staleness_hours) {
+      appendf(out, "  node 0x%03x: worst staleness %.1f h\n", node, hours);
+    }
+  }
+  const auto& inv = result.inventory_totals;
+  if (inv.retries + inv.timeouts + inv.crc_fails + inv.backoff_slots > 0) {
+    appendf(out,
+            "reader recovery: %d retries, %d timeouts, %d crc fails, "
+            "%d giveups, %d backoff slots\n",
+            inv.retries, inv.timeouts, inv.crc_fails, inv.giveups,
+            inv.backoff_slots);
+  }
   appendf(out, "verdict: %s\n", campaign_verdict(result).c_str());
   return out;
 }

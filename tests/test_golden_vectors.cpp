@@ -1,0 +1,273 @@
+// Golden-vector regression suite: pins fixed-seed slices of the five tier-1
+// figure harnesses (Fig. 15 BER, Fig. 16 SNR-vs-bitrate, Fig. 17
+// throughput, Table 2 health levels, TDMA ablation) against checked-in
+// vectors in tests/golden/. Each vector records an FNV-1a hash over the bit
+// patterns of the computed series plus a few key scalars, so ANY
+// bit-level drift in the fault-free pipeline fails loudly here before it
+// shows up as a mysterious BENCH_*.json diff in CI.
+//
+// Regenerating after an intentional change:
+//   ./test_golden_vectors --regen        # rewrites tests/golden/*.json
+// then commit the updated files with the change that caused them.
+// The vectors are generated with the library's thread-count-independent
+// Monte-Carlo engines, so they hold at any ECOCAP_THREADS.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/pab.hpp"
+#include "channel/snr_models.hpp"
+#include "core/ber_harness.hpp"
+#include "core/trial_runner.hpp"
+#include "reader/inventory.hpp"
+#include "shm/health.hpp"
+#include "wave/material.hpp"
+
+#ifndef ECOCAP_GOLDEN_DIR
+#error "ECOCAP_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace ecocap {
+namespace {
+
+bool g_regen = false;
+
+// --- FNV-1a over double bit patterns ---------------------------------------
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void fnv_byte(std::uint64_t& h, std::uint8_t b) {
+  h ^= b;
+  h *= kFnvPrime;
+}
+
+void fnv_u64(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) fnv_byte(h, static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t hash_series(const std::vector<double>& values) {
+  std::uint64_t h = kFnvOffset;
+  fnv_u64(h, values.size());
+  for (const double v : values) fnv_u64(h, std::bit_cast<std::uint64_t>(v));
+  return h;
+}
+
+// --- golden file I/O --------------------------------------------------------
+// Flat JSON: {"name": "...", "hash": "<16 hex>", "scalars": {"k":
+// "hex:<16 hex> dec:<%.17g>", ...}}. The decimal is for humans; comparisons
+// use the hex bit pattern only.
+
+struct Golden {
+  std::uint64_t hash = 0;
+  std::map<std::string, std::uint64_t> scalars;
+};
+
+std::string golden_path(const std::string& name) {
+  return std::string(ECOCAP_GOLDEN_DIR) + "/" + name + ".json";
+}
+
+bool load_golden(const std::string& name, Golden& out) {
+  std::FILE* f = std::fopen(golden_path(name).c_str(), "r");
+  if (!f) return false;
+  std::string text;
+  char buf[512];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  auto hex_after = [&text](std::size_t pos) {
+    return std::strtoull(text.c_str() + pos, nullptr, 16);
+  };
+  const std::size_t hpos = text.find("\"hash\": \"");
+  if (hpos == std::string::npos) return false;
+  out.hash = hex_after(hpos + 9);
+  // Scalars: every occurrence of "key": "hex:....".
+  std::size_t pos = 0;
+  while ((pos = text.find("\"hex:", pos)) != std::string::npos) {
+    const std::size_t key_end = text.rfind('"', text.rfind(':', pos) - 1);
+    const std::size_t key_start = text.rfind('"', key_end - 1) + 1;
+    out.scalars[text.substr(key_start, key_end - key_start)] =
+        hex_after(pos + 5);
+    pos += 5;
+  }
+  return true;
+}
+
+void write_golden(const std::string& name, std::uint64_t hash,
+                  const std::map<std::string, double>& scalars) {
+  std::FILE* f = std::fopen(golden_path(name).c_str(), "w");
+  ASSERT_NE(f, nullptr) << "cannot write " << golden_path(name);
+  std::fprintf(f, "{\n  \"name\": \"%s\",\n", name.c_str());
+  std::fprintf(f, "  \"hash\": \"%016" PRIx64 "\",\n", hash);
+  std::fprintf(f, "  \"scalars\": {");
+  bool first = true;
+  for (const auto& [key, value] : scalars) {
+    std::fprintf(f, "%s\n    \"%s\": \"hex:%016" PRIx64 " dec:%.17g\"",
+                 first ? "" : ",", key.c_str(),
+                 std::bit_cast<std::uint64_t>(value), value);
+    first = false;
+  }
+  std::fprintf(f, "\n  }\n}\n");
+  std::fclose(f);
+}
+
+/// Regenerate or verify one golden vector.
+void check_golden(const std::string& name, const std::vector<double>& series,
+                  const std::map<std::string, double>& scalars) {
+  const std::uint64_t hash = hash_series(series);
+  if (g_regen) {
+    write_golden(name, hash, scalars);
+    SUCCEED() << "regenerated " << golden_path(name);
+    return;
+  }
+  Golden golden;
+  ASSERT_TRUE(load_golden(name, golden))
+      << "missing golden vector " << golden_path(name)
+      << " — run ./test_golden_vectors --regen and commit the result";
+  EXPECT_EQ(golden.hash, hash)
+      << name << ": series hash drifted — the fault-free pipeline is no "
+      << "longer bit-identical to the checked-in vector. If the change is "
+      << "intentional, rerun with --regen and commit.";
+  for (const auto& [key, value] : scalars) {
+    const auto it = golden.scalars.find(key);
+    ASSERT_NE(it, golden.scalars.end()) << name << ": missing scalar " << key;
+    EXPECT_EQ(it->second, std::bit_cast<std::uint64_t>(value))
+        << name << "." << key << ": expected "
+        << std::bit_cast<double>(it->second) << ", got " << value;
+  }
+}
+
+// --- the five tier-1 slices -------------------------------------------------
+
+TEST(GoldenVectors, Fig15BerVsSnr) {
+  // One mid-curve point per decoder with the bench's exact seed formula
+  // (42 + 10*snr at snr = 6 dB, 100k bits).
+  core::BerConfig cfg;
+  cfg.snr_db = 6.0;
+  cfg.total_bits = 100000;
+  cfg.seed = 42 + 60;
+  cfg.decoder = core::UplinkDecoder::kMlFm0;
+  const auto ml = core::fm0_ber_monte_carlo(cfg);
+  cfg.decoder = core::UplinkDecoder::kHardDecision;
+  const auto hard = core::fm0_ber_monte_carlo(cfg);
+  check_golden("fig15_ber_vs_snr",
+               {ml.ber(), hard.ber(), static_cast<double>(ml.bits),
+                static_cast<double>(hard.bits)},
+               {{"ml_ber_6db", ml.ber()}, {"hard_ber_6db", hard.ber()}});
+}
+
+TEST(GoldenVectors, Fig16SnrVsBitrate) {
+  const auto eco =
+      channel::UplinkSnrModel::ecocapsule(wave::materials::normal_concrete());
+  const auto pab = baseline::PabSystem().snr_model();
+  const auto u2b = baseline::U2bSystem().snr_model();
+  std::vector<double> series;
+  for (const double kbps : {1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 10.0, 12.0, 13.0,
+                            14.0, 15.0}) {
+    series.push_back(eco.snr_db(kbps * 1000.0));
+    series.push_back(pab.snr_db(kbps * 1000.0));
+    series.push_back(u2b.snr_db(kbps * 1000.0));
+  }
+  check_golden("fig16_snr_vs_bitrate", series,
+               {{"eco_snr_at_1kbps", eco.snr_db(1000.0)},
+                {"eco_snr_at_13kbps", eco.snr_db(13000.0)}});
+}
+
+TEST(GoldenVectors, Fig17Throughput) {
+  std::vector<double> series;
+  std::map<std::string, double> scalars;
+  for (const auto& m : wave::materials::table1_concretes()) {
+    const auto best =
+        channel::max_throughput(channel::UplinkSnrModel::ecocapsule(m));
+    series.push_back(best.throughput);
+    series.push_back(best.best_bitrate);
+    scalars["throughput_" + m.name] = best.throughput;
+  }
+  check_golden("fig17_throughput", series, scalars);
+}
+
+TEST(GoldenVectors, Table2HealthLevels) {
+  std::vector<double> series;
+  const shm::Region regions[] = {
+      shm::Region::kUnitedStates, shm::Region::kHongKong,
+      shm::Region::kBangkok, shm::Region::kManila};
+  for (const auto r : regions) {
+    for (const double t : shm::pao_thresholds(r)) series.push_back(t);
+  }
+  for (const double pao : {4.0, 3.0, 2.0, 1.2, 0.7, 0.4}) {
+    series.push_back(
+        static_cast<double>(shm::grade_pao(pao, shm::Region::kHongKong)));
+  }
+  check_golden(
+      "table2_health_levels", series,
+      {{"hk_grade_at_0p7",
+        static_cast<double>(shm::grade_pao(0.7, shm::Region::kHongKong))}});
+}
+
+TEST(GoldenVectors, AblationTdma) {
+  // One representative (10 nodes, q = 3) cell of the ablation sweep on the
+  // parallel trial engine (block decomposition fixed, so the totals are
+  // identical at any thread count).
+  struct Acc {
+    long slots = 0;
+    long collisions = 0;
+    long inventoried = 0;
+  };
+  const core::TrialRunner runner(core::ThreadPool::shared(),
+                                 /*block_size=*/2);
+  const Acc acc = runner.run<Acc>(
+      10, /*base_seed=*/0x7d3a,
+      [](std::size_t, dsp::Rng& rng, Acc& a) {
+        std::vector<std::unique_ptr<node::Firmware>> fw;
+        std::vector<reader::InventoriedNode> nodes;
+        for (int i = 0; i < 10; ++i) {
+          node::FirmwareConfig fc;
+          fc.node_id = static_cast<std::uint16_t>(i + 1);
+          fw.push_back(std::make_unique<node::Firmware>(fc, rng.engine()()));
+          fw.back()->power_on();
+          reader::InventoriedNode in;
+          in.firmware = fw.back().get();
+          in.snr_db = 25.0;
+          nodes.push_back(in);
+        }
+        reader::InventoryEngine::Config cfg;
+        cfg.q = 3;
+        cfg.max_rounds = 40;
+        reader::InventoryEngine engine(cfg, rng.engine()());
+        const auto r = engine.run(nodes);
+        a.slots += r.stats.slots;
+        a.collisions += r.stats.collisions;
+        a.inventoried += static_cast<long>(r.inventoried_ids.size());
+      },
+      [](Acc& into, const Acc& from) {
+        into.slots += from.slots;
+        into.collisions += from.collisions;
+        into.inventoried += from.inventoried;
+      });
+  check_golden("ablation_tdma",
+               {static_cast<double>(acc.slots),
+                static_cast<double>(acc.collisions),
+                static_cast<double>(acc.inventoried)},
+               {{"inventoried", static_cast<double>(acc.inventoried)},
+                {"collisions", static_cast<double>(acc.collisions)}});
+}
+
+}  // namespace
+}  // namespace ecocap
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--regen") ecocap::g_regen = true;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

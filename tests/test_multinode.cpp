@@ -80,5 +80,28 @@ TEST(MultiNodeLink, UnreachableNodeStaysSilent) {
   EXPECT_EQ(r.inventoried_ids[0], 0x0601);
 }
 
+// Regression for the truncated-frame-after-collision bug: the collided-slot
+// superposition used to keep only the overlap of the colliding replies, so a
+// short truncated composite could decode as a clean (wrong) RN16 and be
+// scored a success. Collided slots are now classified as collision losses
+// (counted in collision_false_decodes when the composite still decodes) and
+// never inventory a node. The fixed-seed aggregates below pin the behaviour.
+TEST(MultiNodeLink, CollidedSlotsNeverInventoryFixedSeedAggregates) {
+  MultiNodeLink::Config cfg = make_config(0, 33);  // q = 0: all-collide
+  cfg.max_rounds = 4;
+  MultiNodeLink link(cfg);
+  for (int i = 0; i < 3; ++i) {
+    MultiNodeLink::NodePlacement p;
+    p.node_id = static_cast<std::uint16_t>(0x0700 + i);
+    p.distance = 0.4 + 0.1 * i;
+    link.deploy(p);
+  }
+  const auto r = link.run_inventory();
+  EXPECT_TRUE(r.inventoried_ids.empty());
+  EXPECT_EQ(r.collisions, 4);  // one per round, every round
+  EXPECT_GE(r.collision_false_decodes, 0);
+  EXPECT_LE(r.collision_false_decodes, r.collisions);
+}
+
 }  // namespace
 }  // namespace ecocap::core

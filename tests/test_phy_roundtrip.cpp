@@ -1,0 +1,183 @@
+// Property-based round-trip suite for the PHY line codes (PIE downlink, FM0
+// uplink) and the Gen2 CRCs: over ~1k seeded random payloads each, encode ->
+// decode at zero noise must recover the payload exactly. On a failure the
+// payload is shrunk by halving so the log shows a near-minimal
+// counterexample instead of a 64-bit blob.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dsp/rng.hpp"
+#include "phy/crc.hpp"
+#include "phy/fm0.hpp"
+#include "phy/pie.hpp"
+
+namespace ecocap::phy {
+namespace {
+
+constexpr std::uint64_t kSeed = 20260805;
+
+std::string bits_to_string(const Bits& bits) {
+  std::string s;
+  s.reserve(bits.size());
+  for (auto b : bits) s.push_back(b ? '1' : '0');
+  return s;
+}
+
+/// Shrink a failing payload by halving while a half still fails `ok`.
+/// Returns a (locally) minimal counterexample for the failure message.
+template <typename Pred>
+Bits shrink_failure(Bits bits, Pred ok) {
+  bool shrunk = true;
+  while (shrunk && bits.size() > 1) {
+    shrunk = false;
+    const auto half = static_cast<std::ptrdiff_t>(bits.size() / 2);
+    const Bits lo(bits.begin(), bits.begin() + half);
+    const Bits hi(bits.begin() + half, bits.end());
+    if (!lo.empty() && !ok(lo)) {
+      bits = lo;
+      shrunk = true;
+    } else if (!hi.empty() && !ok(hi)) {
+      bits = hi;
+      shrunk = true;
+    }
+  }
+  return bits;
+}
+
+/// Run `iterations` random payloads through `ok`; on failure, shrink and
+/// report the counterexample.
+template <typename Pred>
+void check_property(const char* name, int iterations, std::size_t max_bits,
+                    Pred ok) {
+  dsp::Rng rng(kSeed);
+  for (int i = 0; i < iterations; ++i) {
+    const std::size_t n = 1 + rng.index(max_bits);
+    const Bits payload = random_bits(n, rng);
+    if (!ok(payload)) {
+      const Bits minimal = shrink_failure(payload, ok);
+      FAIL() << name << " failed at iteration " << i << " for payload "
+             << bits_to_string(payload) << " (shrunk to "
+             << bits_to_string(minimal) << ")";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PIE downlink
+// ---------------------------------------------------------------------------
+
+bool pie_roundtrips(const Bits& payload) {
+  const PieParams params;
+  const Real fs = 50.0e3;  // 50 samples per tari: plenty for exact timing
+  const Signal wave = pie_encode(payload, params, fs);
+  std::vector<bool> levels(wave.size());
+  for (std::size_t i = 0; i < wave.size(); ++i) levels[i] = wave[i] > 0.5;
+  const auto dec = pie_decode(levels, fs, payload.size(), params);
+  return dec.has_value() && dec->payload == payload;
+}
+
+TEST(PieRoundtrip, RandomPayloadsRecoverExactly) {
+  check_property("pie_roundtrip", 1000, 64, pie_roundtrips);
+}
+
+TEST(PieRoundtrip, SpanOverloadMatchesLegacyWrapper) {
+  dsp::Rng rng(kSeed ^ 1);
+  const PieParams params;
+  for (int i = 0; i < 50; ++i) {
+    const Bits payload = random_bits(1 + rng.index(64), rng);
+    const Signal legacy = pie_encode(payload, params, 50.0e3);
+    Signal out;
+    pie_encode(payload, params, 50.0e3, PiePreamble{}, out);
+    EXPECT_EQ(legacy, out) << "payload " << bits_to_string(payload);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FM0 uplink
+// ---------------------------------------------------------------------------
+
+bool fm0_roundtrips(const Bits& payload) {
+  // The preamble is an alternating "1010.." run, so a payload that opens
+  // with "10" extends it and the matched filter ties exactly at a 2-bit
+  // shift — frame sync is inherently ambiguous for those payloads (Gen2
+  // proper breaks the tie with a violation bit). The round-trip property
+  // therefore holds for payloads that do not alias the preamble.
+  if (payload.size() >= 2 && payload[0] && !payload[1]) return true;
+  const Fm0Params params;  // 1 kbps
+  const Real fs = 8.0 * params.bitrate;  // 8 samples/bit keeps CI fast
+  const Signal wave = fm0_encode_frame(payload, params, fs);
+  const Fm0FrameDecode dec =
+      fm0_decode_frame(wave, params, fs, payload.size());
+  return dec.payload == payload;
+}
+
+TEST(Fm0Roundtrip, RandomPayloadsRecoverExactly) {
+  check_property("fm0_roundtrip", 1000, 48, fm0_roundtrips);
+}
+
+TEST(Fm0Roundtrip, SpanOverloadMatchesLegacyWrapper) {
+  dsp::Rng rng(kSeed ^ 2);
+  const Fm0Params params;
+  const Real fs = 8.0 * params.bitrate;
+  for (int i = 0; i < 50; ++i) {
+    const Bits payload = random_bits(1 + rng.index(48), rng);
+    const Signal legacy = fm0_encode_frame(payload, params, fs);
+    Signal out;
+    fm0_encode_frame(payload, params, fs, out);
+    EXPECT_EQ(legacy, out) << "payload " << bits_to_string(payload);
+
+    const Signal raw_legacy = fm0_encode(payload, fs, params.bitrate);
+    Signal raw_out;
+    fm0_encode(payload, fs, params.bitrate, 1.0, raw_out);
+    EXPECT_EQ(raw_legacy, raw_out) << "payload " << bits_to_string(payload);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CRC-5 / CRC-16
+// ---------------------------------------------------------------------------
+
+bool crc5_roundtrips(const Bits& payload) {
+  Bits framed = payload;
+  append_crc5(framed);
+  return framed.size() == payload.size() + 5 && check_crc5(framed);
+}
+
+bool crc16_roundtrips(const Bits& payload) {
+  Bits framed = payload;
+  append_crc16(framed);
+  return framed.size() == payload.size() + 16 && check_crc16(framed);
+}
+
+TEST(CrcRoundtrip, AppendThenCheckAlwaysPasses) {
+  check_property("crc5_roundtrip", 1000, 64, crc5_roundtrips);
+  check_property("crc16_roundtrip", 1000, 64, crc16_roundtrips);
+}
+
+TEST(CrcRoundtrip, AnySingleBitFlipIsDetected) {
+  dsp::Rng rng(kSeed ^ 3);
+  for (int i = 0; i < 200; ++i) {
+    Bits framed = random_bits(8 + rng.index(32), rng);
+    append_crc16(framed);
+    const std::size_t flip = rng.index(framed.size());
+    framed[flip] ^= 1u;
+    EXPECT_FALSE(check_crc16(framed))
+        << "undetected flip at bit " << flip << " of "
+        << bits_to_string(framed);
+  }
+  for (int i = 0; i < 200; ++i) {
+    Bits framed = random_bits(8 + rng.index(16), rng);
+    append_crc5(framed);
+    const std::size_t flip = rng.index(framed.size());
+    framed[flip] ^= 1u;
+    EXPECT_FALSE(check_crc5(framed))
+        << "undetected flip at bit " << flip << " of "
+        << bits_to_string(framed);
+  }
+}
+
+}  // namespace
+}  // namespace ecocap::phy

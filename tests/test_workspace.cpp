@@ -125,6 +125,69 @@ TEST(WorkspacePool, PooledInterrogationsBitIdenticalToUnpooled) {
   expect_results_identical(pooled[1], unpooled[1]);
 }
 
+// A brownout aborts the uplink mid-frame (the emission is truncated and the
+// MCU loses state). Every lease taken during the aborted interrogation must
+// still be RAII-returned to its pool — a leak here would starve long
+// monitoring campaigns on faulty sites.
+TEST(WorkspacePool, BrownoutAbortedInterrogationReturnsAllLeases) {
+  SystemConfig cfg = ecocap::core::default_system();
+  cfg.channel.distance = 0.10;
+  cfg.channel.noise_sigma = 1e-4;
+  cfg.fault.node.brownout_prob = 1.0;  // every uplink frame aborts
+
+  WorkspacePool& pool = WorkspacePool::shared();
+  pool.set_pooling(true);
+  pool.clear();
+  pool.reset_stats();
+
+  ecocap::dsp::Rng prng(88);
+  LinkSimulator sim(cfg);
+  (void)sim.uplink_once(ecocap::phy::random_bits(32, prng));
+  EXPECT_GT(sim.injector().counters().brownouts, 0u);
+
+  const Workspace::Stats stats = pool.total_stats();
+  EXPECT_GT(stats.checkouts, 0u);
+  EXPECT_EQ(stats.returns, stats.checkouts);
+}
+
+// Same bit-identity guarantee as above, but with an active FaultPlan: the
+// injector draws from its own seeded stream, so pooled and unpooled runs see
+// the exact same bursts/dropouts/brownouts and must agree bit-for-bit.
+TEST(WorkspacePool, PooledBitIdenticalToUnpooledUnderActiveFaultPlan) {
+  SystemConfig cfg = ecocap::core::default_system();
+  cfg.channel.distance = 0.10;
+  cfg.channel.noise_sigma = 1e-4;
+  cfg.fault = ecocap::fault::FaultPlan::at_intensity(0.5);
+
+  ecocap::dsp::Rng prng(99);
+  const ecocap::phy::Bits long_payload = ecocap::phy::random_bits(48, prng);
+  const ecocap::phy::Bits short_payload = ecocap::phy::random_bits(16, prng);
+
+  auto run_pair = [&]() {
+    std::vector<InterrogationResult> out;
+    LinkSimulator sim_a(cfg);
+    out.push_back(sim_a.uplink_once(long_payload));
+    LinkSimulator sim_b(cfg);
+    out.push_back(sim_b.uplink_once(short_payload));
+    return out;
+  };
+
+  WorkspacePool& pool = WorkspacePool::shared();
+  pool.set_pooling(true);
+  pool.clear();
+  const auto pooled = run_pair();
+
+  pool.set_pooling(false);
+  pool.clear();
+  const auto unpooled = run_pair();
+  pool.set_pooling(true);  // restore the default for other tests
+
+  ASSERT_EQ(pooled.size(), 2u);
+  ASSERT_EQ(unpooled.size(), 2u);
+  expect_results_identical(pooled[0], unpooled[0]);
+  expect_results_identical(pooled[1], unpooled[1]);
+}
+
 TEST(WorkspacePool, TotalStatsAggregateLocalWorkspaces) {
   WorkspacePool& pool = WorkspacePool::shared();
   pool.reset_stats();
