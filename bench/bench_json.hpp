@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/thread_pool.hpp"
+#include "dsp/serialize.hpp"
 
 namespace ecocap::bench {
 
@@ -37,49 +38,53 @@ class BenchJson {
   void set_trials(std::size_t trials) { trials_ = trials; }
 
   /// Stop the clock and write BENCH_<name>.json into the working directory.
-  /// Returns false (and prints a warning) when the file cannot be written;
-  /// benches still succeed so CI logs keep the CSV output.
+  /// Crash-safe: the document is rendered in memory and lands via
+  /// write-temp-then-atomic-rename, so a bench killed mid-write leaves the
+  /// previous BENCH file intact instead of a truncated JSON. Returns false
+  /// (and prints a warning) when the file cannot be written; benches still
+  /// succeed so CI logs keep the CSV output.
   bool write() {
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start_)
             .count();
     const std::string path = "BENCH_" + name_ + ".json";
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (!f) {
+    std::string out;
+    out += "{\n";
+    out += "  \"name\": \"" + escaped(name_) + "\",\n";
+    out += "  \"schema_version\": 1,\n";
+    out += "  \"threads\": " +
+           std::to_string(core::ThreadPool::default_worker_count()) + ",\n";
+    out += "  \"wall_seconds\": " + formatted("%.6f", wall) + ",\n";
+    out += "  \"trials\": " + std::to_string(trials_) + ",\n";
+    out += "  \"trials_per_sec\": " +
+           formatted("%.3f",
+                     wall > 0.0 ? static_cast<double>(trials_) / wall : 0.0) +
+           ",\n";
+    out += "  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      out += (i ? "," : "");
+      out += "\n    \"" + escaped(metrics_[i].first) + "\": ";
+      out += number(metrics_[i].second);
+    }
+    out += metrics_.empty() ? "},\n" : "\n  },\n";
+    out += "  \"series\": {";
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+      out += (i ? "," : "");
+      out += "\n    \"" + escaped(series_[i].first) + "\": [";
+      const auto& v = series_[i].second;
+      for (std::size_t j = 0; j < v.size(); ++j) {
+        if (j) out += ", ";
+        out += number(v[j]);
+      }
+      out += "]";
+    }
+    out += series_.empty() ? "}\n" : "\n  }\n";
+    out += "}\n";
+    if (!dsp::ser::atomic_write_file(path, out)) {
       std::fprintf(stderr, "# bench_json: cannot write %s\n", path.c_str());
       return false;
     }
-    std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"name\": \"%s\",\n", escaped(name_).c_str());
-    std::fprintf(f, "  \"schema_version\": 1,\n");
-    std::fprintf(f, "  \"threads\": %u,\n",
-                 core::ThreadPool::default_worker_count());
-    std::fprintf(f, "  \"wall_seconds\": %.6f,\n", wall);
-    std::fprintf(f, "  \"trials\": %zu,\n", trials_);
-    std::fprintf(f, "  \"trials_per_sec\": %.3f,\n",
-                 wall > 0.0 ? static_cast<double>(trials_) / wall : 0.0);
-    std::fprintf(f, "  \"metrics\": {");
-    for (std::size_t i = 0; i < metrics_.size(); ++i) {
-      std::fprintf(f, "%s\n    \"%s\": ", i ? "," : "",
-                   escaped(metrics_[i].first).c_str());
-      print_number(f, metrics_[i].second);
-    }
-    std::fprintf(f, "%s},\n", metrics_.empty() ? "" : "\n  ");
-    std::fprintf(f, "  \"series\": {");
-    for (std::size_t i = 0; i < series_.size(); ++i) {
-      std::fprintf(f, "%s\n    \"%s\": [", i ? "," : "",
-                   escaped(series_[i].first).c_str());
-      const auto& v = series_[i].second;
-      for (std::size_t j = 0; j < v.size(); ++j) {
-        if (j) std::fprintf(f, ", ");
-        print_number(f, v[j]);
-      }
-      std::fprintf(f, "]");
-    }
-    std::fprintf(f, "%s}\n", series_.empty() ? "" : "\n  ");
-    std::fprintf(f, "}\n");
-    std::fclose(f);
     std::printf("# wrote %s (%.2fs, %zu trials)\n", path.c_str(), wall,
                 trials_);
     return true;
@@ -87,12 +92,14 @@ class BenchJson {
 
  private:
   /// NaN/inf are not JSON; emit null so downstream parsers stay happy.
-  static void print_number(std::FILE* f, double v) {
-    if (std::isfinite(v)) {
-      std::fprintf(f, "%.12g", v);
-    } else {
-      std::fprintf(f, "null");
-    }
+  static std::string number(double v) {
+    return std::isfinite(v) ? formatted("%.12g", v) : "null";
+  }
+
+  static std::string formatted(const char* fmt, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, v);
+    return buf;
   }
 
   static std::string escaped(const std::string& s) {

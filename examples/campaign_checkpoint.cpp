@@ -1,0 +1,175 @@
+// Crash-safe campaign driver: runs a supervised, fault-injected monitoring
+// campaign with periodic checkpoints, optionally stopping mid-campaign (the
+// simulated crash) or resuming from the checkpoint file. The --out file
+// records every result series and counter in bit-exact hexfloat form, so CI
+// can byte-diff a kill-at-midpoint-and-resume run against an uninterrupted
+// one:
+//
+//   campaign_checkpoint --days 4 --checkpoint cp.txt --out full.txt
+//   campaign_checkpoint --days 4 --stop-at-day 2 --checkpoint cp.txt
+//   campaign_checkpoint --days 4 --checkpoint cp.txt --resume --out resumed.txt
+//   diff full.txt resumed.txt   # must be empty at any ECOCAP_THREADS
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "channel/snr_models.hpp"
+#include "shm/monitor.hpp"
+#include "wave/material.hpp"
+
+using namespace ecocap;
+
+namespace {
+
+void save_stats(dsp::ser::Writer& w, const reader::InventoryStats& s) {
+  w.i64("stats.rounds", s.rounds);
+  w.i64("stats.slots", s.slots);
+  w.i64("stats.collisions", s.collisions);
+  w.i64("stats.acked", s.acked);
+  w.i64("stats.read_ok", s.read_ok);
+  w.i64("stats.read_failed", s.read_failed);
+  w.i64("stats.retries", s.retries);
+  w.i64("stats.timeouts", s.timeouts);
+  w.i64("stats.crc_fails", s.crc_fails);
+  w.i64("stats.giveups", s.giveups);
+  w.i64("stats.backoff_slots", s.backoff_slots);
+  w.i64("stats.deadline_trips", s.deadline_trips);
+}
+
+void save_series(dsp::ser::Writer& w, std::string_view key,
+                 const shm::TimeSeries& ts) {
+  const auto span = ts.values();
+  w.real_vec(key, std::vector<dsp::Real>(span.begin(), span.end()));
+}
+
+/// Bit-exact dump of everything the campaign accumulated.
+std::string aggregates(const shm::CampaignResult& res) {
+  dsp::ser::Writer w("ecocap-campaign-aggregates v1");
+  w.u64("completed", res.completed ? 1 : 0);
+  save_series(w, "acceleration", res.acceleration);
+  save_series(w, "stress", res.stress);
+  save_series(w, "stress_side", res.stress_side);
+  save_series(w, "humidity", res.humidity);
+  save_series(w, "temperature", res.temperature);
+  save_series(w, "pressure", res.pressure);
+  save_series(w, "pao", res.pao);
+  w.u64("anomalies", res.anomalies.size());
+  for (const auto& a : res.anomalies) {
+    w.real("anomaly.start_day", a.start_day);
+    w.real("anomaly.end_day", a.end_day);
+    w.real("anomaly.peak_zscore", a.peak_zscore);
+  }
+  w.i64("limit_violations", res.limit_violations);
+  w.u64("capsule_readings", res.capsule_readings.size());
+  for (const auto& r : res.capsule_readings) {
+    w.u64("reading.node", r.node_id);
+    w.u64("reading.sensor", r.sensor_id);
+    w.real("reading.value", r.value);
+  }
+  w.u64("capsule_log", res.capsule_log.size());
+  for (const auto& entry : res.capsule_log) {
+    w.u64("log.node", entry.reading.node_id);
+    w.u64("log.sensor", entry.reading.sensor_id);
+    w.real("log.value", entry.reading.value);
+    w.u64("log.stale", entry.stale ? 1 : 0);
+    w.real("log.age_hours", entry.age_hours);
+  }
+  w.u64("stale_nodes", res.max_staleness_hours.size());
+  for (const auto& [node, hours] : res.max_staleness_hours) {
+    w.u64("staleness.node", node);
+    w.real("staleness.hours", hours);
+  }
+  save_stats(w, res.inventory_totals);
+  w.i64("sup.fallbacks", res.supervisor_totals.fallbacks);
+  w.i64("sup.probes", res.supervisor_totals.probes);
+  w.i64("sup.failed_probes", res.supervisor_totals.failed_probes);
+  w.i64("sup.quarantines", res.supervisor_totals.quarantines);
+  w.i64("sup.reintegrations", res.supervisor_totals.reintegrations);
+  w.i64("sup.skipped_polls", res.supervisor_totals.skipped_polls);
+  w.u64("link_states", res.link_states.size());
+  for (const auto& [node, s] : res.link_states) {
+    w.u64("link.node", node);
+    w.i64("link.ladder_index", s.ladder_index);
+    w.real("link.ewma_success", s.ewma_success);
+    w.u64("link.quarantined", s.quarantined ? 1 : 0);
+    w.i64("link.fallbacks", s.fallbacks);
+    w.i64("link.quarantines", s.quarantines);
+  }
+  return w.payload();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double days = 4.0;
+  double stop_at_day = 0.0;
+  std::string checkpoint, out;
+  bool resume = false;
+  std::uint64_t seed = 2021;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto arg = std::string(argv[i]);
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--days") {
+      days = std::atof(next());
+    } else if (arg == "--stop-at-day") {
+      stop_at_day = std::atof(next());
+    } else if (arg == "--checkpoint") {
+      checkpoint = next();
+    } else if (arg == "--out") {
+      out = next();
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--resume") {
+      resume = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: campaign_checkpoint [--days N] [--stop-at-day X] "
+                   "[--checkpoint FILE] [--resume] [--out FILE] [--seed S]\n");
+      return 2;
+    }
+  }
+
+  shm::MonitoringCampaign::Config cfg;
+  cfg.days = days;
+  cfg.capsule_poll_hours = 3.0;
+  cfg.seed = seed;
+  cfg.retry.enabled = true;
+  cfg.fault = fault::FaultPlan::at_intensity(0.5);
+  cfg.supervisor.enabled = true;
+  cfg.supervisor.ladder = reader::SupervisorConfig::fig16_ladder(
+      channel::UplinkSnrModel::ecocapsule(wave::materials::normal_concrete()),
+      {16000.0, 8000.0, 4000.0, 2000.0});
+  cfg.checkpoint_path = checkpoint;
+  cfg.checkpoint_hours = 12.0;
+  if (stop_at_day > 0.0) {
+    cfg.stop_after_steps = static_cast<std::size_t>(
+        stop_at_day * 24.0 * 60.0 / cfg.step_minutes);
+  }
+
+  shm::MonitoringCampaign campaign(cfg);
+  const shm::CampaignResult result = resume ? campaign.resume() : campaign.run();
+
+  std::printf("campaign %s: %zu samples, %zu capsule readings, "
+              "%d deadline trips, %d quarantines\n",
+              result.completed ? "completed" : "stopped",
+              result.acceleration.size(), result.capsule_readings.size(),
+              result.inventory_totals.deadline_trips,
+              result.supervisor_totals.quarantines);
+  if (!out.empty()) {
+    if (!dsp::ser::atomic_write_file(out, aggregates(result))) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}

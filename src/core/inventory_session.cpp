@@ -1,6 +1,8 @@
 #include "core/inventory_session.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <utility>
 
 namespace ecocap::core {
@@ -8,7 +10,12 @@ namespace ecocap::core {
 InventorySession::InventorySession(Config config)
     : config_(std::move(config)),
       budget_(config_.structure),
-      rng_(config_.seed) {}
+      rng_(config_.seed) {
+  config_.inventory.retry.validate();
+  if (config_.supervisor.enabled) {
+    supervisor_.emplace(config_.supervisor);  // ctor validates
+  }
+}
 
 void InventorySession::deploy(const DeployedNode& node) {
   node::FirmwareConfig fc;
@@ -20,6 +27,7 @@ void InventorySession::deploy(const DeployedNode& node) {
       std::make_unique<node::Firmware>(fc, config_.seed ^ node.node_id);
   slot.firmware->power_on();  // session assumes the CBW is charging them
   nodes_.push_back(std::move(slot));
+  if (supervisor_) supervisor_->track(node.node_id);
 }
 
 Real InventorySession::snr_for_distance(Real distance) const {
@@ -41,22 +49,46 @@ reader::InventoryResult InventorySession::collect(
     const std::vector<std::uint8_t>& sensor_ids) {
   std::vector<reader::InventoriedNode> round;
   round.reserve(nodes_.size());
+  // Ids the supervisor admitted this pass (in deployment order), so their
+  // delivery outcomes can be fed back after the engine runs.
+  std::vector<std::uint16_t> admitted;
   for (auto& s : nodes_) {
     if (!node_reachable(s.info.distance)) continue;  // unpowered: silent
+    if (supervisor_ && !supervisor_->admit(s.info.node_id)) continue;
     reader::InventoriedNode n;
     n.firmware = s.firmware.get();
     n.snr_db = snr_for_distance(s.info.distance);
+    if (supervisor_) {
+      // The node's current fallback rung buys decision SNR back.
+      n.snr_db += supervisor_->snr_delta_db(s.info.node_id);
+      admitted.push_back(s.info.node_id);
+    }
     n.environment = s.info.environment;
     round.push_back(n);
   }
   auto cfg = config_.inventory;
   cfg.sensors_to_read = sensor_ids;
+  if (supervisor_) cfg.slot_budget = config_.supervisor.round_slot_budget;
+  // The engine seed is drawn exactly once per pass, supervised or not, so
+  // enabling supervision never shifts the session's draw sequence.
   reader::InventoryEngine engine(cfg, rng_.engine()());
   // Bind this pass's fault realizations to (seed, pass index). An empty
   // plan attaches nothing so the engine keeps its legacy fast path.
   fault::Injector injector(config_.fault, config_.seed, pass_++);
   if (injector.active()) engine.set_fault_injector(&injector);
-  return engine.run(round);
+  reader::InventoryResult result = engine.run(round);
+  if (supervisor_) {
+    for (std::size_t i = 0; i < admitted.size(); ++i) {
+      const std::uint16_t id = admitted[i];
+      const bool delivered =
+          std::find(result.inventoried_ids.begin(),
+                    result.inventoried_ids.end(),
+                    id) != result.inventoried_ids.end();
+      supervisor_->observe(id, delivered, round[i].snr_db);
+    }
+    supervisor_->observe_round(result.stats);
+  }
+  return result;
 }
 
 void InventorySession::set_environment(std::uint16_t node_id,
@@ -64,6 +96,30 @@ void InventorySession::set_environment(std::uint16_t node_id,
   for (auto& s : nodes_) {
     if (s.info.node_id == node_id) s.info.environment = env;
   }
+}
+
+void InventorySession::save(dsp::ser::Writer& w) const {
+  w.rng("session.rng", rng_);
+  w.u64("session.pass", pass_);
+  w.u64("session.nodes", nodes_.size());
+  for (const auto& s : nodes_) s.firmware->save(w);
+  w.u64("session.supervised", supervisor_ ? 1 : 0);
+  if (supervisor_) supervisor_->save(w);
+}
+
+void InventorySession::load(dsp::ser::Reader& r) {
+  r.rng("session.rng", rng_);
+  pass_ = r.u64("session.pass");
+  const std::uint64_t n = r.u64("session.nodes");
+  if (n != nodes_.size()) {
+    throw std::runtime_error("checkpoint: deployed node count mismatch");
+  }
+  for (auto& s : nodes_) s.firmware->load(r);
+  const bool supervised = r.u64("session.supervised") != 0;
+  if (supervised != supervisor_.has_value()) {
+    throw std::runtime_error("checkpoint: supervisor enablement mismatch");
+  }
+  if (supervisor_) supervisor_->load(r);
 }
 
 }  // namespace ecocap::core

@@ -1,10 +1,12 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "channel/link_budget.hpp"
 #include "reader/inventory.hpp"
+#include "reader/link_supervisor.hpp"
 
 namespace ecocap::core {
 
@@ -21,6 +23,14 @@ struct DeployedNode {
 /// from the structure's range law (the backscatter round-trip attenuates
 /// twice), then the TDMA inventory engine collects readings. This is the
 /// layer the SHM application drives on every monitoring pass.
+///
+/// With `Config::supervisor.enabled` the session runs each pass through a
+/// reader::LinkSupervisor: quarantined nodes sit the pass out, the
+/// remaining nodes' link SNR reflects their current fallback-ladder rung
+/// (slower bitrate -> more decision SNR), the engine runs under the
+/// supervisor's round slot budget, and each node's delivery outcome feeds
+/// back into its link-quality estimate. Disabled (the default), the pass
+/// is bit-identical to the pre-supervisor session.
 class InventorySession {
  public:
   struct Config {
@@ -32,16 +42,22 @@ class InventorySession {
     /// Fault plan applied per monitoring pass (protocol-level hooks). The
     /// empty default attaches no injector, preserving the legacy draw path.
     fault::FaultPlan fault;
+    /// Adaptive link supervision (off by default). Validated at session
+    /// construction when enabled.
+    reader::SupervisorConfig supervisor;
     std::uint64_t seed = 1;
   };
 
+  /// Validates the inventory retry policy and (when enabled) the
+  /// supervisor config; throws std::invalid_argument on bad fields.
   explicit InventorySession(Config config);
 
   /// Add a node at a position; creates its firmware instance.
   void deploy(const DeployedNode& node);
 
   /// Uplink SNR for a node at `distance`: contact SNR minus the round-trip
-  /// exponential attenuation of the structure.
+  /// exponential attenuation of the structure. This is the rung-0 SNR; the
+  /// supervisor's ladder delta is added on top per node.
   Real snr_for_distance(Real distance) const;
 
   /// True when a node at `distance` can be powered at the configured TX
@@ -60,6 +76,17 @@ class InventorySession {
   std::size_t node_count() const { return nodes_.size(); }
   const Config& config() const { return config_; }
 
+  /// The supervisor, when enabled (nullptr otherwise).
+  const reader::LinkSupervisor* supervisor() const {
+    return supervisor_ ? &*supervisor_ : nullptr;
+  }
+
+  /// Checkpoint the session's mutable state: engine-seed RNG, pass
+  /// counter, every deployed node's firmware, and the supervisor. The
+  /// loading session must have the same nodes deployed in the same order.
+  void save(dsp::ser::Writer& w) const;
+  void load(dsp::ser::Reader& r);
+
  private:
   Config config_;
   /// Built once from the (immutable) structure; node_reachable used to
@@ -71,6 +98,7 @@ class InventorySession {
     std::unique_ptr<node::Firmware> firmware;
   };
   std::vector<Slot> nodes_;
+  std::optional<reader::LinkSupervisor> supervisor_;
   /// Monotone pass counter: pass k binds its injector to trial k of the
   /// session seed, so each monitoring pass sees fresh fault realizations
   /// that are still fully reproducible.

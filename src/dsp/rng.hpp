@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <istream>
+#include <ostream>
 #include <random>
 
 #include "dsp/types.hpp"
@@ -62,6 +64,14 @@ class Rng {
 
   /// Access to the underlying engine for standard distributions.
   std::mt19937_64& engine() { return engine_; }
+
+  /// Stream the full generator state (engine state vector plus the normal
+  /// distribution's cached spare variate) for checkpointing. A loaded Rng
+  /// continues the exact draw sequence of the saved one.
+  void save(std::ostream& os) const {
+    os << engine_ << ' ' << normal_ << ' ' << uniform_;
+  }
+  void load(std::istream& is) { is >> engine_ >> normal_ >> uniform_; }
 
  private:
   std::mt19937_64 engine_;

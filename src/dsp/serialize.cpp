@@ -1,0 +1,174 @@
+#include "dsp/serialize.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace ecocap::dsp::ser {
+
+namespace {
+
+[[noreturn]] void fail(std::string_view key, std::string_view what) {
+  throw std::runtime_error("checkpoint: " + std::string(what) + " at key '" +
+                           std::string(key) + "'");
+}
+
+}  // namespace
+
+std::string format_real(Real v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", static_cast<double>(v));
+  return buf;
+}
+
+Real parse_real(std::string_view token) {
+  const std::string s(token);
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    throw std::runtime_error("checkpoint: bad real token '" + s + "'");
+  }
+  return v;
+}
+
+Writer::Writer(std::string_view header) {
+  out_.append(header);
+  out_.push_back('\n');
+}
+
+void Writer::kv(std::string_view key, std::string_view value) {
+  out_.append(key);
+  out_.push_back(' ');
+  out_.append(value);
+  out_.push_back('\n');
+}
+
+void Writer::u64(std::string_view key, std::uint64_t v) {
+  kv(key, std::to_string(v));
+}
+
+void Writer::i64(std::string_view key, std::int64_t v) {
+  kv(key, std::to_string(v));
+}
+
+void Writer::real(std::string_view key, Real v) { kv(key, format_real(v)); }
+
+void Writer::real_vec(std::string_view key, const std::vector<Real>& v) {
+  std::string line = std::to_string(v.size());
+  for (Real x : v) {
+    line.push_back(' ');
+    line.append(format_real(x));
+  }
+  kv(key, line);
+}
+
+void Writer::rng(std::string_view key, const Rng& r) {
+  std::ostringstream os;
+  r.save(os);
+  kv(key, os.str());
+}
+
+Reader::Reader(std::string content, std::string_view expected_header)
+    : content_(std::move(content)) {
+  const std::string header = next_line("<header>");
+  if (header != expected_header) {
+    throw std::runtime_error("checkpoint: header mismatch (got '" + header +
+                             "', want '" + std::string(expected_header) + "')");
+  }
+}
+
+std::string Reader::next_line(std::string_view key) {
+  if (pos_ >= content_.size()) fail(key, "unexpected end of file");
+  const std::size_t nl = content_.find('\n', pos_);
+  if (nl == std::string::npos) fail(key, "truncated line");
+  std::string line = content_.substr(pos_, nl - pos_);
+  pos_ = nl + 1;
+  return line;
+}
+
+std::string Reader::kv(std::string_view key) {
+  const std::string line = next_line(key);
+  const std::size_t sp = line.find(' ');
+  const std::string got = line.substr(0, sp);
+  if (got != key) fail(key, "key mismatch (got '" + got + "')");
+  return sp == std::string::npos ? std::string() : line.substr(sp + 1);
+}
+
+std::uint64_t Reader::u64(std::string_view key) {
+  const std::string v = kv(key);
+  char* end = nullptr;
+  errno = 0;
+  const std::uint64_t x = std::strtoull(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0' || errno == ERANGE) {
+    fail(key, "bad unsigned integer '" + v + "'");
+  }
+  return x;
+}
+
+std::int64_t Reader::i64(std::string_view key) {
+  const std::string v = kv(key);
+  char* end = nullptr;
+  errno = 0;
+  const std::int64_t x = std::strtoll(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0' || errno == ERANGE) {
+    fail(key, "bad integer '" + v + "'");
+  }
+  return x;
+}
+
+Real Reader::real(std::string_view key) { return parse_real(kv(key)); }
+
+std::vector<Real> Reader::real_vec(std::string_view key) {
+  std::istringstream is(kv(key));
+  std::size_t n = 0;
+  if (!(is >> n)) fail(key, "bad vector length");
+  std::vector<Real> v;
+  v.reserve(n);
+  std::string tok;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(is >> tok)) fail(key, "short vector");
+    v.push_back(parse_real(tok));
+  }
+  return v;
+}
+
+void Reader::rng(std::string_view key, Rng& r) {
+  std::istringstream is(kv(key));
+  r.load(is);
+  if (is.fail()) fail(key, "bad rng state");
+}
+
+bool atomic_write_file(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = content.empty() ||
+            std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  ok = (std::fflush(f) == 0) && ok;
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::string content;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) return std::nullopt;
+  return content;
+}
+
+}  // namespace ecocap::dsp::ser

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dsp/rng.hpp"
+#include "dsp/types.hpp"
+
+namespace ecocap::dsp::ser {
+
+/// Line-oriented, human-inspectable checkpoint serialization.
+///
+/// Every record is one `key value...` line. Reals are written as C99
+/// hexfloats ("%a"), so a save/load round trip reproduces the exact bit
+/// pattern — the property the crash-safe campaign checkpoints need for
+/// resume runs to stay bit-identical to uninterrupted ones. RNG engines and
+/// distributions round-trip through their standard stream operators, which
+/// preserve the mt19937_64 state vector and the normal distribution's
+/// cached spare variate.
+///
+/// The Reader is strict and sequential: records must be consumed in the
+/// order they were written, and any key mismatch, truncation, or parse
+/// failure throws std::runtime_error naming the offending key — a corrupt
+/// or version-skewed checkpoint is rejected instead of silently misread.
+
+/// Bit-exact textual encoding of a Real (hexfloat; nan/inf pass through).
+std::string format_real(Real v);
+
+/// Parse a format_real token back; throws std::runtime_error on garbage.
+Real parse_real(std::string_view token);
+
+class Writer {
+ public:
+  /// `header` becomes the first line; the Reader checks it verbatim
+  /// (format + version tag, e.g. "ecocap-campaign-checkpoint v1").
+  explicit Writer(std::string_view header);
+
+  /// Raw record: `key value`; `value` may contain spaces but no newlines.
+  void kv(std::string_view key, std::string_view value);
+
+  void u64(std::string_view key, std::uint64_t v);
+  void i64(std::string_view key, std::int64_t v);
+  void real(std::string_view key, Real v);
+  void str(std::string_view key, std::string_view v) { kv(key, v); }
+
+  /// `key n v0 v1 ... v{n-1}` on a single line.
+  void real_vec(std::string_view key, const std::vector<Real>& v);
+
+  /// Full generator state (engine + distribution caches) on one line.
+  void rng(std::string_view key, const Rng& r);
+
+  /// The accumulated payload (header + records).
+  const std::string& payload() const { return out_; }
+
+ private:
+  std::string out_;
+};
+
+class Reader {
+ public:
+  /// Throws std::runtime_error when the first line differs from
+  /// `expected_header` (wrong file, wrong version).
+  Reader(std::string content, std::string_view expected_header);
+
+  /// Next record's value; throws when the next line's key differs.
+  std::string kv(std::string_view key);
+
+  std::uint64_t u64(std::string_view key);
+  std::int64_t i64(std::string_view key);
+  Real real(std::string_view key);
+  std::string str(std::string_view key) { return kv(key); }
+  std::vector<Real> real_vec(std::string_view key);
+  void rng(std::string_view key, Rng& r);
+
+  /// True when every line has been consumed.
+  bool exhausted() const { return pos_ >= content_.size(); }
+
+ private:
+  std::string next_line(std::string_view key);
+
+  std::string content_;
+  std::size_t pos_ = 0;
+};
+
+/// Crash-safe file replacement: write `content` to `path + ".tmp"`, flush,
+/// then atomically rename over `path`. An interrupted writer can leave a
+/// stale .tmp behind but never a truncated `path`. Returns false (after
+/// cleaning up the temp file) when any step fails.
+bool atomic_write_file(const std::string& path, std::string_view content);
+
+/// Whole-file slurp; nullopt when the file does not exist or is unreadable.
+std::optional<std::string> read_file(const std::string& path);
+
+}  // namespace ecocap::dsp::ser

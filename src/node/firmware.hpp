@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "dsp/rng.hpp"
+#include "dsp/serialize.hpp"
 #include "node/sensors.hpp"
 #include "phy/fm0.hpp"
 #include "phy/pie.hpp"
@@ -72,6 +73,12 @@ class Firmware {
   /// Power events from the harvester.
   void power_on();   // cold start finished -> standby
   void power_off();  // brown-out -> off, state lost
+
+  /// Checkpoint the mutable MCU state: RNG stream, protocol state machine,
+  /// RN16, slot counter, Select flag, and the SetBlf-adjusted link settings.
+  /// Sensors are stateless models and are not serialized.
+  void save(dsp::ser::Writer& w) const;
+  void load(dsp::ser::Reader& r);
 
  private:
   std::optional<UplinkFrame> on_select(const phy::SelectCommand& s);

@@ -1,11 +1,38 @@
 #include "reader/inventory.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace ecocap::reader {
 
+void RetryPolicy::validate() const {
+  if (max_retries < 0) {
+    throw std::invalid_argument("RetryPolicy: max_retries must be >= 0");
+  }
+  if (backoff_base_slots <= 0) {
+    throw std::invalid_argument(
+        "RetryPolicy: backoff_base_slots must be > 0");
+  }
+  if (backoff_max_slots < backoff_base_slots) {
+    throw std::invalid_argument(
+        "RetryPolicy: backoff_max_slots must be >= backoff_base_slots");
+  }
+  if (giveup_budget < 0) {
+    throw std::invalid_argument("RetryPolicy: giveup_budget must be >= 0");
+  }
+  if (!(slot_timeout_s > 0.0)) {
+    throw std::invalid_argument("RetryPolicy: slot_timeout_s must be > 0");
+  }
+}
+
 InventoryEngine::InventoryEngine(Config config, std::uint64_t seed)
-    : config_(config), rng_(seed) {}
+    : config_(config), rng_(seed) {
+  config_.retry.validate();
+  if (config_.slot_budget < 0) {
+    throw std::invalid_argument(
+        "InventoryEngine: slot_budget must be >= 0 (0 = unlimited)");
+  }
+}
 
 bool InventoryEngine::frame_survives(const InventoriedNode& n,
                                      std::size_t bits) {
@@ -45,10 +72,13 @@ bool InventoryEngine::exchange_with_retry(const InventoriedNode& n,
     } else {
       ++stats.crc_fails;
     }
-    // Give-up transitions: policy off, per-exchange retries exhausted, or
-    // the session-wide budget spent.
+    // Give-up transitions: policy off, per-exchange retries exhausted, the
+    // session-wide budget spent, or the next backoff would blow the slot
+    // watchdog (the deadline trip is charged by the round loop).
     if (!policy.enabled || attempt >= policy.max_retries ||
-        retry_budget_ <= 0) {
+        retry_budget_ <= 0 ||
+        (config_.slot_budget > 0 &&
+         stats.slots + stats.backoff_slots + backoff > config_.slot_budget)) {
       return false;
     }
     // Retry transition: wait out the backoff window, then re-query.
@@ -63,8 +93,14 @@ InventoryResult InventoryEngine::run(std::vector<InventoriedNode>& nodes) {
   InventoryResult result;
   std::vector<bool> done(nodes.size(), false);
   retry_budget_ = config_.retry.giveup_budget;
+  bool deadline_hit = false;
+  const auto budget_spent = [&] {
+    return config_.slot_budget > 0 &&
+           result.stats.slots + result.stats.backoff_slots >=
+               config_.slot_budget;
+  };
 
-  for (int round = 0; round < config_.max_rounds; ++round) {
+  for (int round = 0; round < config_.max_rounds && !deadline_hit; ++round) {
     if (std::all_of(done.begin(), done.end(), [](bool d) { return d; })) break;
     ++result.stats.rounds;
 
@@ -80,6 +116,12 @@ InventoryResult InventoryEngine::run(std::vector<InventoriedNode>& nodes) {
     }
 
     for (int slot = 0; slot < slots; ++slot) {
+      if (budget_spent()) {
+        // Watchdog: the round's slot deadline is gone; cut the session
+        // short and let the un-read nodes count as give-ups.
+        deadline_hit = true;
+        break;
+      }
       ++result.stats.slots;
       if (slot > 0) {
         for (std::size_t i = 0; i < nodes.size(); ++i) {
@@ -147,6 +189,7 @@ InventoryResult InventoryEngine::run(std::vector<InventoriedNode>& nodes) {
       done[idx] = true;
     }
   }
+  if (deadline_hit) ++result.stats.deadline_trips;
   result.stats.giveups =
       static_cast<int>(std::count(done.begin(), done.end(), false));
   return result;

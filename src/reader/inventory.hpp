@@ -45,6 +45,7 @@ struct InventoryStats {
   int crc_fails = 0;      // exchanges whose reply failed CRC / bit check
   int giveups = 0;        // nodes abandoned un-inventoried at session end
   int backoff_slots = 0;  // idle slots spent in exponential backoff
+  int deadline_trips = 0; // sessions cut short by the slot-budget watchdog
 };
 
 struct InventoryResult {
@@ -73,6 +74,12 @@ struct RetryPolicy {
   /// protocol-level engine has no waveform clock, so this is a modelled
   /// constant (documented in docs/protocol.md) surfaced for the record.
   double slot_timeout_s = 0.02;
+
+  /// Reject degenerate settings (zero/negative backoff, negative budgets)
+  /// with std::invalid_argument naming the field. InventoryEngine calls
+  /// this at construction so a misconfigured policy fails loudly instead
+  /// of silently spinning or never retrying.
+  void validate() const;
 };
 
 /// TDMA slotted-ALOHA inventory (paper §3.4: "TDMA as used in RFID Gen 2").
@@ -91,8 +98,16 @@ class InventoryEngine {
     std::vector<std::uint8_t> sensors_to_read;  // sensor ids per node
     double ber_penalty_db = 0.0;
     RetryPolicy retry;
+    /// Watchdog deadline for the whole session, measured in slots consumed
+    /// (arbitration slots + retry-backoff idle slots). 0 = unlimited. When
+    /// the budget runs out the session ends early and the remaining nodes
+    /// count as give-ups — one dead node can never stall a polling round
+    /// past its deadline.
+    int slot_budget = 0;
   };
 
+  /// Validates the config (see RetryPolicy::validate; also rejects a
+  /// negative slot_budget). Throws std::invalid_argument.
   InventoryEngine(Config config, std::uint64_t seed);
 
   /// Attach a per-session fault injector (not owned; may be null). The

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "dsp/rng.hpp"
+#include "dsp/serialize.hpp"
 #include "shm/health.hpp"
 #include "shm/pedestrian.hpp"
 #include "shm/weather.hpp"
@@ -71,6 +72,11 @@ class FootbridgeModel {
 
   /// Advance to `t_days` and compute the full bridge state.
   BridgeState step(Real t_days, const WeatherSample& weather);
+
+  /// Checkpoint the model's mutable state (own RNG + the pedestrian
+  /// model's RNG).
+  void save(dsp::ser::Writer& w) const;
+  void load(dsp::ser::Reader& r);
 
   const Config& config() const { return config_; }
 

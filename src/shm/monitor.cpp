@@ -2,12 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
+#include <stdexcept>
 #include <utility>
 
 namespace ecocap::shm {
 
 namespace {
+
+/// Checkpoint format tag; bump the version on any schema change so stale
+/// files are rejected instead of misread (docs/benchmarks.md documents the
+/// schema).
+constexpr const char* kCheckpointHeader = "ecocap-campaign-checkpoint v1";
+
 void accumulate(reader::InventoryStats& into,
                 const reader::InventoryStats& s) {
   into.rounds += s.rounds;
@@ -23,13 +31,206 @@ void accumulate(reader::InventoryStats& into,
   into.crc_fails += s.crc_fails;
   into.giveups += s.giveups;
   into.backoff_slots += s.backoff_slots;
+  into.deadline_trips += s.deadline_trips;
 }
+
+/// (node, sensor) -> (last good reading, the hour it was measured).
+using HoldMap = std::map<std::pair<std::uint16_t, std::uint8_t>,
+                         std::pair<reader::SensorReading, Real>>;
+
+void save_stats(dsp::ser::Writer& w, const reader::InventoryStats& s) {
+  w.i64("stats.rounds", s.rounds);
+  w.i64("stats.slots", s.slots);
+  w.i64("stats.empty_slots", s.empty_slots);
+  w.i64("stats.collisions", s.collisions);
+  w.i64("stats.singleton_slots", s.singleton_slots);
+  w.i64("stats.acked", s.acked);
+  w.i64("stats.read_ok", s.read_ok);
+  w.i64("stats.read_failed", s.read_failed);
+  w.i64("stats.retries", s.retries);
+  w.i64("stats.timeouts", s.timeouts);
+  w.i64("stats.crc_fails", s.crc_fails);
+  w.i64("stats.giveups", s.giveups);
+  w.i64("stats.backoff_slots", s.backoff_slots);
+  w.i64("stats.deadline_trips", s.deadline_trips);
+}
+
+void load_stats(dsp::ser::Reader& r, reader::InventoryStats& s) {
+  s.rounds = static_cast<int>(r.i64("stats.rounds"));
+  s.slots = static_cast<int>(r.i64("stats.slots"));
+  s.empty_slots = static_cast<int>(r.i64("stats.empty_slots"));
+  s.collisions = static_cast<int>(r.i64("stats.collisions"));
+  s.singleton_slots = static_cast<int>(r.i64("stats.singleton_slots"));
+  s.acked = static_cast<int>(r.i64("stats.acked"));
+  s.read_ok = static_cast<int>(r.i64("stats.read_ok"));
+  s.read_failed = static_cast<int>(r.i64("stats.read_failed"));
+  s.retries = static_cast<int>(r.i64("stats.retries"));
+  s.timeouts = static_cast<int>(r.i64("stats.timeouts"));
+  s.crc_fails = static_cast<int>(r.i64("stats.crc_fails"));
+  s.giveups = static_cast<int>(r.i64("stats.giveups"));
+  s.backoff_slots = static_cast<int>(r.i64("stats.backoff_slots"));
+  s.deadline_trips = static_cast<int>(r.i64("stats.deadline_trips"));
+}
+
+void save_series(dsp::ser::Writer& w, std::string_view key,
+                 const TimeSeries& ts) {
+  const auto span = ts.values();
+  w.real_vec(key, std::vector<Real>(span.begin(), span.end()));
+}
+
+void load_series(dsp::ser::Reader& r, std::string_view key, TimeSeries& ts) {
+  ts.set_values(r.real_vec(key));
+}
+
+void save_reading(dsp::ser::Writer& w, const reader::SensorReading& s) {
+  w.u64("reading.node", s.node_id);
+  w.u64("reading.sensor", s.sensor_id);
+  w.real("reading.value", s.value);
+}
+
+reader::SensorReading load_reading(dsp::ser::Reader& r) {
+  reader::SensorReading s;
+  s.node_id = static_cast<std::uint16_t>(r.u64("reading.node"));
+  s.sensor_id = static_cast<std::uint8_t>(r.u64("reading.sensor"));
+  s.value = r.real("reading.value");
+  return s;
+}
+
+void save_result(dsp::ser::Writer& w, const CampaignResult& res) {
+  save_series(w, "series.acceleration", res.acceleration);
+  save_series(w, "series.stress", res.stress);
+  save_series(w, "series.stress_side", res.stress_side);
+  save_series(w, "series.humidity", res.humidity);
+  save_series(w, "series.temperature", res.temperature);
+  save_series(w, "series.pressure", res.pressure);
+  save_series(w, "series.pao", res.pao);
+
+  w.u64("result.minute_reports", res.minute_reports.size());
+  for (const auto& row : res.minute_reports) {
+    for (const auto& sec : row) {
+      w.i64("report.section", sec.section);
+      w.i64("report.pedestrians", sec.pedestrians);
+      w.i64("report.health", static_cast<std::int64_t>(sec.health));
+      w.real("report.speed", sec.walking_speed);
+    }
+  }
+
+  std::size_t hist_entries = 0;
+  for (const auto& by_section : res.health_histogram) {
+    hist_entries += by_section.second.size();
+  }
+  w.u64("result.health_histogram", hist_entries);
+  for (const auto& [sec, m] : res.health_histogram) {
+    for (const auto& [letter, count] : m) {
+      w.i64("hist.section", sec);
+      w.i64("hist.letter", letter);
+      w.i64("hist.count", count);
+    }
+  }
+
+  w.i64("result.limit_violations", res.limit_violations);
+
+  w.u64("result.capsule_readings", res.capsule_readings.size());
+  for (const auto& cr : res.capsule_readings) save_reading(w, cr);
+
+  w.u64("result.capsule_log", res.capsule_log.size());
+  for (const auto& entry : res.capsule_log) {
+    save_reading(w, entry.reading);
+    w.u64("log.stale", entry.stale ? 1 : 0);
+    w.real("log.age_hours", entry.age_hours);
+  }
+
+  w.u64("result.max_staleness", res.max_staleness_hours.size());
+  for (const auto& [node, hours] : res.max_staleness_hours) {
+    w.u64("staleness.node", node);
+    w.real("staleness.hours", hours);
+  }
+
+  save_stats(w, res.inventory_totals);
+}
+
+void load_result(dsp::ser::Reader& r, CampaignResult& res) {
+  load_series(r, "series.acceleration", res.acceleration);
+  load_series(r, "series.stress", res.stress);
+  load_series(r, "series.stress_side", res.stress_side);
+  load_series(r, "series.humidity", res.humidity);
+  load_series(r, "series.temperature", res.temperature);
+  load_series(r, "series.pressure", res.pressure);
+  load_series(r, "series.pao", res.pao);
+
+  const std::uint64_t rows = r.u64("result.minute_reports");
+  res.minute_reports.clear();
+  res.minute_reports.reserve(rows);
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    std::array<SectionReport, 5> row;
+    for (auto& sec : row) {
+      sec.section = static_cast<char>(r.i64("report.section"));
+      sec.pedestrians = static_cast<int>(r.i64("report.pedestrians"));
+      const std::int64_t h = r.i64("report.health");
+      if (h < static_cast<std::int64_t>(HealthLevel::kA) ||
+          h > static_cast<std::int64_t>(HealthLevel::kF)) {
+        throw std::runtime_error("checkpoint: bad health level");
+      }
+      sec.health = static_cast<HealthLevel>(h);
+      sec.walking_speed = r.real("report.speed");
+    }
+    res.minute_reports.push_back(row);
+  }
+
+  const std::uint64_t hist_entries = r.u64("result.health_histogram");
+  res.health_histogram.clear();
+  for (std::uint64_t i = 0; i < hist_entries; ++i) {
+    const char sec = static_cast<char>(r.i64("hist.section"));
+    const char letter = static_cast<char>(r.i64("hist.letter"));
+    res.health_histogram[sec][letter] =
+        static_cast<int>(r.i64("hist.count"));
+  }
+
+  res.limit_violations = static_cast<int>(r.i64("result.limit_violations"));
+
+  const std::uint64_t readings = r.u64("result.capsule_readings");
+  res.capsule_readings.clear();
+  res.capsule_readings.reserve(readings);
+  for (std::uint64_t i = 0; i < readings; ++i) {
+    res.capsule_readings.push_back(load_reading(r));
+  }
+
+  const std::uint64_t log_entries = r.u64("result.capsule_log");
+  res.capsule_log.clear();
+  res.capsule_log.reserve(log_entries);
+  for (std::uint64_t i = 0; i < log_entries; ++i) {
+    CapsuleReading entry;
+    entry.reading = load_reading(r);
+    entry.stale = r.u64("log.stale") != 0;
+    entry.age_hours = r.real("log.age_hours");
+    res.capsule_log.push_back(entry);
+  }
+
+  const std::uint64_t stale_nodes = r.u64("result.max_staleness");
+  res.max_staleness_hours.clear();
+  for (std::uint64_t i = 0; i < stale_nodes; ++i) {
+    const auto node = static_cast<std::uint16_t>(r.u64("staleness.node"));
+    res.max_staleness_hours[node] = r.real("staleness.hours");
+  }
+
+  load_stats(r, res.inventory_totals);
+}
+
 }  // namespace
 
 MonitoringCampaign::MonitoringCampaign(Config config)
     : config_(std::move(config)) {}
 
-CampaignResult MonitoringCampaign::run() {
+CampaignResult MonitoringCampaign::run() { return run_impl(false); }
+
+CampaignResult MonitoringCampaign::resume() {
+  if (config_.checkpoint_path.empty()) {
+    throw std::runtime_error("resume: Config::checkpoint_path is empty");
+  }
+  return run_impl(true);
+}
+
+CampaignResult MonitoringCampaign::run_impl(bool from_checkpoint) {
   CampaignResult result;
   const Real dt_s = config_.step_minutes * 60.0;
   result.acceleration = TimeSeries("midspan-acceleration", dt_s, "m/s^2");
@@ -48,9 +249,11 @@ CampaignResult MonitoringCampaign::run() {
   core::InventorySession::Config sess_cfg;
   sess_cfg.structure = channel::structures::s3_common_wall();
   sess_cfg.tx_voltage = 200.0;
+  sess_cfg.snr_at_contact_db = config_.capsule_snr_at_contact_db;
   sess_cfg.inventory.q = 3;
   sess_cfg.inventory.retry = config_.retry;
   sess_cfg.fault = config_.fault;
+  sess_cfg.supervisor = config_.supervisor;
   sess_cfg.seed = config_.seed ^ 0xcaf;
   core::InventorySession session(sess_cfg);
   for (int i = 0; i < config_.capsule_count; ++i) {
@@ -60,19 +263,81 @@ CampaignResult MonitoringCampaign::run() {
     session.deploy(n);
   }
 
-  // Per-channel hold state for the degradation path: (node, sensor) ->
-  // (last good reading, the hour it was actually measured).
-  std::map<std::pair<std::uint16_t, std::uint8_t>,
-           std::pair<reader::SensorReading, Real>>
-      last_good;
+  // Per-channel hold state for the degradation path.
+  HoldMap last_good;
+  std::size_t start_step = 0;
+
+  if (from_checkpoint) {
+    const auto content = dsp::ser::read_file(config_.checkpoint_path);
+    if (!content) {
+      throw std::runtime_error("resume: cannot read checkpoint " +
+                               config_.checkpoint_path);
+    }
+    dsp::ser::Reader r(*content, kCheckpointHeader);
+    // Config fingerprint: a checkpoint only resumes the campaign that
+    // wrote it. Hexfloat round trips are exact, so == is the right test.
+    if (r.real("config.days") != config_.days ||
+        r.real("config.step_minutes") != config_.step_minutes ||
+        static_cast<int>(r.i64("config.capsule_count")) !=
+            config_.capsule_count ||
+        r.real("config.poll_hours") != config_.capsule_poll_hours ||
+        r.u64("config.seed") != config_.seed ||
+        (r.u64("config.supervised") != 0) != config_.supervisor.enabled) {
+      throw std::runtime_error(
+          "resume: checkpoint was written by a different campaign config");
+    }
+    start_step = r.u64("campaign.cursor");
+    load_result(r, result);
+    const std::uint64_t held = r.u64("campaign.held");
+    for (std::uint64_t i = 0; i < held; ++i) {
+      const reader::SensorReading s = load_reading(r);
+      const Real hours = r.real("held.hours");
+      last_good[{s.node_id, s.sensor_id}] = {s, hours};
+    }
+    weather.load(r);
+    bridge.load(r);
+    session.load(r);
+  }
 
   const auto steps = static_cast<std::size_t>(
       config_.days * 24.0 * 60.0 / config_.step_minutes);
   const auto poll_every = static_cast<std::size_t>(
       config_.capsule_poll_hours * 60.0 / config_.step_minutes);
+  const std::size_t checkpoint_every =
+      (config_.checkpoint_path.empty() || config_.checkpoint_hours <= 0.0)
+          ? 0
+          : static_cast<std::size_t>(config_.checkpoint_hours * 60.0 /
+                                     config_.step_minutes);
   const std::array<char, 5> letters{'A', 'B', 'C', 'D', 'E'};
 
-  for (std::size_t k = 0; k < steps; ++k) {
+  // State after step k-1 with cursor k resumes at step k: everything the
+  // loop body mutates is serialized, so the continuation replays the exact
+  // draw sequence of an uninterrupted run.
+  const auto write_checkpoint = [&](std::size_t cursor) {
+    dsp::ser::Writer w(kCheckpointHeader);
+    w.real("config.days", config_.days);
+    w.real("config.step_minutes", config_.step_minutes);
+    w.i64("config.capsule_count", config_.capsule_count);
+    w.real("config.poll_hours", config_.capsule_poll_hours);
+    w.u64("config.seed", config_.seed);
+    w.u64("config.supervised", config_.supervisor.enabled ? 1 : 0);
+    w.u64("campaign.cursor", cursor);
+    save_result(w, result);
+    w.u64("campaign.held", last_good.size());
+    for (const auto& entry : last_good) {
+      save_reading(w, entry.second.first);
+      w.real("held.hours", entry.second.second);
+    }
+    weather.save(w);
+    bridge.save(w);
+    session.save(w);
+    if (!dsp::ser::atomic_write_file(config_.checkpoint_path, w.payload())) {
+      throw std::runtime_error("checkpoint: cannot write " +
+                               config_.checkpoint_path);
+    }
+  };
+
+  for (std::size_t k = start_step; k < steps; ++k) {
     const Real t_days = static_cast<Real>(k) * config_.step_minutes / (24.0 * 60.0);
     const WeatherSample w = weather.sample(t_days);
     const BridgeState state = bridge.step(t_days, w);
@@ -156,7 +421,26 @@ CampaignResult MonitoringCampaign::run() {
         }
       }
     }
+
+    const std::size_t cursor = k + 1;
+    if (config_.stop_after_steps > 0 && cursor >= config_.stop_after_steps &&
+        cursor < steps) {
+      // Simulated crash: leave a final checkpoint and stop mid-campaign.
+      if (!config_.checkpoint_path.empty()) write_checkpoint(cursor);
+      result.completed = false;
+      break;
+    }
+    if (checkpoint_every > 0 && cursor % checkpoint_every == 0 &&
+        cursor < steps) {
+      write_checkpoint(cursor);
+    }
   }
+
+  if (const auto* sup = session.supervisor()) {
+    result.link_states = sup->states();
+    result.supervisor_totals = sup->totals();
+  }
+  if (!result.completed) return result;
 
   // Anomaly detection: rolling z-score of the acceleration envelope.
   const std::vector<Real> roll =

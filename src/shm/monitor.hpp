@@ -1,6 +1,7 @@
 #pragma once
 
 #include <map>
+#include <string>
 #include <vector>
 
 #include "core/inventory_session.hpp"
@@ -60,6 +61,13 @@ struct CampaignResult {
   std::map<std::uint16_t, Real> max_staleness_hours;
   /// Aggregated inventory recovery counters over every poll.
   reader::InventoryStats inventory_totals;
+  /// False when the run stopped early at Config::stop_after_steps (the
+  /// simulated-crash hook); anomaly detection is skipped for partial runs.
+  bool completed = true;
+  /// Final per-node link-supervision state and campaign totals (empty /
+  /// zero when supervision is disabled).
+  std::map<std::uint16_t, reader::NodeLinkState> link_states;
+  reader::SupervisorTotals supervisor_totals;
 };
 
 /// The long-term SHM campaign runner (paper §6): simulates the bridge +
@@ -67,6 +75,15 @@ struct CampaignResult {
 /// paper plots (Figs. 21, 26-36), grades per-section health every minute,
 /// runs the anomaly detector, and periodically interrogates the implanted
 /// EcoCapsules through the full protocol stack as a cross-check.
+///
+/// With `Config::checkpoint_path` set the campaign is crash-safe: the full
+/// mutable state (time cursor, every RNG stream, held readings, supervisor
+/// state, result accumulators) is serialized to a versioned checkpoint file
+/// via write-temp-then-atomic-rename every `checkpoint_hours` of simulated
+/// time. `resume()` restores the newest checkpoint and continues; because
+/// the serialization is bit-exact (hexfloat reals, full RNG stream state),
+/// a killed-and-resumed campaign produces byte-identical results to an
+/// uninterrupted one at any ECOCAP_THREADS.
 class MonitoringCampaign {
  public:
   struct Config {
@@ -78,18 +95,39 @@ class MonitoringCampaign {
     std::size_t baseline_window = 3 * 24 * 60;  // rolling baseline (3 days)
     int capsule_count = 5;         // EcoCapsules deployed for the pilot
     Real capsule_poll_hours = 6.0; // interrogation cadence
+    /// Uplink SNR with a capsule at the reader; the wall's range law takes
+    /// it down from there, so lowering this starves the deep capsules (the
+    /// hostile-site scenarios the supervisor exists for).
+    Real capsule_snr_at_contact_db = 24.0;
     /// Reader recovery policy and fault plan for the capsule polls; both
     /// default to off, reproducing the fault-free campaign bit-for-bit.
     reader::RetryPolicy retry;
     fault::FaultPlan fault;
+    /// Adaptive link supervision for the capsule polls (off by default).
+    reader::SupervisorConfig supervisor;
+    /// Crash-safe checkpointing: empty disables it. The file at this path
+    /// is atomically replaced every `checkpoint_hours` of simulated time.
+    std::string checkpoint_path;
+    Real checkpoint_hours = 24.0;
+    /// Testing hook simulating a crash: stop (with a final checkpoint)
+    /// after this many simulation steps. 0 = run to completion.
+    std::size_t stop_after_steps = 0;
     std::uint64_t seed = 2021;
   };
 
   explicit MonitoringCampaign(Config config);
 
+  /// Run the campaign from the start.
   CampaignResult run();
 
+  /// Restore the checkpoint at `Config::checkpoint_path` and continue to
+  /// campaign end. Throws std::runtime_error when the file is missing,
+  /// corrupt, or was written by a campaign with a different configuration.
+  CampaignResult resume();
+
  private:
+  CampaignResult run_impl(bool from_checkpoint);
+
   Config config_;
 };
 

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "dsp/rng.hpp"
+#include "dsp/serialize.hpp"
 #include "dsp/types.hpp"
 #include "shm/weather.hpp"
 
@@ -34,6 +35,10 @@ class PedestrianModel {
 
   /// Mean walking speed right now (slower in crowds and storms).
   Real walking_speed(int count, const WeatherSample& weather) const;
+
+  /// Checkpoint the model's mutable state (the RNG stream).
+  void save(dsp::ser::Writer& w) const;
+  void load(dsp::ser::Reader& r);
 
  private:
   Config config_;

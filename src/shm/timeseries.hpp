@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dsp/types.hpp"
@@ -20,6 +21,8 @@ class TimeSeries {
 
   void push(Real value) { values_.push_back(value); }
   void reserve(std::size_t n) { values_.reserve(n); }
+  /// Replace the sample buffer wholesale (checkpoint restore).
+  void set_values(std::vector<Real> values) { values_ = std::move(values); }
 
   const std::string& name() const { return name_; }
   const std::string& unit() const { return unit_; }

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "dsp/rng.hpp"
+#include "dsp/serialize.hpp"
 #include "dsp/types.hpp"
 
 namespace ecocap::shm {
@@ -45,6 +46,11 @@ class WeatherModel {
 
   /// Sample conditions at `t_days` days since campaign start.
   WeatherSample sample(Real t_days);
+
+  /// Checkpoint the model's mutable state (the RNG stream; the config is
+  /// rebuilt from the campaign config on resume).
+  void save(dsp::ser::Writer& w) const;
+  void load(dsp::ser::Reader& r);
 
  private:
   Config config_;

@@ -1,0 +1,416 @@
+// Adaptive link supervision: config validation, the fallback-ladder state
+// machine (degrade / probe / revoke), quarantine entry and exponential
+// reintegration, the round slot-budget watchdog, and the pinned regression
+// of the tentpole claim — a fixed-bitrate campaign starves the deep
+// capsules (<60% delivered) while the supervised one recovers them (>95%).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "channel/snr_models.hpp"
+#include "core/inventory_session.hpp"
+#include "fault/fault.hpp"
+#include "node/firmware.hpp"
+#include "reader/inventory.hpp"
+#include "reader/link_supervisor.hpp"
+#include "wave/material.hpp"
+
+namespace ecocap::reader {
+namespace {
+
+SupervisorConfig quick_config() {
+  SupervisorConfig cfg;
+  cfg.enabled = true;
+  cfg.ewma_alpha = 0.6;
+  cfg.degrade_below = 0.55;
+  cfg.probe_after = 3;
+  cfg.probe_after_max = 12;
+  cfg.quarantine_after = 2;
+  cfg.reintegration_base_polls = 2;
+  cfg.reintegration_max_polls = 8;
+  return cfg;
+}
+
+TEST(SupervisorConfig, ValidatesLadder) {
+  SupervisorConfig cfg;
+  cfg.ladder.clear();
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SupervisorConfig{};
+  cfg.ladder[1].bitrate = cfg.ladder[0].bitrate;  // not strictly decreasing
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SupervisorConfig{};
+  cfg.ladder[0].snr_delta_db = 1.0;  // rung 0 must be the reference
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SupervisorConfig{};
+  cfg.ladder[2].bitrate = -100.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  EXPECT_NO_THROW(SupervisorConfig{}.validate());
+}
+
+TEST(SupervisorConfig, ValidatesThresholdsAndTiming) {
+  SupervisorConfig cfg;
+  cfg.ewma_alpha = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SupervisorConfig{};
+  cfg.degrade_below = 0.95;  // >= recover_above
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SupervisorConfig{};
+  cfg.probe_after = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SupervisorConfig{};
+  cfg.probe_after_max = cfg.probe_after - 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SupervisorConfig{};
+  cfg.quarantine_after = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SupervisorConfig{};
+  cfg.reintegration_base_polls = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SupervisorConfig{};
+  cfg.reintegration_max_polls = cfg.reintegration_base_polls - 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SupervisorConfig{};
+  cfg.round_slot_budget = -1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  // The LinkSupervisor constructor enforces validation too.
+  cfg = SupervisorConfig{};
+  cfg.ladder.clear();
+  EXPECT_THROW(LinkSupervisor{cfg}, std::invalid_argument);
+}
+
+TEST(RetryPolicyValidation, RejectsDegenerateSettings) {
+  RetryPolicy p;
+  p.backoff_base_slots = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = RetryPolicy{};
+  p.backoff_max_slots = p.backoff_base_slots - 1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = RetryPolicy{};
+  p.max_retries = -1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = RetryPolicy{};
+  p.giveup_budget = -1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = RetryPolicy{};
+  p.slot_timeout_s = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  // The engine validates at construction; a bad slot budget too.
+  InventoryEngine::Config cfg;
+  cfg.retry.backoff_base_slots = -3;
+  EXPECT_THROW((InventoryEngine{cfg, 1}), std::invalid_argument);
+  cfg = InventoryEngine::Config{};
+  cfg.slot_budget = -1;
+  EXPECT_THROW((InventoryEngine{cfg, 1}), std::invalid_argument);
+
+  // And the session validates both layers at construction.
+  core::InventorySession::Config sess;
+  sess.supervisor.enabled = true;
+  sess.supervisor.ewma_alpha = 2.0;
+  EXPECT_THROW(core::InventorySession{sess}, std::invalid_argument);
+}
+
+TEST(Fig16Ladder, DeltasCombineEnergyPerBitAndPassband) {
+  const auto model =
+      channel::UplinkSnrModel::ecocapsule(wave::materials::normal_concrete());
+  const auto ladder = SupervisorConfig::fig16_ladder(
+      model, {16000.0, 8000.0, 4000.0, 2000.0});
+  ASSERT_EQ(ladder.size(), 4u);
+  EXPECT_EQ(ladder[0].snr_delta_db, 0.0);
+  // Every slower rung gains SNR, monotonically.
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_GT(ladder[i].snr_delta_db, ladder[i - 1].snr_delta_db);
+  }
+  // 16 kb/s sits past the Fig. 16 knee, so stepping to 8 kb/s recovers
+  // passband capture on top of the 3 dB energy-per-bit term.
+  EXPECT_GT(ladder[1].snr_delta_db, 6.0);
+  // Below the knee only the energy term is left: the 4k -> 2k step is
+  // close to the pure 3 dB halving gain.
+  EXPECT_NEAR(ladder[3].snr_delta_db - ladder[2].snr_delta_db, 3.0, 0.5);
+}
+
+TEST(LinkSupervisor, DegradesOnMissesAndPreemptivelyOnLowSnr) {
+  LinkSupervisor sup(quick_config());
+  sup.track(1);
+  EXPECT_EQ(sup.state(1).ladder_index, 0);
+
+  // alpha 0.6: one miss drops the EWMA to 0.4 < 0.55 -> immediate rung down.
+  sup.observe(1, false, 0.0);
+  EXPECT_EQ(sup.state(1).ladder_index, 1);
+  EXPECT_EQ(sup.state(1).fallbacks, 1);
+
+  // A delivered-but-marginal link (decode SNR below the floor) also steps
+  // down, without losing a reading.
+  LinkSupervisor sup2(quick_config());
+  sup2.track(2);
+  sup2.observe(2, true, 1.0);  // below degrade_snr_db = 3 dB
+  EXPECT_EQ(sup2.state(2).ladder_index, 1);
+  EXPECT_EQ(sup2.state(2).fallbacks, 1);
+}
+
+TEST(LinkSupervisor, ProbesUpAfterStreakAndBacksOffOnFailedProbe) {
+  LinkSupervisor sup(quick_config());
+  sup.track(1);
+  sup.observe(1, false, 0.0);  // down to rung 1
+  ASSERT_EQ(sup.state(1).ladder_index, 1);
+
+  // probe_after = 3 clean deliveries at healthy SNR -> probe rung 0.
+  for (int i = 0; i < 3; ++i) sup.observe(1, true, 20.0);
+  EXPECT_EQ(sup.state(1).ladder_index, 0);
+  EXPECT_TRUE(sup.state(1).probing);
+  EXPECT_EQ(sup.state(1).probes, 1);
+
+  // The probe fails: revoked immediately, and the streak requirement
+  // doubles so the node stops oscillating at its rate ceiling.
+  sup.observe(1, false, 0.0);
+  EXPECT_EQ(sup.state(1).ladder_index, 1);
+  EXPECT_EQ(sup.state(1).failed_probes, 1);
+  EXPECT_EQ(sup.state(1).probe_streak_needed, 6);
+
+  // A successful probe sticks and resets nothing but the streak counter.
+  for (int i = 0; i < 6; ++i) sup.observe(1, true, 20.0);
+  EXPECT_EQ(sup.state(1).ladder_index, 0);
+  sup.observe(1, true, 20.0);
+  EXPECT_EQ(sup.state(1).ladder_index, 0);
+  EXPECT_FALSE(sup.state(1).probing);
+}
+
+TEST(LinkSupervisor, QuarantineEntryExponentialProbesAndReintegration) {
+  SupervisorConfig cfg = quick_config();
+  LinkSupervisor sup(cfg);
+  sup.track(7);
+
+  // Two misses walk the node to the ladder floor; the miss streak carries
+  // across the descent, so the third consecutive miss (>= quarantine_after
+  // = 2, now at the floor) triggers quarantine.
+  sup.observe(7, false, 0.0);
+  sup.observe(7, false, 0.0);
+  ASSERT_EQ(sup.state(7).ladder_index, 2);
+  EXPECT_FALSE(sup.state(7).quarantined);
+  sup.observe(7, false, 0.0);
+  EXPECT_TRUE(sup.state(7).quarantined);
+  EXPECT_EQ(sup.state(7).quarantines, 1);
+
+  // Sits out reintegration_base_polls = 2 polls, then probes once.
+  EXPECT_FALSE(sup.admit(7));
+  EXPECT_FALSE(sup.admit(7));
+  EXPECT_TRUE(sup.admit(7));
+  EXPECT_EQ(sup.state(7).skipped_polls, 2);
+  EXPECT_EQ(sup.state(7).reintegration_probes, 1);
+
+  // Failed probe: backoff doubles (2 -> 4), capped at 8.
+  sup.observe(7, false, 0.0);
+  EXPECT_TRUE(sup.state(7).quarantined);
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(sup.admit(7));
+  EXPECT_TRUE(sup.admit(7));
+  sup.observe(7, false, 0.0);  // 4 -> 8
+  for (int i = 0; i < 8; ++i) EXPECT_FALSE(sup.admit(7));
+  EXPECT_TRUE(sup.admit(7));
+  sup.observe(7, false, 0.0);  // capped at 8
+  for (int i = 0; i < 8; ++i) EXPECT_FALSE(sup.admit(7));
+  EXPECT_TRUE(sup.admit(7));
+
+  // Successful probe reintegrates with a fresh link estimate.
+  sup.observe(7, true, 10.0);
+  EXPECT_FALSE(sup.state(7).quarantined);
+  EXPECT_EQ(sup.state(7).reintegrations, 1);
+  EXPECT_EQ(sup.state(7).ewma_success, 1.0);
+  EXPECT_TRUE(sup.admit(7));
+}
+
+TEST(LinkSupervisor, SaveLoadRoundTripsMidCampaignState) {
+  LinkSupervisor sup(quick_config());
+  sup.track(1);
+  sup.track(2);
+  // Put node 1 mid-ladder with a probe pending and node 2 in quarantine.
+  sup.observe(1, false, 0.0);
+  sup.observe(1, true, 9.0);
+  for (int i = 0; i < 4; ++i) sup.observe(2, false, 0.0);
+  ASSERT_TRUE(sup.state(2).quarantined);
+
+  dsp::ser::Writer w("sup-test v1");
+  sup.save(w);
+
+  LinkSupervisor restored(quick_config());
+  dsp::ser::Reader r(w.payload(), "sup-test v1");
+  restored.load(r);
+  EXPECT_TRUE(r.exhausted());
+
+  for (std::uint16_t id : {std::uint16_t{1}, std::uint16_t{2}}) {
+    const NodeLinkState& a = sup.state(id);
+    const NodeLinkState& b = restored.state(id);
+    EXPECT_EQ(a.ladder_index, b.ladder_index);
+    EXPECT_EQ(a.ewma_success, b.ewma_success);
+    EXPECT_EQ(a.ewma_snr_db, b.ewma_snr_db);
+    EXPECT_EQ(a.has_snr, b.has_snr);
+    EXPECT_EQ(a.consecutive_ok, b.consecutive_ok);
+    EXPECT_EQ(a.consecutive_miss, b.consecutive_miss);
+    EXPECT_EQ(a.probing, b.probing);
+    EXPECT_EQ(a.probe_streak_needed, b.probe_streak_needed);
+    EXPECT_EQ(a.quarantined, b.quarantined);
+    EXPECT_EQ(a.quarantine_wait, b.quarantine_wait);
+    EXPECT_EQ(a.reintegration_backoff, b.reintegration_backoff);
+    EXPECT_EQ(a.fallbacks, b.fallbacks);
+    EXPECT_EQ(a.quarantines, b.quarantines);
+  }
+
+  // The restored supervisor continues the exact same trajectory.
+  sup.observe(1, true, 9.0);
+  restored.observe(1, true, 9.0);
+  EXPECT_EQ(sup.state(1).ladder_index, restored.state(1).ladder_index);
+  EXPECT_EQ(sup.state(1).ewma_success, restored.state(1).ewma_success);
+}
+
+TEST(InventoryEngine, SlotBudgetWatchdogCutsSessionShort) {
+  // Many nodes, tiny budget: the watchdog must end the session early and
+  // charge exactly one deadline trip, leaving the rest as give-ups.
+  std::vector<std::unique_ptr<node::Firmware>> firmwares;
+  std::vector<InventoriedNode> nodes;
+  for (int i = 0; i < 6; ++i) {
+    node::FirmwareConfig fc;
+    fc.node_id = static_cast<std::uint16_t>(0x400 + i);
+    firmwares.push_back(std::make_unique<node::Firmware>(fc, 99 + i));
+    firmwares.back()->power_on();
+    InventoriedNode n;
+    n.firmware = firmwares.back().get();
+    n.snr_db = 30.0;
+    nodes.push_back(n);
+  }
+  InventoryEngine::Config cfg;
+  cfg.q = 2;
+  cfg.max_rounds = 8;
+  cfg.retry.enabled = true;
+  cfg.slot_budget = 3;
+  InventoryEngine engine(cfg, 5);
+  const InventoryResult r = engine.run(nodes);
+  EXPECT_EQ(r.stats.deadline_trips, 1);
+  EXPECT_LE(r.stats.slots + r.stats.backoff_slots, cfg.slot_budget);
+  EXPECT_GT(r.stats.giveups, 0);
+
+  // With no budget the same session completes every node.
+  for (auto& fw : firmwares) fw->power_on();
+  cfg.slot_budget = 0;
+  InventoryEngine unlimited(cfg, 5);
+  const InventoryResult full = unlimited.run(nodes);
+  EXPECT_EQ(full.stats.deadline_trips, 0);
+  EXPECT_EQ(full.inventoried_ids.size(), 6u);
+}
+
+TEST(InventorySession, SupervisorDisabledKeepsLegacyDrawSequence) {
+  // A disabled supervisor must be completely inert: whatever is written
+  // into the (disabled) supervisor config, the session's draw sequence —
+  // and therefore every inventoried id — stays bit-identical.
+  const auto run_once = [](bool tweak_disabled_supervisor) {
+    core::InventorySession::Config cfg;
+    cfg.structure = channel::structures::s3_common_wall();
+    cfg.seed = 77;
+    cfg.inventory.retry.enabled = true;
+    cfg.fault = fault::FaultPlan::at_intensity(0.4);
+    if (tweak_disabled_supervisor) {
+      cfg.supervisor.ladder = reader::SupervisorConfig::default_ladder();
+      cfg.supervisor.ewma_alpha = 0.9;
+      cfg.supervisor.round_slot_budget = 7;
+    }
+    core::InventorySession session(cfg);
+    for (int i = 0; i < 4; ++i) {
+      core::DeployedNode n;
+      n.node_id = static_cast<std::uint16_t>(0x500 + i);
+      n.distance = 0.5 + 0.6 * static_cast<double>(i);
+      session.deploy(n);
+    }
+    std::vector<std::uint16_t> ids;
+    for (int p = 0; p < 6; ++p) {
+      const auto r = session.collect(
+          {static_cast<std::uint8_t>(node::SensorId::kStress)});
+      ids.insert(ids.end(), r.inventoried_ids.begin(),
+                 r.inventoried_ids.end());
+    }
+    return ids;
+  };
+  EXPECT_EQ(run_once(false), run_once(true));
+}
+
+// The pinned tentpole regression. Five capsules at staggered depths run a
+// 16 kb/s rung-0 link under a moderate fault plan: the fixed-bitrate
+// campaign must lose the deep capsules (<60% of expected readings) while
+// the supervised campaign walks them down the Fig. 16 ladder and delivers
+// >95%. Fully deterministic: fixed seeds, sequential trials.
+TEST(SupervisedCampaign, PinnedRecoveryRegression) {
+  constexpr int kTrials = 12;
+  constexpr int kNodes = 5;
+  constexpr int kPolls = 60;
+
+  const auto delivered_fraction = [&](bool supervised) {
+    long delivered = 0, expected = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      core::InventorySession::Config cfg;
+      cfg.structure = channel::structures::s3_common_wall();
+      cfg.snr_at_contact_db = 8.0;  // 16 kb/s rung-0 operation
+      cfg.uplink.bitrate = 16000.0;
+      cfg.inventory.q = 3;
+      cfg.inventory.retry.enabled = true;
+      cfg.fault = fault::FaultPlan::at_intensity(0.25);
+      cfg.seed = dsp::trial_seed(0xeca9, static_cast<std::size_t>(t));
+      if (supervised) {
+        cfg.supervisor.enabled = true;
+        cfg.supervisor.ladder = SupervisorConfig::fig16_ladder(
+            channel::UplinkSnrModel::ecocapsule(
+                wave::materials::normal_concrete()),
+            {16000.0, 8000.0, 4000.0, 2000.0});
+        cfg.supervisor.ewma_alpha = 0.6;
+        cfg.supervisor.degrade_below = 0.55;
+        cfg.supervisor.probe_after = 16;
+        cfg.supervisor.round_slot_budget = 96;
+      }
+      core::InventorySession session(cfg);
+      for (int i = 0; i < kNodes; ++i) {
+        core::DeployedNode n;
+        n.node_id = static_cast<std::uint16_t>(0x300 + i);
+        n.distance = 0.5 + 0.5 * static_cast<double>(i);
+        session.deploy(n);
+      }
+      for (int p = 0; p < kPolls; ++p) {
+        const auto r = session.collect(
+            {static_cast<std::uint8_t>(node::SensorId::kStress)});
+        for (int i = 0; i < kNodes; ++i) {
+          const auto id = static_cast<std::uint16_t>(0x300 + i);
+          ++expected;
+          if (std::find(r.inventoried_ids.begin(), r.inventoried_ids.end(),
+                        id) != r.inventoried_ids.end()) {
+            ++delivered;
+          }
+        }
+      }
+    }
+    return static_cast<double>(delivered) / static_cast<double>(expected);
+  };
+
+  const double fixed = delivered_fraction(false);
+  const double supervised = delivered_fraction(true);
+  EXPECT_LT(fixed, 0.60);
+  EXPECT_GT(supervised, 0.95);
+}
+
+}  // namespace
+}  // namespace ecocap::reader
