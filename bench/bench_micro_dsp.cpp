@@ -12,6 +12,8 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <string>
+#include <thread>
 
 #include "bench_json.hpp"
 #include "channel/concrete_channel.hpp"
@@ -23,6 +25,7 @@
 #include "dsp/fast_convolve.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/fir.hpp"
+#include "dsp/kernels/kernels.hpp"
 #include "dsp/oscillator.hpp"
 #include "dsp/rng.hpp"
 #include "wave/fdtd.hpp"
@@ -226,6 +229,254 @@ double time_ns(F&& f, double min_seconds = 0.05) {
   }
 }
 
+/// Per-kernel roofline block: for each primitive in the SIMD kernel layer,
+/// the seed-style sequential loop vs the dispatched kernel table, in
+/// ns/element, plus the analytic traffic (bytes/element) and arithmetic
+/// (flops/element) so the ratio against machine peak is computable offline.
+/// Schema in docs/benchmarks.md. `simd_isa` records which table `active()`
+/// resolved to (0 scalar, 1 avx2, 2 neon) so CI can gate speedups only on
+/// SIMD-capable hosts.
+void record_roofline_metrics(ecocap::bench::BenchJson& json) {
+  const dsp::kernels::KernelTable& kt = dsp::kernels::active();
+  json.metric("simd_isa", static_cast<double>(kt.isa));
+  json.metric("hw_threads",
+              static_cast<double>(std::thread::hardware_concurrency()));
+
+  const auto per_elem = [&](const char* name, double seed_ns, double simd_ns,
+                            double elems, double bytes, double flops) {
+    json.metric(std::string("kern_") + name + "_seed_ns_per_elem",
+                seed_ns / elems);
+    json.metric(std::string("kern_") + name + "_simd_ns_per_elem",
+                simd_ns / elems);
+    json.metric(std::string("kern_") + name + "_speedup", seed_ns / simd_ns);
+    json.metric(std::string("kern_") + name + "_bytes_per_elem", bytes);
+    json.metric(std::string("kern_") + name + "_flops_per_elem", flops);
+  };
+
+  // Dot product, 4096 points (L1-resident: measures the compute ceiling).
+  {
+    const dsp::Signal a = dsp::tone(1.0e6, 31.0e3, 4096, 1.0);
+    const dsp::Signal b = dsp::tone(1.0e6, 47.0e3, 4096, 1.0);
+    const double seed_ns = time_ns([&] {
+      dsp::Real acc = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+      benchmark::DoNotOptimize(acc);
+    });
+    const double simd_ns = time_ns([&] {
+      dsp::Real acc = kt.dot(a.data(), b.data(), a.size());
+      benchmark::DoNotOptimize(acc);
+    });
+    per_elem("dot", seed_ns, simd_ns, 4096.0, 16.0, 2.0);
+  }
+
+  // FIR direct path: 129 reversed taps slid over 8k samples — the
+  // FirFilter batch shape below the FFT-dispatch threshold. One "element"
+  // is one multiply-accumulate lane crossing, out_len * taps of them.
+  {
+    const dsp::Signal x = dsp::tone(1.0e6, 30.0e3, 8192, 1.0);
+    const dsp::Signal h = dsp::design_lowpass(1.0e6, 50.0e3, 129);
+    const std::size_t out_len = x.size() - h.size() + 1;
+    dsp::Signal out(out_len);
+    const double seed_ns = time_ns([&] {
+      for (std::size_t k = 0; k < out_len; ++k) {
+        dsp::Real acc = 0.0;
+        for (std::size_t i = 0; i < h.size(); ++i) acc += x[k + i] * h[i];
+        out[k] = acc;
+      }
+      benchmark::DoNotOptimize(out);
+    });
+    const double simd_ns = time_ns([&] {
+      kt.correlate_valid(x.data(), x.size(), h.data(), h.size(), out.data());
+      benchmark::DoNotOptimize(out);
+    });
+    const double macs = static_cast<double>(out_len * h.size());
+    per_elem("fir", seed_ns, simd_ns, macs, 16.0, 2.0);
+  }
+
+  // Correlation at the preamble-search shape (512-tap template, 32k
+  // capture), same element definition.
+  {
+    const dsp::Signal x = dsp::tone(1.0e6, 30.0e3, 1 << 15, 1.0);
+    const dsp::Signal h = dsp::tone(1.0e6, 30.0e3, 512, 1.0);
+    const std::size_t out_len = x.size() - h.size() + 1;
+    dsp::Signal out(out_len);
+    const double seed_ns = time_ns([&] {
+      for (std::size_t k = 0; k < out_len; ++k) {
+        dsp::Real acc = 0.0;
+        for (std::size_t i = 0; i < h.size(); ++i) acc += x[k + i] * h[i];
+        out[k] = acc;
+      }
+      benchmark::DoNotOptimize(out);
+    });
+    const double simd_ns = time_ns([&] {
+      kt.correlate_valid(x.data(), x.size(), h.data(), h.size(), out.data());
+      benchmark::DoNotOptimize(out);
+    });
+    const double macs = static_cast<double>(out_len * h.size());
+    per_elem("correlate", seed_ns, simd_ns, macs, 16.0, 2.0);
+  }
+
+  // Biquad over 64k samples: a serial recurrence, so the "kernel win" is
+  // state-in-locals vs the seed's member-state per-sample call, not SIMD.
+  {
+    const dsp::Signal x = dsp::tone(1.0e6, 30.0e3, 1 << 16, 1.0);
+    dsp::Signal y(x.size());
+    const dsp::kernels::BiquadCoeffs c{0.2, 0.3, 0.1, -0.5, 0.25};
+    const double seed_ns = time_ns([&] {
+      dsp::Real x1 = 0.0, x2 = 0.0, y1 = 0.0, y2 = 0.0;
+      volatile dsp::Real* sink = y.data();  // forbid loop fusion with state
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        const dsp::Real yi =
+            c.b0 * x[i] + c.b1 * x1 + c.b2 * x2 - c.a1 * y1 - c.a2 * y2;
+        x2 = x1;
+        x1 = x[i];
+        y2 = y1;
+        y1 = yi;
+        sink[i] = yi;
+      }
+      benchmark::DoNotOptimize(y);
+    });
+    const double simd_ns = time_ns([&] {
+      dsp::kernels::BiquadState s;
+      kt.biquad(x.data(), y.data(), x.size(), c, s);
+      benchmark::DoNotOptimize(y);
+    });
+    per_elem("biquad", seed_ns, simd_ns, static_cast<double>(x.size()), 16.0,
+             9.0);
+  }
+
+  // One-pole low-pass over 64k samples: seed per-sample RC recurrence vs
+  // the block-scan kernel (4 lanes from the block-entry state).
+  {
+    const dsp::Signal x = dsp::tone(1.0e6, 30.0e3, 1 << 16, 1.0);
+    dsp::Signal y(x.size());
+    const dsp::Real alpha = 0.125;
+    const double seed_ns = time_ns([&] {
+      dsp::Real state = 0.0;
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        state += alpha * (x[i] - state);
+        y[i] = state;
+      }
+      benchmark::DoNotOptimize(y);
+    });
+    const double simd_ns = time_ns([&] {
+      dsp::Real state = 0.0;
+      kt.onepole(x.data(), y.data(), x.size(), alpha, &state);
+      benchmark::DoNotOptimize(y);
+    });
+    per_elem("onepole", seed_ns, simd_ns, static_cast<double>(x.size()), 16.0,
+             9.0);
+  }
+
+  // Envelope (rectify + RC) over 64k samples.
+  {
+    const dsp::Signal x = dsp::tone(2.0e6, 230.0e3, 1 << 16, 1.0);
+    dsp::Signal y(x.size());
+    const dsp::Real alpha = 0.0609;
+    const double seed_ns = time_ns([&] {
+      dsp::Real state = 0.0;
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        state += alpha * (std::abs(x[i]) - state);
+        y[i] = state;
+      }
+      benchmark::DoNotOptimize(y);
+    });
+    const double simd_ns = time_ns([&] {
+      dsp::Real state = 0.0;
+      kt.envelope(x.data(), y.data(), x.size(), alpha, &state);
+      benchmark::DoNotOptimize(y);
+    });
+    per_elem("envelope", seed_ns, simd_ns, static_cast<double>(x.size()),
+             16.0, 10.0);
+  }
+
+  // FDTD stencil rows, 1024 columns x 64 rows (the per-band working shape).
+  // Seed-style indexed loops (the pre-kernel update_*_rows bodies) vs the
+  // kernel row functions.
+  {
+    const std::size_t nx = 1024, rows = 64;
+    const std::size_t n = nx * (rows + 2);
+    std::vector<dsp::Real> vx(n, 0.01), vy(n, 0.02), sxx(n, 0.5), syy(n, 0.4),
+        sxy(n, 0.3), rho(n, 2400.0), lambda(n, 1.1e10), mu(n, 9.0e9);
+    const dsp::Real dt = 1e-7, inv_dx = 500.0;
+    const double vel_seed_ns = time_ns([&] {
+      for (std::size_t iy = 1; iy <= rows; ++iy) {
+        for (std::size_t ix = 1; ix + 1 < nx; ++ix) {
+          const std::size_t i = iy * nx + ix;
+          const dsp::Real dsxx_dx = (sxx[i] - sxx[i - 1]) * inv_dx;
+          const dsp::Real dsxy_dy = (sxy[i] - sxy[i - nx]) * inv_dx;
+          const dsp::Real dsxy_dx = (sxy[i + 1] - sxy[i]) * inv_dx;
+          const dsp::Real dsyy_dy = (syy[i + nx] - syy[i]) * inv_dx;
+          const dsp::Real inv_rho = 1.0 / rho[i];
+          vx[i] += dt * inv_rho * (dsxx_dx + dsxy_dy);
+          vy[i] += dt * inv_rho * (dsxy_dx + dsyy_dy);
+        }
+      }
+      benchmark::DoNotOptimize(vx);
+    });
+    const double vel_simd_ns = time_ns([&] {
+      for (std::size_t iy = 1; iy <= rows; ++iy) {
+        dsp::kernels::FdtdVelocityRowArgs a{};
+        a.vx = vx.data() + iy * nx;
+        a.vy = vy.data() + iy * nx;
+        a.sxx = sxx.data() + iy * nx;
+        a.sxy = sxy.data() + iy * nx;
+        a.sxy_dn = sxy.data() + (iy - 1) * nx;
+        a.syy = syy.data() + iy * nx;
+        a.syy_up = syy.data() + (iy + 1) * nx;
+        a.rho = rho.data() + iy * nx;
+        a.i0 = 1;
+        a.i1 = nx - 1;
+        a.dt = dt;
+        a.inv_dx = inv_dx;
+        kt.fdtd_velocity_row(a);
+      }
+      benchmark::DoNotOptimize(vx);
+    });
+    const double cells = static_cast<double>(rows * (nx - 2));
+    per_elem("fdtd_velocity", vel_seed_ns, vel_simd_ns, cells, 96.0, 17.0);
+
+    const double str_seed_ns = time_ns([&] {
+      for (std::size_t iy = 1; iy <= rows; ++iy) {
+        for (std::size_t ix = 1; ix + 1 < nx; ++ix) {
+          const std::size_t i = iy * nx + ix;
+          const dsp::Real dvx_dx = (vx[i + 1] - vx[i]) * inv_dx;
+          const dsp::Real dvy_dy = (vy[i] - vy[i - nx]) * inv_dx;
+          const dsp::Real l = lambda[i];
+          const dsp::Real m = mu[i];
+          sxx[i] += dt * ((l + 2.0 * m) * dvx_dx + l * dvy_dy);
+          syy[i] += dt * (l * dvx_dx + (l + 2.0 * m) * dvy_dy);
+          const dsp::Real dvx_dy = (vx[i + nx] - vx[i]) * inv_dx;
+          const dsp::Real dvy_dx = (vy[i] - vy[i - 1]) * inv_dx;
+          sxy[i] += dt * m * (dvx_dy + dvy_dx);
+        }
+      }
+      benchmark::DoNotOptimize(sxx);
+    });
+    const double str_simd_ns = time_ns([&] {
+      for (std::size_t iy = 1; iy <= rows; ++iy) {
+        dsp::kernels::FdtdStressRowArgs a{};
+        a.sxx = sxx.data() + iy * nx;
+        a.syy = syy.data() + iy * nx;
+        a.sxy = sxy.data() + iy * nx;
+        a.vx = vx.data() + iy * nx;
+        a.vx_up = vx.data() + (iy + 1) * nx;
+        a.vy = vy.data() + iy * nx;
+        a.vy_dn = vy.data() + (iy - 1) * nx;
+        a.lambda = lambda.data() + iy * nx;
+        a.mu = mu.data() + iy * nx;
+        a.i0 = 1;
+        a.i1 = nx - 1;
+        a.dt = dt;
+        a.inv_dx = inv_dx;
+        kt.fdtd_stress_row(a);
+      }
+      benchmark::DoNotOptimize(sxx);
+    });
+    per_elem("fdtd_stress", str_seed_ns, str_simd_ns, cells, 112.0, 20.0);
+  }
+}
+
 /// Headline direct-vs-FFT and 1-vs-N-thread comparisons for the JSON
 /// trajectory. These are the acceptance numbers: the google-benchmark table
 /// above is for humans, this block is for machines.
@@ -377,6 +628,7 @@ void record_headline_metrics(ecocap::bench::BenchJson& json) {
 
 int main(int argc, char** argv) {
   ecocap::bench::BenchJson json("micro_dsp");
+  record_roofline_metrics(json);
   record_headline_metrics(json);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

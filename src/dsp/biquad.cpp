@@ -4,6 +4,8 @@
 #include <complex>
 #include <stdexcept>
 
+#include "dsp/kernels/kernels.hpp"
+
 namespace ecocap::dsp {
 
 Biquad::Biquad(Real b0, Real b1, Real b2, Real a1, Real a2)
@@ -75,7 +77,13 @@ void Biquad::process(std::span<const Real> x, Signal& out) {
   // In-place callers pass out.size() == x.size(), so the resize never
   // reallocates under the input span.
   out.resize(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) out[i] = process(x[i]);
+  const kernels::BiquadCoeffs c{b0_, b1_, b2_, a1_, a2_};
+  kernels::BiquadState s{x1_, x2_, y1_, y2_};
+  kernels::active().biquad(x.data(), out.data(), x.size(), c, s);
+  x1_ = s.x1;
+  x2_ = s.x2;
+  y1_ = s.y1;
+  y2_ = s.y2;
 }
 
 void Biquad::reset() { x1_ = x2_ = y1_ = y2_ = 0.0; }
@@ -104,9 +112,14 @@ Real OnePoleLowpass::process(Real x) {
 }
 
 Signal OnePoleLowpass::process(std::span<const Real> x) {
-  Signal out(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) out[i] = process(x[i]);
+  Signal out;
+  process(x, out);
   return out;
+}
+
+void OnePoleLowpass::process(std::span<const Real> x, Signal& out) {
+  out.resize(x.size());
+  kernels::active().onepole(x.data(), out.data(), x.size(), alpha_, &state_);
 }
 
 }  // namespace ecocap::dsp

@@ -52,7 +52,17 @@ class OnePoleLowpass {
 
   Real process(Real x);
   Signal process(std::span<const Real> x);
+  /// Canonical batch form: filter into a caller-provided buffer (resized to
+  /// match) with no per-call allocation once `out` has capacity. `out` may
+  /// be the buffer `x` views for an in-place pass — the kernel reads each
+  /// block before writing it. Runs the block-scan kernel, which differs in
+  /// rounding from the per-sample recurrence within documented tolerance.
+  void process(std::span<const Real> x, Signal& out);
   void reset() { state_ = 0.0; }
+
+  Real alpha() const { return alpha_; }
+  Real state() const { return state_; }
+  void set_state(Real s) { state_ = s; }
 
  private:
   Real alpha_;

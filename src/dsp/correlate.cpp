@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "dsp/fast_convolve.hpp"
+#include "dsp/kernels/kernels.hpp"
 
 namespace ecocap::dsp {
 
@@ -13,11 +14,8 @@ Signal correlate_valid(std::span<const Real> x, std::span<const Real> h) {
   }
   const std::size_t out_len = x.size() - h.size() + 1;
   Signal out(out_len, 0.0);
-  for (std::size_t k = 0; k < out_len; ++k) {
-    Real acc = 0.0;
-    for (std::size_t i = 0; i < h.size(); ++i) acc += x[k + i] * h[i];
-    out[k] = acc;
-  }
+  kernels::active().correlate_valid(x.data(), x.size(), h.data(), h.size(),
+                                    out.data());
   return out;
 }
 

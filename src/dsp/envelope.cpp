@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "dsp/kernels/kernels.hpp"
+
 namespace ecocap::dsp {
 
 EnvelopeDetector::EnvelopeDetector(Real fs, Real cutoff) : lp_(fs, cutoff) {}
@@ -9,9 +11,17 @@ EnvelopeDetector::EnvelopeDetector(Real fs, Real cutoff) : lp_(fs, cutoff) {}
 Real EnvelopeDetector::process(Real x) { return lp_.process(std::abs(x)); }
 
 Signal EnvelopeDetector::process(std::span<const Real> x) {
-  Signal out(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) out[i] = process(x[i]);
+  Signal out;
+  process(x, out);
   return out;
+}
+
+void EnvelopeDetector::process(std::span<const Real> x, Signal& out) {
+  out.resize(x.size());
+  Real state = lp_.state();
+  kernels::active().envelope(x.data(), out.data(), x.size(), lp_.alpha(),
+                             &state);
+  lp_.set_state(state);
 }
 
 HysteresisSlicer::HysteresisSlicer(Real high, Real low, Real peak_decay)

@@ -19,6 +19,10 @@ class EnvelopeDetector {
 
   Real process(Real x);
   Signal process(std::span<const Real> x);
+  /// Canonical batch form: rectify+smooth into a caller-provided buffer
+  /// (resized to match) with no per-call allocation once `out` has capacity.
+  /// Dispatches to the fused envelope kernel of the active SIMD table.
+  void process(std::span<const Real> x, Signal& out);
   void reset() { lp_.reset(); }
 
  private:

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "dsp/fast_convolve.hpp"
+#include "dsp/kernels/kernels.hpp"
 
 namespace ecocap::dsp {
 
@@ -75,7 +76,9 @@ Signal design_bandstop(Real fs, Real f_lo, Real f_hi, std::size_t taps,
 }
 
 FirFilter::FirFilter(Signal coefficients)
-    : coeff_(std::move(coefficients)), delay_(coeff_.size(), 0.0) {
+    : coeff_(std::move(coefficients)),
+      coeff_rev_(coeff_.rbegin(), coeff_.rend()),
+      delay_(coeff_.size(), 0.0) {
   if (coeff_.empty()) {
     throw std::invalid_argument("FirFilter: empty coefficients");
   }
@@ -94,29 +97,34 @@ Real FirFilter::process(Real x) {
 }
 
 Signal FirFilter::process(std::span<const Real> x) {
+  if (x.empty()) return {};
   const std::size_t m = coeff_.size();
-  // The FFT path needs at least a full window of new samples so the delay
-  // line can be rebuilt from the batch alone; short buffers stay direct.
-  if (x.size() < m || !use_fft_convolution(x.size(), m)) {
-    Signal out(x.size());
-    for (std::size_t i = 0; i < x.size(); ++i) out[i] = process(x[i]);
-    return out;
-  }
-  // Overlap-save: prepend the last m-1 inputs (the streaming history held
-  // in the circular delay line, oldest first) so the batch result is
-  // identical to feeding the samples one at a time.
-  Signal in(m - 1 + x.size());
+  // Either path pads the batch with the last m-1 streaming inputs (held in
+  // the circular delay line, oldest first) so the batch result matches
+  // feeding the samples one at a time.
+  scratch_.resize(m - 1 + x.size());
   for (std::size_t k = 0; k < m - 1; ++k) {
-    in[k] = delay_[(pos_ + 1 + k) % m];
+    scratch_[k] = delay_[(pos_ + 1 + k) % m];
   }
-  std::copy(x.begin(), x.end(), in.begin() + static_cast<std::ptrdiff_t>(m - 1));
-  const Signal full = convolve_full_fft(in, coeff_);
-  Signal out(full.begin() + static_cast<std::ptrdiff_t>(m - 1),
-             full.begin() + static_cast<std::ptrdiff_t>(m - 1 + x.size()));
+  std::copy(x.begin(), x.end(),
+            scratch_.begin() + static_cast<std::ptrdiff_t>(m - 1));
+  Signal out;
+  if (x.size() >= m && use_fft_convolution(x.size(), m)) {
+    const Signal full = convolve_full_fft(scratch_, coeff_);
+    out.assign(full.begin() + static_cast<std::ptrdiff_t>(m - 1),
+               full.begin() + static_cast<std::ptrdiff_t>(m - 1 + x.size()));
+  } else {
+    // Direct path: with the taps reversed, each output sample is a sliding
+    // dot product — exactly valid-mode correlation, dispatched to the
+    // active SIMD kernel table.
+    out.resize(x.size());
+    kernels::active().correlate_valid(scratch_.data(), scratch_.size(),
+                                      coeff_rev_.data(), m, out.data());
+  }
   // Rebuild the delay line: the last m inputs in chronological order, with
   // the next write slot at index 0 (so delay_[m-1] is the newest sample).
   for (std::size_t k = 0; k < m; ++k) {
-    delay_[k] = in[in.size() - m + k];
+    delay_[k] = scratch_[scratch_.size() - m + k];
   }
   pos_ = 0;
   return out;

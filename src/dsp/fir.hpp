@@ -47,7 +47,9 @@ class FirFilter {
 
  private:
   Signal coeff_;
+  Signal coeff_rev_;  // reversed taps: batch output = correlate(in, coeff_rev_)
   Signal delay_;
+  Signal scratch_;    // [history | batch] workspace for the direct path
   std::size_t pos_ = 0;
 };
 

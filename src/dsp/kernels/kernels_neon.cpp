@@ -1,0 +1,192 @@
+// NEON kernel table (2-wide double, AArch64). Mirrors the canonical scalar
+// table's arithmetic exactly: the striped dot keeps residue pairs in four
+// accumulators, the one-pole block-scan replays the scalar lane expressions
+// two lanes at a time, and the FDTD stencils are per-lane transcriptions.
+// Only vmulq/vaddq/vsubq/vdivq are used — never vfmaq — and the TU is
+// compiled with -ffp-contract=off, so no multiply-add can be fused.
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+#include <cmath>
+
+#include "dsp/kernels/kernels_detail.hpp"
+
+namespace ecocap::dsp::kernels::detail::neon {
+
+Real dot(const Real* a, const Real* b, std::size_t n) {
+  float64x2_t s01 = vdupq_n_f64(0.0);  // s0, s1
+  float64x2_t s23 = vdupq_n_f64(0.0);  // s2, s3
+  float64x2_t s45 = vdupq_n_f64(0.0);  // s4, s5
+  float64x2_t s67 = vdupq_n_f64(0.0);  // s6, s7
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    s01 = vaddq_f64(s01, vmulq_f64(vld1q_f64(a + i), vld1q_f64(b + i)));
+    s23 = vaddq_f64(s23, vmulq_f64(vld1q_f64(a + i + 2), vld1q_f64(b + i + 2)));
+    s45 = vaddq_f64(s45, vmulq_f64(vld1q_f64(a + i + 4), vld1q_f64(b + i + 4)));
+    s67 = vaddq_f64(s67, vmulq_f64(vld1q_f64(a + i + 6), vld1q_f64(b + i + 6)));
+  }
+  // t[k] = s[k] + s[k+4]; r = (t0 + t1) + (t2 + t3).
+  const float64x2_t t01 = vaddq_f64(s01, s45);
+  const float64x2_t t23 = vaddq_f64(s23, s67);
+  Real r = (vgetq_lane_f64(t01, 0) + vgetq_lane_f64(t01, 1)) +
+           (vgetq_lane_f64(t23, 0) + vgetq_lane_f64(t23, 1));
+  for (; i < n; ++i) r += a[i] * b[i];
+  return r;
+}
+
+void correlate_valid(const Real* x, std::size_t nx, const Real* h,
+                     std::size_t nh, Real* out) {
+  const std::size_t out_len = nx - nh + 1;
+  for (std::size_t k = 0; k < out_len; ++k) out[k] = dot(x + k, h, nh);
+}
+
+namespace {
+
+template <bool kRectify>
+inline void onepole_scan_neon(const Real* x, Real* y, std::size_t n,
+                              Real alpha, Real* state) {
+  const Real p = 1.0 - alpha;
+  const Real p2 = p * p;
+  const Real p3 = p2 * p;
+  const Real p4 = p2 * p2;
+  const Real w0 = alpha;
+  const Real w1 = p * alpha;
+  const Real w2 = p2 * alpha;
+  const Real w3 = p3 * alpha;
+  const float64x2_t p12 = {p, p2};
+  const float64x2_t p34 = {p3, p4};
+  const float64x2_t w0v = vdupq_n_f64(w0);
+  const float64x2_t w1v = vdupq_n_f64(w1);
+  const float64x2_t w2v = vdupq_n_f64(w2);
+  const float64x2_t w3v = vdupq_n_f64(w3);
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  Real yp = *state;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    float64x2_t u01 = vld1q_f64(x + i);      // u0, u1
+    float64x2_t u23 = vld1q_f64(x + i + 2);  // u2, u3
+    if (kRectify) {
+      u01 = vabsq_f64(u01);
+      u23 = vabsq_f64(u23);
+    }
+    // Lane pairs of the shifted sequences (zero fill below index 0).
+    const float64x2_t s1a = vextq_f64(zero, u01, 1);  // 0,  u0
+    const float64x2_t s1b = vextq_f64(u01, u23, 1);   // u1, u2
+    const float64x2_t s2a = zero;                     // 0,  0
+    const float64x2_t s2b = u01;                      // u0, u1
+    const float64x2_t s3a = zero;                     // 0,  0
+    const float64x2_t s3b = vextq_f64(zero, u01, 1);  // 0,  u0
+    const float64x2_t c01 =
+        vaddq_f64(vaddq_f64(vmulq_f64(w0v, u01), vmulq_f64(w1v, s1a)),
+                  vaddq_f64(vmulq_f64(w2v, s2a), vmulq_f64(w3v, s3a)));
+    const float64x2_t c23 =
+        vaddq_f64(vaddq_f64(vmulq_f64(w0v, u23), vmulq_f64(w1v, s1b)),
+                  vaddq_f64(vmulq_f64(w2v, s2b), vmulq_f64(w3v, s3b)));
+    const float64x2_t ypv = vdupq_n_f64(yp);
+    const float64x2_t y01 = vaddq_f64(c01, vmulq_f64(p12, ypv));
+    const float64x2_t y23 = vaddq_f64(c23, vmulq_f64(p34, ypv));
+    vst1q_f64(y + i, y01);
+    vst1q_f64(y + i + 2, y23);
+    yp = vgetq_lane_f64(y23, 1);
+  }
+  for (; i < n; ++i) {
+    const Real u = kRectify ? std::fabs(x[i]) : x[i];
+    yp = (w0 * u) + (p * yp);
+    y[i] = yp;
+  }
+  *state = yp;
+}
+
+}  // namespace
+
+void onepole(const Real* x, Real* y, std::size_t n, Real alpha, Real* state) {
+  onepole_scan_neon<false>(x, y, n, alpha, state);
+}
+
+void envelope(const Real* x, Real* y, std::size_t n, Real alpha, Real* state) {
+  onepole_scan_neon<true>(x, y, n, alpha, state);
+}
+
+void fdtd_velocity_row(const FdtdVelocityRowArgs& a) {
+  const float64x2_t inv_dx = vdupq_n_f64(a.inv_dx);
+  const float64x2_t dt = vdupq_n_f64(a.dt);
+  const float64x2_t one = vdupq_n_f64(1.0);
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  std::size_t i = a.i0;
+  for (; i + 2 <= a.i1; i += 2) {
+    const float64x2_t sxx = vld1q_f64(a.sxx + i);
+    const float64x2_t dsxx_dx =
+        vmulq_f64(vsubq_f64(sxx, vld1q_f64(a.sxx + i - 1)), inv_dx);
+    const float64x2_t sxy = vld1q_f64(a.sxy + i);
+    const float64x2_t dsxy_dy =
+        vmulq_f64(vsubq_f64(sxy, vld1q_f64(a.sxy_dn + i)), inv_dx);
+    const float64x2_t dsxy_dx =
+        vmulq_f64(vsubq_f64(vld1q_f64(a.sxy + i + 1), sxy), inv_dx);
+    const float64x2_t syy = vld1q_f64(a.syy + i);
+    const float64x2_t dsyy_dy =
+        vmulq_f64(vsubq_f64(vld1q_f64(a.syy_up + i), syy), inv_dx);
+    const float64x2_t inv_rho = vdivq_f64(one, vld1q_f64(a.rho + i));
+    const float64x2_t scale = vmulq_f64(dt, inv_rho);
+    float64x2_t fx_sum = vaddq_f64(dsxx_dx, dsxy_dy);
+    float64x2_t fy_sum = vaddq_f64(dsxy_dx, dsyy_dy);
+    if (a.fx != nullptr) {
+      fx_sum = vaddq_f64(fx_sum, vld1q_f64(a.fx + i));
+      fy_sum = vaddq_f64(fy_sum, vld1q_f64(a.fy + i));
+      vst1q_f64(a.fx + i, zero);
+      vst1q_f64(a.fy + i, zero);
+    }
+    vst1q_f64(a.vx + i,
+              vaddq_f64(vld1q_f64(a.vx + i), vmulq_f64(scale, fx_sum)));
+    vst1q_f64(a.vy + i,
+              vaddq_f64(vld1q_f64(a.vy + i), vmulq_f64(scale, fy_sum)));
+  }
+  if (i < a.i1) {
+    FdtdVelocityRowArgs tail = a;
+    tail.i0 = i;
+    scalar::fdtd_velocity_row(tail);
+  }
+}
+
+void fdtd_stress_row(const FdtdStressRowArgs& a) {
+  const float64x2_t inv_dx = vdupq_n_f64(a.inv_dx);
+  const float64x2_t dt = vdupq_n_f64(a.dt);
+  const float64x2_t two = vdupq_n_f64(2.0);
+  std::size_t i = a.i0;
+  for (; i + 2 <= a.i1; i += 2) {
+    const float64x2_t vx = vld1q_f64(a.vx + i);
+    const float64x2_t dvx_dx =
+        vmulq_f64(vsubq_f64(vld1q_f64(a.vx + i + 1), vx), inv_dx);
+    const float64x2_t vy = vld1q_f64(a.vy + i);
+    const float64x2_t dvy_dy =
+        vmulq_f64(vsubq_f64(vy, vld1q_f64(a.vy_dn + i)), inv_dx);
+    const float64x2_t l = vld1q_f64(a.lambda + i);
+    const float64x2_t m = vld1q_f64(a.mu + i);
+    const float64x2_t l2m = vaddq_f64(l, vmulq_f64(two, m));
+    vst1q_f64(a.sxx + i,
+              vaddq_f64(vld1q_f64(a.sxx + i),
+                        vmulq_f64(dt, vaddq_f64(vmulq_f64(l2m, dvx_dx),
+                                                vmulq_f64(l, dvy_dy)))));
+    vst1q_f64(a.syy + i,
+              vaddq_f64(vld1q_f64(a.syy + i),
+                        vmulq_f64(dt, vaddq_f64(vmulq_f64(l, dvx_dx),
+                                                vmulq_f64(l2m, dvy_dy)))));
+    const float64x2_t dvx_dy =
+        vmulq_f64(vsubq_f64(vld1q_f64(a.vx_up + i), vx), inv_dx);
+    const float64x2_t dvy_dx =
+        vmulq_f64(vsubq_f64(vy, vld1q_f64(a.vy + i - 1)), inv_dx);
+    vst1q_f64(a.sxy + i,
+              vaddq_f64(vld1q_f64(a.sxy + i),
+                        vmulq_f64(vmulq_f64(dt, m),
+                                  vaddq_f64(dvx_dy, dvy_dx))));
+  }
+  if (i < a.i1) {
+    FdtdStressRowArgs tail = a;
+    tail.i0 = i;
+    scalar::fdtd_stress_row(tail);
+  }
+}
+
+}  // namespace ecocap::dsp::kernels::detail::neon
+
+#endif  // defined(__aarch64__)

@@ -13,18 +13,17 @@ std::vector<bool> AnalogFrontend::demodulate(std::span<const Real> acoustic) {
 
 void AnalogFrontend::demodulate(std::span<const Real> acoustic,
                                 std::vector<bool>& out) {
+  // Batch the envelope through the SIMD kernel table; only the slicer's
+  // inherently sequential hysteresis stays sample-by-sample.
+  detector_.process(acoustic, env_);
   out.resize(acoustic.size());
   for (std::size_t i = 0; i < acoustic.size(); ++i) {
-    out[i] = slicer_.process(detector_.process(acoustic[i]));
+    out[i] = slicer_.process(env_[i]);
   }
 }
 
 Signal AnalogFrontend::envelope(std::span<const Real> acoustic) {
-  Signal out(acoustic.size());
-  for (std::size_t i = 0; i < acoustic.size(); ++i) {
-    out[i] = detector_.process(acoustic[i]);
-  }
-  return out;
+  return detector_.process(acoustic);
 }
 
 void AnalogFrontend::reset() {

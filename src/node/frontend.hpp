@@ -39,6 +39,7 @@ class AnalogFrontend {
  private:
   dsp::EnvelopeDetector detector_;
   dsp::HysteresisSlicer slicer_;
+  Signal env_;  // scratch for the batch envelope pass inside demodulate()
 };
 
 }  // namespace ecocap::node

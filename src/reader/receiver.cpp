@@ -60,7 +60,8 @@ namespace {
 /// is a slowly rotating, very large phasor. The BLF guard band (Appendix C)
 /// exists precisely so this can be filtered: subtract a one-pole low-pass
 /// track of each rail.
-void dc_block(dsp::ComplexSignal& z, Real fs, Real cutoff) {
+void dc_block(dsp::ComplexSignal& z, Real fs, Real cutoff,
+              dsp::Workspace& ws) {
   dsp::OnePoleLowpass re_lp(fs, cutoff);
   dsp::OnePoleLowpass im_lp(fs, cutoff);
   // Prime the trackers with the initial mean so the transient is short.
@@ -68,21 +69,30 @@ void dc_block(dsp::ComplexSignal& z, Real fs, Real cutoff) {
   const std::size_t warm = std::min<std::size_t>(z.size(), 256);
   for (std::size_t i = 0; i < warm; ++i) mean += z[i];
   if (warm > 0) mean /= static_cast<Real>(warm);
-  // Feed the mean for ~5 time constants of the one-pole (tau = fs / (2 pi
-  // fc) samples) so the trackers are settled before the first real sample,
-  // whatever the cutoff; a fixed iteration count under-settles low cutoffs
-  // and leaves a DC residue on the first symbols.
+  // Settle the trackers for ~5 time constants of the one-pole (tau = fs /
+  // (2 pi fc) samples) before the first real sample, whatever the cutoff; a
+  // fixed count under-settles low cutoffs and leaves a DC residue on the
+  // first symbols. Feeding a constant for `settle` steps from a zero state
+  // has the closed form state = mean * (1 - (1-alpha)^settle), which
+  // replaces the old up-to-65536-iteration warm-up loop.
   const Real tau_samples = fs / (dsp::kTwoPi * std::max(cutoff, 1e-6));
-  const auto settle = static_cast<std::size_t>(
-      std::min<Real>(5.0 * tau_samples + 1.0, 65536.0));
-  for (std::size_t i = 0; i < settle; ++i) {
-    re_lp.process(mean.real());
-    im_lp.process(mean.imag());
+  const Real settle = std::min<Real>(5.0 * tau_samples + 1.0, 65536.0);
+  const Real settled =
+      1.0 - std::pow(1.0 - re_lp.alpha(), std::floor(settle));
+  re_lp.set_state(mean.real() * settled);
+  im_lp.set_state(mean.imag() * settled);
+  // Deinterleave the rails into workspace buffers so the tracker runs as
+  // two batch one-pole kernel passes instead of per-sample calls.
+  auto re = ws.real(z.size());
+  auto im = ws.real(z.size());
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    (*re)[i] = z[i].real();
+    (*im)[i] = z[i].imag();
   }
-  for (auto& v : z) {
-    const Real re = re_lp.process(v.real());
-    const Real im = im_lp.process(v.imag());
-    v = dsp::Complex(v.real() - re, v.imag() - im);
+  re_lp.process(*re, *re);  // in-place: kernel reads each block first
+  im_lp.process(*im, *im);
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    z[i] = dsp::Complex(z[i].real() - (*re)[i], z[i].imag() - (*im)[i]);
   }
 }
 
@@ -183,7 +193,7 @@ UplinkDecode Receiver::decode(std::span<const Real> rx,
   const Real dc_cutoff = (config_.blf > 0.0)
                              ? std::max(300.0, 0.1 * config_.blf)
                              : std::max(50.0, 0.05 * config_.uplink.bitrate);
-  dc_block(*zd, fs2, dc_cutoff);
+  dc_block(*zd, fs2, dc_cutoff, ws);
   auto r = ws.real(0);
   phase_align(*zd, *r);
   zd.release();

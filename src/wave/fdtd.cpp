@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/thread_pool.hpp"
+#include "dsp/kernels/kernels.hpp"
 
 namespace ecocap::wave {
 
@@ -33,11 +34,13 @@ ElasticFdtd::ElasticFdtd(const Material& medium, Config config)
   }
 
   // Sponge profile: quadratic ramp from the inner edge of the absorbing
-  // band to the boundary.
+  // band to the boundary. Rows 0 and ny-1 are the free surface (see the
+  // Config::sponge_cells contract) — the sponge pass never visits them, so
+  // no coefficients are computed there.
   sponge_.assign(n, 1.0);
   if (config_.sponge_cells > 0) {
     const auto sc = static_cast<Real>(config_.sponge_cells);
-    for (std::size_t iy = 0; iy < config_.ny; ++iy) {
+    for (std::size_t iy = 1; iy + 1 < config_.ny; ++iy) {
       for (std::size_t ix = 0; ix < config_.nx; ++ix) {
         const Real dx_edge = static_cast<Real>(
             std::min({ix, iy, config_.nx - 1 - ix, config_.ny - 1 - iy}));
@@ -82,21 +85,45 @@ void ElasticFdtd::add_force(std::size_t ix, std::size_t iy, int direction,
   } else {
     pending_fy_[idx(ix, iy)] += amplitude;
   }
+  forces_pending_ = true;
 }
+
+namespace {
+
+/// Column-tile width for cache blocking. A velocity or stress row touches
+/// ~9 double arrays, so 2048 columns keep one tile's working set (~150 KB
+/// per row pair) inside a typical 0.5-1 MB L2 slice while the tile walks
+/// down its row band; grids up to nx ~ 2048 use a single tile and the loop
+/// degenerates to plain rows.
+constexpr std::size_t kColTile = 2048;
+
+}  // namespace
 
 void ElasticFdtd::update_velocity_rows(std::size_t y0, std::size_t y1) {
   const std::size_t nx = config_.nx;
   const Real inv_dx = 1.0 / config_.dx;
-  for (std::size_t iy = y0; iy < y1; ++iy) {
-    for (std::size_t ix = 1; ix + 1 < nx; ++ix) {
-      const std::size_t i = idx(ix, iy);
-      const Real dsxx_dx = (sxx_[i] - sxx_[i - 1]) * inv_dx;
-      const Real dsxy_dy = (sxy_[i] - sxy_[idx(ix, iy - 1)]) * inv_dx;
-      const Real dsxy_dx = (sxy_[idx(ix + 1, iy)] - sxy_[i]) * inv_dx;
-      const Real dsyy_dy = (syy_[idx(ix, iy + 1)] - syy_[i]) * inv_dx;
-      const Real inv_rho = 1.0 / rho_[i];
-      vx_[i] += dt_ * inv_rho * (dsxx_dx + dsxy_dy + pending_fx_[i]);
-      vy_[i] += dt_ * inv_rho * (dsxy_dx + dsyy_dy + pending_fy_[i]);
+  const auto& kern = *dsp::kernels::active().fdtd_velocity_row;
+  const bool consume = forces_pending_;
+  for (std::size_t x0 = 1; x0 + 1 < nx; x0 += kColTile) {
+    const std::size_t x1 = std::min(x0 + kColTile, nx - 1);
+    for (std::size_t iy = y0; iy < y1; ++iy) {
+      const std::size_t row = idx(0, iy);
+      dsp::kernels::FdtdVelocityRowArgs a{};
+      a.vx = vx_.data() + row;
+      a.vy = vy_.data() + row;
+      a.sxx = sxx_.data() + row;
+      a.sxy = sxy_.data() + row;
+      a.sxy_dn = sxy_.data() + idx(0, iy - 1);
+      a.syy = syy_.data() + row;
+      a.syy_up = syy_.data() + idx(0, iy + 1);
+      a.rho = rho_.data() + row;
+      a.fx = consume ? pending_fx_.data() + row : nullptr;
+      a.fy = consume ? pending_fy_.data() + row : nullptr;
+      a.i0 = x0;
+      a.i1 = x1;
+      a.dt = dt_;
+      a.inv_dx = inv_dx;
+      kern(a);
     }
   }
 }
@@ -104,18 +131,26 @@ void ElasticFdtd::update_velocity_rows(std::size_t y0, std::size_t y1) {
 void ElasticFdtd::update_stress_rows(std::size_t y0, std::size_t y1) {
   const std::size_t nx = config_.nx;
   const Real inv_dx = 1.0 / config_.dx;
-  for (std::size_t iy = y0; iy < y1; ++iy) {
-    for (std::size_t ix = 1; ix + 1 < nx; ++ix) {
-      const std::size_t i = idx(ix, iy);
-      const Real dvx_dx = (vx_[idx(ix + 1, iy)] - vx_[i]) * inv_dx;
-      const Real dvy_dy = (vy_[i] - vy_[idx(ix, iy - 1)]) * inv_dx;
-      const Real l = lambda_[i];
-      const Real m = mu_[i];
-      sxx_[i] += dt_ * ((l + 2.0 * m) * dvx_dx + l * dvy_dy);
-      syy_[i] += dt_ * (l * dvx_dx + (l + 2.0 * m) * dvy_dy);
-      const Real dvx_dy = (vx_[idx(ix, iy + 1)] - vx_[i]) * inv_dx;
-      const Real dvy_dx = (vy_[i] - vy_[idx(ix - 1, iy)]) * inv_dx;
-      sxy_[i] += dt_ * m * (dvx_dy + dvy_dx);
+  const auto& kern = *dsp::kernels::active().fdtd_stress_row;
+  for (std::size_t x0 = 1; x0 + 1 < nx; x0 += kColTile) {
+    const std::size_t x1 = std::min(x0 + kColTile, nx - 1);
+    for (std::size_t iy = y0; iy < y1; ++iy) {
+      const std::size_t row = idx(0, iy);
+      dsp::kernels::FdtdStressRowArgs a{};
+      a.sxx = sxx_.data() + row;
+      a.syy = syy_.data() + row;
+      a.sxy = sxy_.data() + row;
+      a.vx = vx_.data() + row;
+      a.vx_up = vx_.data() + idx(0, iy + 1);
+      a.vy = vy_.data() + row;
+      a.vy_dn = vy_.data() + idx(0, iy - 1);
+      a.lambda = lambda_.data() + row;
+      a.mu = mu_.data() + row;
+      a.i0 = x0;
+      a.i1 = x1;
+      a.dt = dt_;
+      a.inv_dx = inv_dx;
+      kern(a);
     }
   }
 }
@@ -151,8 +186,15 @@ void ElasticFdtd::for_row_bands(const Fn& fn) {
     fn(1, config_.ny - 1);
     return;
   }
+  // Coarse bands: two per worker. The SIMD row kernels make each row cheap
+  // enough that finer bands spend more time in the claim counter than in
+  // the stencil; two per worker still lets the dynamic scheduler absorb a
+  // preempted thread. The band boundaries depend only on the worker count,
+  // so the same band covers the same rows every step (persistent partition
+  // — each worker's bands tend to stay hot in its cache) and the split
+  // never affects results (every cell update within a pass is independent).
   const std::size_t bands =
-      std::min<std::size_t>(rows, static_cast<std::size_t>(pool->size()) * 4);
+      std::min<std::size_t>(rows, static_cast<std::size_t>(pool->size()) * 2);
   pool->parallel_for(bands, [&](std::size_t b) {
     const std::size_t y0 = 1 + b * rows / bands;
     const std::size_t y1 = 1 + (b + 1) * rows / bands;
@@ -162,11 +204,32 @@ void ElasticFdtd::for_row_bands(const Fn& fn) {
 
 void ElasticFdtd::step() {
   // 1. Update velocities from stress gradients (+ pending body forces).
+  //    When forces are pending, the velocity kernels consume and zero the
+  //    pending entries they read, folding the old per-step full-grid
+  //    std::fill clears into the pass itself. The kernels only visit
+  //    interior cells, so any force placed on the one-cell border (which
+  //    the seed silently dropped via the full clear) is cleared here to
+  //    keep that behaviour.
   for_row_bands([this](std::size_t y0, std::size_t y1) {
     update_velocity_rows(y0, y1);
   });
-  std::fill(pending_fx_.begin(), pending_fx_.end(), 0.0);
-  std::fill(pending_fy_.begin(), pending_fy_.end(), 0.0);
+  if (forces_pending_) {
+    const std::size_t nx = config_.nx;
+    const std::size_t ny = config_.ny;
+    auto clear_cell = [&](std::size_t i) {
+      pending_fx_[i] = 0.0;
+      pending_fy_[i] = 0.0;
+    };
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      clear_cell(idx(ix, 0));
+      clear_cell(idx(ix, ny - 1));
+    }
+    for (std::size_t iy = 1; iy + 1 < ny; ++iy) {
+      clear_cell(idx(0, iy));
+      clear_cell(idx(nx - 1, iy));
+    }
+    forces_pending_ = false;
+  }
 
   // 2. Update stresses from velocity gradients.
   for_row_bands([this](std::size_t y0, std::size_t y1) {

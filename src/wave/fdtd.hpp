@@ -32,6 +32,13 @@ class ElasticFdtd {
     Real dt = 0.0;
     /// Thickness (cells) of the absorbing sponge on each edge; 0 = free
     /// surfaces everywhere (the concrete/air boundary).
+    ///
+    /// Boundary contract: the one-cell outer border is the free surface —
+    /// its stresses stay zero (never updated) and its velocities are never
+    /// stepped, so rows 0 and ny-1 and columns 0 and nx-1 hold no energy to
+    /// damp and the sponge never applies there. The sponge ramp therefore
+    /// covers only the *interior* cells of the absorbing band; its
+    /// coefficients are computed for exactly the cells it touches.
     std::size_t sponge_cells = 0;
     Real sponge_strength = 0.015;  // per-step damping at the outer edge
     /// Split each update pass into row bands across a core::ThreadPool.
@@ -118,6 +125,11 @@ class ElasticFdtd {
   // Fields (staggered in space; stored on the same index grid).
   std::vector<Real> vx_, vy_, sxx_, syy_, sxy_;
   std::vector<Real> pending_fx_, pending_fy_;
+  /// True between add_force() and the next velocity pass. When clear, the
+  /// velocity kernels skip the force arrays entirely — no per-step
+  /// full-grid clears of pending_fx_/pending_fy_ (the kernels zero the
+  /// entries they consume when the flag is set).
+  bool forces_pending_ = false;
   std::vector<Real> sponge_;
 };
 

@@ -1,0 +1,329 @@
+// Scalar-vs-SIMD equivalence for the runtime-dispatched kernel layer.
+//
+// The contract (dsp/kernels/kernels.hpp): elementwise maps and the
+// canonical striped/block-scan forms are *bit-identical* across every
+// table, so these tests compare raw double bit patterns, not tolerances.
+// Only the comparison against the old sequential reference (a different
+// summation order) is toleranced.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "dsp/biquad.hpp"
+#include "dsp/envelope.hpp"
+#include "dsp/kernels/kernels.hpp"
+
+namespace ecocap::dsp::kernels {
+namespace {
+
+// Lengths chosen to exercise empty input, sub-block tails, exact block
+// multiples, and long buffers; offsets shift the data off 32-byte
+// alignment so unaligned SIMD loads are covered.
+const std::size_t kLengths[] = {0, 1, 3, 7, 8, 9, 31, 64, 257, 1000, 1023};
+const std::size_t kOffsets[] = {0, 1, 3};
+
+Signal random_signal(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<Real> dist(-1.0, 1.0);
+  Signal out(n);
+  for (Real& v : out) v = dist(rng);
+  return out;
+}
+
+bool bit_equal(Real a, Real b) {
+  return std::memcmp(&a, &b, sizeof(Real)) == 0;
+}
+
+/// Every non-scalar table that can run on this machine.
+std::vector<const KernelTable*> simd_tables() {
+  std::vector<const KernelTable*> out;
+  for (Isa isa : {Isa::kAvx2, Isa::kNeon}) {
+    if (available(isa)) out.push_back(&table(isa));
+  }
+  return out;
+}
+
+TEST(KernelDispatch, IsaNamesParse) {
+  Isa isa;
+  ASSERT_TRUE(isa_from_name("scalar", isa));
+  EXPECT_EQ(isa, Isa::kScalar);
+  ASSERT_TRUE(isa_from_name("avx2", isa));
+  EXPECT_EQ(isa, Isa::kAvx2);
+  ASSERT_TRUE(isa_from_name("neon", isa));
+  EXPECT_EQ(isa, Isa::kNeon);
+  ASSERT_TRUE(isa_from_name("auto", isa));
+  EXPECT_TRUE(available(isa));  // auto always names a runnable table
+  EXPECT_FALSE(isa_from_name("sse9", isa));
+  EXPECT_FALSE(isa_from_name("", isa));
+  EXPECT_FALSE(isa_from_name(nullptr, isa));
+}
+
+TEST(KernelDispatch, ScalarAlwaysAvailable) {
+  EXPECT_TRUE(available(Isa::kScalar));
+  EXPECT_EQ(scalar_table().isa, Isa::kScalar);
+  EXPECT_TRUE(available(active_isa()));
+}
+
+TEST(KernelDispatch, UnavailableIsaFallsBackToScalar) {
+  for (Isa isa : {Isa::kAvx2, Isa::kNeon}) {
+    if (!available(isa)) {
+      EXPECT_EQ(table(isa).isa, Isa::kScalar);
+    } else {
+      EXPECT_EQ(table(isa).isa, isa);
+    }
+  }
+}
+
+TEST(KernelEquivalence, DotBitIdenticalAcrossTables) {
+  const KernelTable& ref = scalar_table();
+  for (const KernelTable* t : simd_tables()) {
+    for (std::size_t n : kLengths) {
+      for (std::size_t off : kOffsets) {
+        const Signal a = random_signal(n + off, 17u + static_cast<std::uint32_t>(n));
+        const Signal b = random_signal(n + off, 91u + static_cast<std::uint32_t>(n));
+        const Real rs = ref.dot(a.data() + off, b.data() + off, n);
+        const Real rv = t->dot(a.data() + off, b.data() + off, n);
+        EXPECT_TRUE(bit_equal(rs, rv))
+            << isa_name(t->isa) << " dot n=" << n << " off=" << off;
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, DotMatchesSequentialSumWithinTolerance) {
+  // The striped order is a different (but fixed) summation order than the
+  // naive sequential loop; agreement is to rounding, not bitwise. This is
+  // the documented "tolerance mode" for reductions.
+  const Signal a = random_signal(1023, 5);
+  const Signal b = random_signal(1023, 6);
+  Real seq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) seq += a[i] * b[i];
+  const Real striped = scalar_table().dot(a.data(), b.data(), a.size());
+  EXPECT_NEAR(striped, seq, 1e-12 * static_cast<Real>(a.size()));
+}
+
+TEST(KernelEquivalence, CorrelateValidBitIdenticalAcrossTables) {
+  const KernelTable& ref = scalar_table();
+  for (const KernelTable* t : simd_tables()) {
+    for (std::size_t nh : {1u, 5u, 32u, 129u}) {
+      const std::size_t nx = nh + 100;
+      const Signal x = random_signal(nx, 23);
+      const Signal h = random_signal(nh, 29);
+      Signal out_s(nx - nh + 1), out_v(nx - nh + 1);
+      ref.correlate_valid(x.data(), nx, h.data(), nh, out_s.data());
+      t->correlate_valid(x.data(), nx, h.data(), nh, out_v.data());
+      for (std::size_t k = 0; k < out_s.size(); ++k) {
+        ASSERT_TRUE(bit_equal(out_s[k], out_v[k]))
+            << isa_name(t->isa) << " nh=" << nh << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, OnepoleAndEnvelopeBitIdenticalAcrossTables) {
+  const KernelTable& ref = scalar_table();
+  const Real alpha = 0.125;
+  for (const KernelTable* t : simd_tables()) {
+    for (std::size_t n : kLengths) {
+      for (std::size_t off : kOffsets) {
+        const Signal x = random_signal(n + off, 7u + static_cast<std::uint32_t>(n));
+        Signal ys(n), yv(n);
+        Real ss = 0.25, sv = 0.25;
+        ref.onepole(x.data() + off, ys.data(), n, alpha, &ss);
+        t->onepole(x.data() + off, yv.data(), n, alpha, &sv);
+        ASSERT_TRUE(bit_equal(ss, sv)) << isa_name(t->isa) << " n=" << n;
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_TRUE(bit_equal(ys[i], yv[i]))
+              << isa_name(t->isa) << " onepole n=" << n << " i=" << i;
+        }
+        ss = sv = 0.5;
+        ref.envelope(x.data() + off, ys.data(), n, alpha, &ss);
+        t->envelope(x.data() + off, yv.data(), n, alpha, &sv);
+        ASSERT_TRUE(bit_equal(ss, sv)) << isa_name(t->isa) << " n=" << n;
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_TRUE(bit_equal(ys[i], yv[i]))
+              << isa_name(t->isa) << " envelope n=" << n << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, BiquadMatchesSeedRecurrenceExactly) {
+  // The biquad kernel must be bit-identical to the seed per-sample direct
+  // form I — across every table (SIMD tables reuse the scalar recurrence).
+  const BiquadCoeffs c{0.2, 0.3, 0.1, -0.5, 0.25};
+  const Signal x = random_signal(1000, 11);
+  Signal seed_y(x.size());
+  Real x1 = 0.0, x2 = 0.0, y1 = 0.0, y2 = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const Real yi =
+        c.b0 * x[i] + c.b1 * x1 + c.b2 * x2 - c.a1 * y1 - c.a2 * y2;
+    x2 = x1;
+    x1 = x[i];
+    y2 = y1;
+    y1 = yi;
+    seed_y[i] = yi;
+  }
+  std::vector<const KernelTable*> tables = simd_tables();
+  tables.push_back(&scalar_table());
+  for (const KernelTable* t : tables) {
+    Signal y(x.size());
+    BiquadState s;
+    t->biquad(x.data(), y.data(), x.size(), c, s);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      ASSERT_TRUE(bit_equal(seed_y[i], y[i])) << isa_name(t->isa) << " " << i;
+    }
+    EXPECT_TRUE(bit_equal(s.y1, y1));
+    EXPECT_TRUE(bit_equal(s.y2, y2));
+  }
+}
+
+TEST(KernelEquivalence, BiquadInPlaceMatchesOutOfPlace) {
+  const BiquadCoeffs c{0.2, 0.3, 0.1, -0.5, 0.25};
+  Signal x = random_signal(333, 13);
+  Signal y(x.size());
+  BiquadState s1, s2;
+  active().biquad(x.data(), y.data(), x.size(), c, s1);
+  active().biquad(x.data(), x.data(), x.size(), c, s2);  // in place
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_TRUE(bit_equal(x[i], y[i])) << i;
+  }
+}
+
+TEST(KernelEquivalence, BiquadCascadeMatchesSequentialSections) {
+  const BiquadCoeffs cs[2] = {{0.2, 0.3, 0.1, -0.5, 0.25},
+                              {0.7, -0.1, 0.05, 0.3, -0.2}};
+  const Signal x = random_signal(500, 19);
+  Signal y_cascade(x.size());
+  BiquadState st_cascade[2];
+  biquad_cascade(x.data(), y_cascade.data(), x.size(), cs, st_cascade, 2);
+  Signal mid(x.size()), y_seq(x.size());
+  BiquadState st_seq[2];
+  active().biquad(x.data(), mid.data(), x.size(), cs[0], st_seq[0]);
+  active().biquad(mid.data(), y_seq.data(), x.size(), cs[1], st_seq[1]);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_TRUE(bit_equal(y_cascade[i], y_seq[i])) << i;
+  }
+}
+
+TEST(KernelEquivalence, FdtdRowsBitIdenticalAcrossTables) {
+  const std::size_t nx = 67;  // odd width -> SIMD tail path exercised
+  const KernelTable& ref = scalar_table();
+  for (const KernelTable* t : simd_tables()) {
+    for (bool with_forces : {false, true}) {
+      // Three rows of every field; the kernels update the middle row.
+      auto mk = [&](std::uint32_t seed) { return random_signal(3 * nx, seed); };
+      Signal vx_s = mk(1), vy_s = mk(2), sxx = mk(3), syy = mk(4), sxy = mk(5);
+      Signal rho = mk(6), lambda = mk(7), mu = mk(8);
+      for (Real& v : rho) v = std::abs(v) + 0.5;
+      Signal fx_s = mk(9), fy_s = mk(10);
+      Signal vx_v = vx_s, vy_v = vy_s, fx_v = fx_s, fy_v = fy_s;
+
+      auto velocity_args = [&](Signal& vx, Signal& vy, Signal& fx,
+                               Signal& fy) {
+        FdtdVelocityRowArgs a{};
+        a.vx = vx.data() + nx;
+        a.vy = vy.data() + nx;
+        a.sxx = sxx.data() + nx;
+        a.sxy = sxy.data() + nx;
+        a.sxy_dn = sxy.data();
+        a.syy = syy.data() + nx;
+        a.syy_up = syy.data() + 2 * nx;
+        a.rho = rho.data() + nx;
+        a.fx = with_forces ? fx.data() + nx : nullptr;
+        a.fy = with_forces ? fy.data() + nx : nullptr;
+        a.i0 = 1;
+        a.i1 = nx - 1;
+        a.dt = 1e-7;
+        a.inv_dx = 500.0;
+        return a;
+      };
+      const auto as = velocity_args(vx_s, vy_s, fx_s, fy_s);
+      ref.fdtd_velocity_row(as);
+      const auto av = velocity_args(vx_v, vy_v, fx_v, fy_v);
+      t->fdtd_velocity_row(av);
+      for (std::size_t i = 0; i < 3 * nx; ++i) {
+        ASSERT_TRUE(bit_equal(vx_s[i], vx_v[i]))
+            << isa_name(t->isa) << " vx i=" << i << " forces=" << with_forces;
+        ASSERT_TRUE(bit_equal(vy_s[i], vy_v[i]))
+            << isa_name(t->isa) << " vy i=" << i << " forces=" << with_forces;
+        ASSERT_TRUE(bit_equal(fx_s[i], fx_v[i]))
+            << isa_name(t->isa) << " fx i=" << i << " forces=" << with_forces;
+      }
+      if (with_forces) {
+        // Consumed entries must be zeroed by the pass itself.
+        for (std::size_t i = 1; i + 1 < nx; ++i) {
+          EXPECT_EQ(fx_v[nx + i], 0.0);
+          EXPECT_EQ(fy_v[nx + i], 0.0);
+        }
+      }
+
+      Signal sxx_s = mk(11), syy_s = mk(12), sxy_s = mk(13);
+      Signal sxx_v = sxx_s, syy_v = syy_s, sxy_v = sxy_s;
+      auto stress_args = [&](Signal& osxx, Signal& osyy, Signal& osxy) {
+        FdtdStressRowArgs a{};
+        a.sxx = osxx.data() + nx;
+        a.syy = osyy.data() + nx;
+        a.sxy = osxy.data() + nx;
+        a.vx = vx_s.data() + nx;
+        a.vx_up = vx_s.data() + 2 * nx;
+        a.vy = vy_s.data() + nx;
+        a.vy_dn = vy_s.data();
+        a.lambda = lambda.data() + nx;
+        a.mu = mu.data() + nx;
+        a.i0 = 1;
+        a.i1 = nx - 1;
+        a.dt = 1e-7;
+        a.inv_dx = 500.0;
+        return a;
+      };
+      const auto ss = stress_args(sxx_s, syy_s, sxy_s);
+      ref.fdtd_stress_row(ss);
+      const auto sv = stress_args(sxx_v, syy_v, sxy_v);
+      t->fdtd_stress_row(sv);
+      for (std::size_t i = 0; i < 3 * nx; ++i) {
+        ASSERT_TRUE(bit_equal(sxx_s[i], sxx_v[i]))
+            << isa_name(t->isa) << " sxx i=" << i;
+        ASSERT_TRUE(bit_equal(syy_s[i], syy_v[i]))
+            << isa_name(t->isa) << " syy i=" << i;
+        ASSERT_TRUE(bit_equal(sxy_s[i], sxy_v[i]))
+            << isa_name(t->isa) << " sxy i=" << i;
+      }
+    }
+  }
+}
+
+TEST(KernelUsers, OnePoleOutParamDoesNotAllocateAtSteadyState) {
+  OnePoleLowpass lp(1.0e6, 10.0e3);
+  const Signal x = random_signal(4096, 31);
+  Signal out;
+  lp.process(x, out);  // first call sizes the buffer
+  const Real* stable = out.data();
+  for (int pass = 0; pass < 8; ++pass) {
+    lp.process(x, out);
+    EXPECT_EQ(out.data(), stable) << "buffer reallocated on pass " << pass;
+  }
+}
+
+TEST(KernelUsers, EnvelopeDetectorBatchMatchesKernel) {
+  EnvelopeDetector det(1.0e6, 20.0e3);
+  const Signal x = random_signal(1000, 37);
+  Signal batch;
+  det.process(x, batch);
+  det.reset();
+  Signal direct(x.size());
+  Real state = 0.0;
+  active().envelope(x.data(), direct.data(), x.size(),
+                    1.0 - std::exp(-kTwoPi * 20.0e3 / 1.0e6), &state);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_TRUE(bit_equal(batch[i], direct[i])) << i;
+  }
+}
+
+}  // namespace
+}  // namespace ecocap::dsp::kernels

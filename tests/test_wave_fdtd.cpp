@@ -220,17 +220,23 @@ TEST(Fdtd, RegionFillChangesLocalSpeed) {
   EXPECT_LT(t_steel, t_conc);
 }
 
-TEST(Fdtd, SerialAndFourThreadStepsBitIdentical) {
-  // Row-band parallelism must not change a single bit: every cell update
-  // within a pass is independent, so the fields can't depend on worker
-  // count. Run the same excitation serially and on a 4-worker pool and
-  // require exact equality everywhere.
+/// Row-band parallelism must not change a single bit: every cell update
+/// within a pass is independent, so the fields can't depend on worker
+/// count. Run the same excitation serially and on a 4-worker pool and
+/// require exact equality everywhere. `quiet_steps` steps run before the
+/// burst starts so the no-forces-pending fast path is exercised on both
+/// sides, and more quiet steps follow the burst for the flag's falling
+/// edge.
+void expect_serial_parallel_bit_identical(std::size_t n,
+                                          std::size_t sponge_cells,
+                                          std::size_t steps,
+                                          std::size_t quiet_steps = 0) {
   core::ThreadPool pool(4);
   ElasticFdtd::Config serial_cfg;
-  serial_cfg.nx = 128;
-  serial_cfg.ny = 128;
+  serial_cfg.nx = n;
+  serial_cfg.ny = n;
   serial_cfg.dx = 2.0e-3;
-  serial_cfg.sponge_cells = 12;
+  serial_cfg.sponge_cells = sponge_cells;
   serial_cfg.parallel = false;
   ElasticFdtd::Config par_cfg = serial_cfg;
   par_cfg.parallel = true;
@@ -238,11 +244,11 @@ TEST(Fdtd, SerialAndFourThreadStepsBitIdentical) {
 
   ElasticFdtd serial(kMedium, serial_cfg);
   ElasticFdtd parallel(kMedium, par_cfg);
-  const auto src = ricker(90.0e3, serial.dt(), 120);
-  for (std::size_t t = 0; t < 200; ++t) {
-    if (t < src.size()) {
-      serial.add_force(64, 64, 1, src[t]);
-      parallel.add_force(64, 64, 1, src[t]);
+  const auto src = ricker(90.0e3, serial.dt(), std::min<std::size_t>(steps / 2, 120));
+  for (std::size_t t = 0; t < steps; ++t) {
+    if (t >= quiet_steps && t - quiet_steps < src.size()) {
+      serial.add_force(n / 2, n / 2, 1, src[t - quiet_steps]);
+      parallel.add_force(n / 2, n / 2, 1, src[t - quiet_steps]);
     }
     serial.step();
     parallel.step();
@@ -257,6 +263,24 @@ TEST(Fdtd, SerialAndFourThreadStepsBitIdentical) {
           << "vy mismatch at (" << ix << ", " << iy << ")";
     }
   }
+}
+
+TEST(Fdtd, SerialAndFourThreadStepsBitIdentical) {
+  expect_serial_parallel_bit_identical(128, 12, 200);
+}
+
+TEST(Fdtd, SerialAndFourThreadStepsBitIdentical64FreeSurface) {
+  expect_serial_parallel_bit_identical(64, 0, 150);
+}
+
+TEST(Fdtd, SerialAndFourThreadStepsBitIdentical512Sponge) {
+  expect_serial_parallel_bit_identical(512, 24, 40);
+}
+
+TEST(Fdtd, SerialAndFourThreadStepsBitIdenticalMidRunForces) {
+  // Quiet leading steps exercise the skip-forces velocity path before the
+  // burst toggles forces_pending_ on, then off again after it ends.
+  expect_serial_parallel_bit_identical(128, 0, 120, 25);
 }
 
 TEST(Fdtd, ForceOffGridThrows) {
