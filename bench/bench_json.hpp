@@ -10,10 +10,12 @@
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/thread_pool.hpp"
+#include "dsp/kernels/kernels.hpp"
 #include "dsp/serialize.hpp"
 
 namespace ecocap::bench {
@@ -52,9 +54,25 @@ class BenchJson {
     std::string out;
     out += "{\n";
     out += "  \"name\": \"" + escaped(name_) + "\",\n";
-    out += "  \"schema_version\": 1,\n";
+    out += "  \"schema_version\": 2,\n";
     out += "  \"threads\": " +
            std::to_string(core::ThreadPool::default_worker_count()) + ",\n";
+    // Provenance: everything needed to compare perf trajectories across
+    // runs — the effective worker count, which SIMD table dispatched, and
+    // whether the binary was an optimized build.
+    out += "  \"provenance\": {\n";
+    out += "    \"ecocap_threads\": " +
+           std::to_string(core::ThreadPool::default_worker_count()) + ",\n";
+    out += "    \"hw_threads\": " +
+           std::to_string(std::thread::hardware_concurrency()) + ",\n";
+    out += std::string("    \"simd_isa\": \"") +
+           dsp::kernels::isa_name(dsp::kernels::active_isa()) + "\",\n";
+#ifdef NDEBUG
+    out += "    \"build_type\": \"release\"\n";
+#else
+    out += "    \"build_type\": \"debug\"\n";
+#endif
+    out += "  },\n";
     out += "  \"wall_seconds\": " + formatted("%.6f", wall) + ",\n";
     out += "  \"trials\": " + std::to_string(trials_) + ",\n";
     out += "  \"trials_per_sec\": " +

@@ -1,0 +1,282 @@
+#include "fleet/fleet_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "dsp/rng.hpp"
+#include "dsp/serialize.hpp"
+
+namespace ecocap::fleet {
+
+namespace {
+
+constexpr const char* kCheckpointHeader = "ecocap-fleet-checkpoint v1";
+constexpr const char* kAggregatesHeader = "ecocap-fleet-aggregates v1";
+
+void save_summary(dsp::ser::Writer& w, const StructureSummary& s) {
+  w.u64("s.steps", s.steps);
+  w.u64("s.readings", s.readings);
+  w.u64("s.capsule_reads", s.capsule_reads);
+  w.i64("s.limit_violations", s.limit_violations);
+  w.i64("s.anomalies", s.anomalies);
+  for (const std::int64_t c : s.health_counts) w.i64("s.health", c);
+  w.real("s.stress_sum", s.stress_sum);
+  w.real("s.peak_acceleration", s.peak_acceleration);
+  w.real("s.worst_pao", s.worst_pao);
+}
+
+StructureSummary load_summary(dsp::ser::Reader& r) {
+  StructureSummary s;
+  s.steps = r.u64("s.steps");
+  s.readings = r.u64("s.readings");
+  s.capsule_reads = r.u64("s.capsule_reads");
+  s.limit_violations = r.i64("s.limit_violations");
+  s.anomalies = r.i64("s.anomalies");
+  for (std::int64_t& c : s.health_counts) c = r.i64("s.health");
+  s.stress_sum = r.real("s.stress_sum");
+  s.peak_acceleration = r.real("s.peak_acceleration");
+  s.worst_pao = r.real("s.worst_pao");
+  return s;
+}
+
+/// Contiguous structure block [lo, hi) owned by `shard` of `shards`.
+std::pair<std::size_t, std::size_t> shard_range(std::size_t structures,
+                                                std::size_t shards,
+                                                std::size_t shard) {
+  const std::size_t base = structures / shards;
+  const std::size_t rem = structures % shards;
+  const std::size_t lo = shard * base + std::min(shard, rem);
+  return {lo, lo + base + (shard < rem ? 1 : 0)};
+}
+
+}  // namespace
+
+void StructureSummary::merge(const StructureSummary& other) {
+  steps += other.steps;
+  readings += other.readings;
+  capsule_reads += other.capsule_reads;
+  limit_violations += other.limit_violations;
+  anomalies += other.anomalies;
+  for (std::size_t i = 0; i < health_counts.size(); ++i) {
+    health_counts[i] += other.health_counts[i];
+  }
+  stress_sum += other.stress_sum;
+  peak_acceleration = std::max(peak_acceleration, other.peak_acceleration);
+  worst_pao = std::min(worst_pao, other.worst_pao);
+}
+
+std::string FleetResult::fingerprint() const {
+  dsp::ser::Writer w(kAggregatesHeader);
+  w.u64("fleet.completed", completed ? 1 : 0);
+  w.u64("fleet.structures", structures.size());
+  save_summary(w, totals);
+  for (const StructureSummary& s : structures) save_summary(w, s);
+  return w.payload();
+}
+
+FleetEngine::FleetEngine(Config config, core::ThreadPool& pool)
+    : config_(std::move(config)), pool_(&pool) {
+  if (config_.structures == 0) {
+    throw std::invalid_argument("FleetEngine: structures must be > 0");
+  }
+  if (config_.checkpoint_every == 0) {
+    throw std::invalid_argument("FleetEngine: checkpoint_every must be > 0");
+  }
+  if (config_.telemetry != nullptr &&
+      config_.telemetry->nodes() < config_.structures * kNodesPerStructure) {
+    throw std::invalid_argument(
+        "FleetEngine: telemetry store is smaller than the fleet");
+  }
+}
+
+FleetEngine::FleetEngine(Config config)
+    : FleetEngine(std::move(config), core::ThreadPool::shared()) {}
+
+std::size_t FleetEngine::shard_count() const {
+  if (config_.shards > 0) return std::min(config_.shards, config_.structures);
+  return std::min<std::size_t>(config_.structures, 32);
+}
+
+std::string FleetEngine::shard_path(std::size_t shard) const {
+  return config_.checkpoint_dir + "/fleet_shard_" + std::to_string(shard) +
+         ".ckpt";
+}
+
+void FleetEngine::fingerprint_config(dsp::ser::Writer& w) const {
+  w.u64("fp.structures", config_.structures);
+  w.u64("fp.shards", shard_count());
+  w.u64("fp.seed", config_.seed);
+  w.real("fp.days", config_.campaign.days);
+  w.real("fp.step_minutes", config_.campaign.step_minutes);
+  w.i64("fp.capsule_count", config_.campaign.capsule_count);
+  w.real("fp.poll_hours", config_.campaign.capsule_poll_hours);
+  w.u64("fp.supervised", config_.campaign.supervisor.enabled ? 1 : 0);
+  w.u64("fp.record_series", config_.record_series ? 1 : 0);
+}
+
+void FleetEngine::check_fingerprint(dsp::ser::Reader& r) const {
+  // Hexfloat round trips are exact, so == is the right comparison.
+  if (r.u64("fp.structures") != config_.structures ||
+      r.u64("fp.shards") != shard_count() ||
+      r.u64("fp.seed") != config_.seed ||
+      r.real("fp.days") != config_.campaign.days ||
+      r.real("fp.step_minutes") != config_.campaign.step_minutes ||
+      static_cast<int>(r.i64("fp.capsule_count")) !=
+          config_.campaign.capsule_count ||
+      r.real("fp.poll_hours") != config_.campaign.capsule_poll_hours ||
+      (r.u64("fp.supervised") != 0) != config_.campaign.supervisor.enabled ||
+      (r.u64("fp.record_series") != 0) != config_.record_series) {
+    throw std::runtime_error(
+        "fleet resume: checkpoint was written by a different fleet config");
+  }
+}
+
+StructureSummary FleetEngine::run_structure(std::size_t s) const {
+  shm::MonitoringCampaign::Config c = config_.campaign;
+  c.seed = dsp::trial_seed(config_.seed, s);
+  c.checkpoint_path.clear();  // fleet checkpoints at structure granularity
+  c.stop_after_steps = 0;
+  c.record_series = config_.record_series;
+
+  StructureSummary sum;
+  TelemetryStore* sink = config_.telemetry;
+  const std::size_t node_base = s * kNodesPerStructure;
+  const shm::MonitoringCampaign::StepHook user_hook = config_.campaign.on_step;
+  c.on_step = [&sum, sink, node_base, &user_hook](
+                  std::size_t step, Real t_days,
+                  const shm::WeatherSample& weather,
+                  const shm::BridgeState& state) {
+    const auto t_sec = static_cast<std::uint32_t>(t_days * 86400.0 + 0.5);
+    for (std::size_t i = 0; i < kNodesPerStructure; ++i) {
+      const auto& sec = state.sections[i];
+      if (sink != nullptr) {
+        sink->append(node_base + i, t_sec,
+                     static_cast<float>(sec.stress_mpa));
+      }
+      sum.worst_pao = std::min(sum.worst_pao, sec.pao);
+    }
+    sum.readings += kNodesPerStructure;
+    sum.steps += 1;
+    const auto& mid = state.sections[2];
+    sum.stress_sum += mid.stress_mpa;
+    sum.peak_acceleration =
+        std::max(sum.peak_acceleration, std::abs(mid.vertical_acceleration));
+    if (user_hook) user_hook(step, t_days, weather, state);
+  };
+
+  shm::MonitoringCampaign campaign(c);
+  const shm::CampaignResult res = campaign.run();
+  sum.limit_violations = res.limit_violations;
+  sum.anomalies = static_cast<std::int64_t>(res.anomalies.size());
+  sum.capsule_reads = static_cast<std::uint64_t>(
+      std::max(res.inventory_totals.read_ok, 0));
+  for (const auto& [section, by_letter] : res.health_histogram) {
+    for (const auto& [letter, count] : by_letter) {
+      const int idx = letter - 'A';
+      if (idx >= 0 && idx < static_cast<int>(sum.health_counts.size())) {
+        sum.health_counts[static_cast<std::size_t>(idx)] += count;
+      }
+    }
+  }
+  if (sink != nullptr) {
+    for (std::size_t i = 0; i < kNodesPerStructure; ++i) {
+      sink->flush(node_base + i);
+    }
+  }
+  return sum;
+}
+
+FleetResult FleetEngine::run() { return run_impl(false); }
+
+FleetResult FleetEngine::resume() {
+  if (config_.checkpoint_dir.empty()) {
+    throw std::runtime_error("fleet resume: Config::checkpoint_dir is empty");
+  }
+  return run_impl(true);
+}
+
+FleetResult FleetEngine::run_impl(bool from_checkpoint) {
+  const std::size_t shards = shard_count();
+  const bool checkpointing = !config_.checkpoint_dir.empty();
+
+  FleetResult result;
+  result.structures.resize(config_.structures);
+  std::vector<std::uint8_t> structure_done(config_.structures, 0);
+  std::vector<std::uint8_t> shard_stopped(shards, 0);
+  std::vector<std::uint64_t> shard_resumed(shards, 0);
+
+  pool_->parallel_for(shards, [&](std::size_t k) {
+    const auto [lo, hi] = shard_range(config_.structures, shards, k);
+    std::size_t done = 0;  // completed prefix length within this shard
+
+    if (from_checkpoint) {
+      if (const auto content = dsp::ser::read_file(shard_path(k))) {
+        dsp::ser::Reader r(*content, kCheckpointHeader);
+        check_fingerprint(r);
+        if (r.u64("shard.index") != k) {
+          throw std::runtime_error("fleet resume: shard index mismatch in " +
+                                   shard_path(k));
+        }
+        done = r.u64("shard.completed");
+        if (done > hi - lo) {
+          throw std::runtime_error("fleet resume: corrupt completed count in " +
+                                   shard_path(k));
+        }
+        for (std::size_t i = 0; i < done; ++i) {
+          result.structures[lo + i] = load_summary(r);
+          structure_done[lo + i] = 1;
+        }
+        shard_resumed[k] = done;
+      }
+    }
+
+    const auto write_checkpoint = [&](std::size_t completed) {
+      dsp::ser::Writer w(kCheckpointHeader);
+      fingerprint_config(w);
+      w.u64("shard.index", k);
+      w.u64("shard.completed", completed);
+      for (std::size_t i = 0; i < completed; ++i) {
+        save_summary(w, result.structures[lo + i]);
+      }
+      if (!dsp::ser::atomic_write_file(shard_path(k), w.payload())) {
+        throw std::runtime_error("fleet checkpoint: cannot write " +
+                                 shard_path(k));
+      }
+    };
+
+    std::size_t completed_this_run = 0;
+    for (std::size_t s = lo + done; s < hi; ++s) {
+      if (config_.stop_after_structures > 0 &&
+          completed_this_run >= config_.stop_after_structures) {
+        // Simulated crash: leave a final checkpoint and stop this shard.
+        shard_stopped[k] = 1;
+        if (checkpointing) write_checkpoint(done);
+        return;
+      }
+      result.structures[s] = run_structure(s);
+      structure_done[s] = 1;
+      ++done;
+      ++completed_this_run;
+      if (checkpointing && (done % config_.checkpoint_every == 0 || s + 1 == hi)) {
+        write_checkpoint(done);
+      }
+    }
+  });
+
+  // Streaming merge in ascending structure order: the one fold order every
+  // thread/shard count shares, so the Real sums associate identically.
+  for (std::size_t s = 0; s < config_.structures; ++s) {
+    if (structure_done[s] == 0) continue;
+    result.totals.merge(result.structures[s]);
+    ++result.structures_completed;
+  }
+  for (std::size_t k = 0; k < shards; ++k) {
+    result.structures_resumed += shard_resumed[k];
+    if (shard_stopped[k] != 0) result.completed = false;
+  }
+  return result;
+}
+
+}  // namespace ecocap::fleet

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/workspace_pool.hpp"
+
 namespace ecocap::shm {
 
 namespace {
@@ -310,6 +312,18 @@ CampaignResult MonitoringCampaign::run_impl(bool from_checkpoint) {
                                      config_.step_minutes);
   const std::array<char, 5> letters{'A', 'B', 'C', 'D', 'E'};
 
+  if (config_.record_series) {
+    // Size the sample logs once so the step loop never reallocates them
+    // (the allocation-stability contract the fleet shards rely on).
+    for (TimeSeries* ts :
+         {&result.acceleration, &result.stress, &result.stress_side,
+          &result.humidity, &result.temperature, &result.pressure,
+          &result.pao}) {
+      ts->reserve(steps);
+    }
+    result.minute_reports.reserve(steps / 60 + 1);
+  }
+
   // State after step k-1 with cursor k resumes at step k: everything the
   // loop body mutates is serialized, so the continuation replays the exact
   // draw sequence of an uninterrupted run.
@@ -343,12 +357,14 @@ CampaignResult MonitoringCampaign::run_impl(bool from_checkpoint) {
     const BridgeState state = bridge.step(t_days, w);
 
     // The "conventional sensor" channels the paper plots.
-    result.acceleration.push(state.sections[2].vertical_acceleration);
-    result.stress.push(state.sections[2].stress_mpa);
-    result.stress_side.push(state.sections[4].stress_mpa);
-    result.humidity.push(w.humidity_pct);
-    result.temperature.push(w.temperature_c);
-    result.pressure.push(w.pressure_kpa);
+    if (config_.record_series) {
+      result.acceleration.push(state.sections[2].vertical_acceleration);
+      result.stress.push(state.sections[2].stress_mpa);
+      result.stress_side.push(state.sections[4].stress_mpa);
+      result.humidity.push(w.humidity_pct);
+      result.temperature.push(w.temperature_c);
+      result.pressure.push(w.pressure_kpa);
+    }
 
     Real worst_pao = std::numeric_limits<Real>::infinity();
     for (int s = 0; s < 5; ++s) {
@@ -362,10 +378,14 @@ CampaignResult MonitoringCampaign::run_impl(bool from_checkpoint) {
           std::isinf(sec.pao) ? 100.0 : sec.pao);
       if (!check.all_ok()) ++result.limit_violations;
     }
-    result.pao.push(std::isinf(worst_pao) ? 1000.0 : worst_pao);
+    if (config_.record_series) {
+      result.pao.push(std::isinf(worst_pao) ? 1000.0 : worst_pao);
+    }
+
+    if (config_.on_step) config_.on_step(k, t_days, w, state);
 
     // Periodic minute report (sampled hourly to keep memory sane).
-    if (k % 60 == 0) {
+    if (config_.record_series && k % 60 == 0) {
       std::array<SectionReport, 5> row;
       for (int s = 0; s < 5; ++s) {
         const auto& sec = state.sections[static_cast<std::size_t>(s)];
@@ -393,9 +413,11 @@ CampaignResult MonitoringCampaign::run_impl(bool from_checkpoint) {
           static_cast<std::uint8_t>(node::SensorId::kAcceleration),
           static_cast<std::uint8_t>(node::SensorId::kStress)};
       const auto readings = session.collect(sensor_ids);
-      result.capsule_readings.insert(result.capsule_readings.end(),
-                                     readings.readings.begin(),
-                                     readings.readings.end());
+      if (config_.record_series) {
+        result.capsule_readings.insert(result.capsule_readings.end(),
+                                       readings.readings.begin(),
+                                       readings.readings.end());
+      }
       accumulate(result.inventory_totals, readings.stats);
 
       // Graceful degradation: every (capsule, sensor) channel that has ever
@@ -412,8 +434,10 @@ CampaignResult MonitoringCampaign::run_impl(bool from_checkpoint) {
           if (it == last_good.end()) continue;  // never reported: no value
           const Real age = now_hours - it->second.second;
           const bool stale = age > 0.0;
-          result.capsule_log.push_back(
-              CapsuleReading{it->second.first, stale, age});
+          if (config_.record_series) {
+            result.capsule_log.push_back(
+                CapsuleReading{it->second.first, stale, age});
+          }
           if (stale) {
             Real& worst = result.max_staleness_hours[node_id];
             worst = std::max(worst, age);
@@ -440,23 +464,30 @@ CampaignResult MonitoringCampaign::run_impl(bool from_checkpoint) {
     result.link_states = sup->states();
     result.supervisor_totals = sup->totals();
   }
-  if (!result.completed) return result;
+  if (!result.completed || !config_.record_series) return result;
 
-  // Anomaly detection: rolling z-score of the acceleration envelope.
-  const std::vector<Real> roll =
-      result.acceleration.rolling_stddev(config_.baseline_window);
+  // Anomaly detection: rolling z-score of the acceleration envelope. The
+  // rollup scratch comes from this thread's workspace arena, so a fleet
+  // shard grinding through hundreds of structures reuses the same three
+  // buffers instead of re-allocating them per campaign.
+  auto& ws = core::WorkspacePool::shared().local();
+  const std::size_t samples = result.acceleration.size();
+  auto roll = ws.real(samples);
+  result.acceleration.rolling_stddev(config_.baseline_window, *roll);
   // Baseline scale = median of the rolling stddev.
-  std::vector<Real> sorted = roll;
-  std::sort(sorted.begin(), sorted.end());
-  const Real baseline = sorted.empty() ? 0.0 : sorted[sorted.size() / 2];
+  auto sorted = ws.real(samples);
+  std::copy(roll->begin(), roll->end(), sorted->begin());
+  std::sort(sorted->begin(), sorted->end());
+  const Real baseline = sorted->empty() ? 0.0 : (*sorted)[sorted->size() / 2];
   const Real short_window = 6.0 * 60.0 / config_.step_minutes;  // 6 h
-  const std::vector<Real> short_roll = result.acceleration.rolling_stddev(
-      static_cast<std::size_t>(short_window));
+  auto short_roll = ws.real(samples);
+  result.acceleration.rolling_stddev(static_cast<std::size_t>(short_window),
+                                     *short_roll);
 
   bool in_anomaly = false;
   AnomalyWindow current;
-  for (std::size_t k = 0; k < short_roll.size(); ++k) {
-    const Real z = (baseline > 0.0) ? short_roll[k] / baseline : 0.0;
+  for (std::size_t k = 0; k < short_roll->size(); ++k) {
+    const Real z = (baseline > 0.0) ? (*short_roll)[k] / baseline : 0.0;
     const Real t_days = static_cast<Real>(k) * config_.step_minutes / (24.0 * 60.0);
     if (!in_anomaly && z > config_.zscore_threshold) {
       in_anomaly = true;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -86,6 +87,15 @@ struct CampaignResult {
 /// uninterrupted one at any ECOCAP_THREADS.
 class MonitoringCampaign {
  public:
+  /// Per-step observation hook: called once per simulation step, after the
+  /// sections are graded, with the step index (absolute, so resumed runs
+  /// report the true position), the campaign time, and the full weather +
+  /// bridge snapshot. This is the ingest tap the fleet engine uses to feed
+  /// its telemetry store; the hook must not call back into the campaign.
+  using StepHook = std::function<void(
+      std::size_t step, Real t_days, const WeatherSample& weather,
+      const BridgeState& state)>;
+
   struct Config {
     FootbridgeModel::Config bridge;
     WeatherModel::Config weather;
@@ -112,6 +122,17 @@ class MonitoringCampaign {
     /// Testing hook simulating a crash: stop (with a final checkpoint)
     /// after this many simulation steps. 0 = run to completion.
     std::size_t stop_after_steps = 0;
+    /// Per-step observation tap (see StepHook). Default: none.
+    StepHook on_step;
+    /// Sample-level result retention. When false the per-step logs —
+    /// TimeSeries channels, minute reports, the capsule reading/poll logs —
+    /// are not accumulated (and anomaly detection, which needs the
+    /// acceleration series, is skipped). Aggregates (health histogram,
+    /// limit violations, inventory totals, staleness) are always kept.
+    /// Fleet shards run with this off so a thousand concurrent structures
+    /// cost summary-sized memory instead of series-sized memory; the
+    /// telemetry store fed by `on_step` is the sample-level view instead.
+    bool record_series = true;
     std::uint64_t seed = 2021;
   };
 

@@ -37,8 +37,17 @@ TimeSeries::Stats TimeSeries::stats(std::size_t first,
 }
 
 std::vector<Real> TimeSeries::rolling_stddev(std::size_t window) const {
-  if (window == 0) throw std::invalid_argument("rolling_stddev: empty window");
   std::vector<Real> out(values_.size(), 0.0);
+  rolling_stddev(window, out);
+  return out;
+}
+
+void TimeSeries::rolling_stddev(std::size_t window,
+                                std::span<Real> out) const {
+  if (window == 0) throw std::invalid_argument("rolling_stddev: empty window");
+  if (out.size() != values_.size()) {
+    throw std::invalid_argument("rolling_stddev: out length mismatch");
+  }
   Real sum = 0.0, sum2 = 0.0;
   for (std::size_t i = 0; i < values_.size(); ++i) {
     sum += values_[i];
@@ -53,7 +62,6 @@ std::vector<Real> TimeSeries::rolling_stddev(std::size_t window) const {
         std::max<Real>(sum2 / static_cast<Real>(n) - mean * mean, 0.0);
     out[i] = std::sqrt(var);
   }
-  return out;
 }
 
 TimeSeries TimeSeries::block_mean(std::size_t factor) const {

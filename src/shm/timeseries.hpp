@@ -21,6 +21,9 @@ class TimeSeries {
 
   void push(Real value) { values_.push_back(value); }
   void reserve(std::size_t n) { values_.reserve(n); }
+  /// Current heap capacity in samples — the allocation-stability tests
+  /// assert it stays put across a reserved campaign's pushes.
+  std::size_t capacity() const { return values_.capacity(); }
   /// Replace the sample buffer wholesale (checkpoint restore).
   void set_values(std::vector<Real> values) { values_ = std::move(values); }
 
@@ -47,6 +50,11 @@ class TimeSeries {
   /// series; warm-up uses the available prefix). The anomaly detector keys
   /// off this.
   std::vector<Real> rolling_stddev(std::size_t window) const;
+
+  /// Allocation-free rollup: write the rolling stddev into `out`, which
+  /// must be exactly `size()` long (lease it from a dsp::Workspace on hot
+  /// paths). Throws std::invalid_argument on a length mismatch.
+  void rolling_stddev(std::size_t window, std::span<Real> out) const;
 
   /// Down-sample by averaging blocks of `factor` samples (daily summaries).
   TimeSeries block_mean(std::size_t factor) const;

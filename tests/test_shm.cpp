@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/workspace_pool.hpp"
 #include "shm/bridge.hpp"
 #include "shm/health.hpp"
 #include "shm/monitor.hpp"
@@ -42,6 +43,38 @@ TEST(TimeSeries, RollingStddevDetectsBurst) {
   for (int i = 0; i < 200; ++i) ts.push((i >= 100 && i < 150) ? ((i % 2) ? 1.0 : -1.0) : 0.0);
   const auto r = ts.rolling_stddev(20);
   EXPECT_GT(r[130], 10.0 * (r[50] + 1e-12));
+}
+
+TEST(TimeSeries, RollingStddevOutParamMatchesAllocatingVersion) {
+  TimeSeries ts("t", 1.0);
+  for (int i = 0; i < 200; ++i) {
+    ts.push(std::sin(0.37 * i) + ((i > 120) ? 2.0 : 0.0));
+  }
+  const auto allocating = ts.rolling_stddev(16);
+  std::vector<Real> out(ts.size());
+  ts.rolling_stddev(16, out);
+  ASSERT_EQ(allocating.size(), out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(allocating[i], out[i]) << "sample " << i;
+  }
+}
+
+TEST(TimeSeries, RollingStddevOutParamRejectsBadArguments) {
+  TimeSeries ts("t", 1.0);
+  for (int i = 0; i < 10; ++i) ts.push(1.0);
+  std::vector<Real> wrong(ts.size() + 1);
+  EXPECT_THROW(ts.rolling_stddev(4, wrong), std::invalid_argument);
+  std::vector<Real> right(ts.size());
+  EXPECT_THROW(ts.rolling_stddev(0, right), std::invalid_argument);
+}
+
+TEST(TimeSeries, ReservedPushesKeepCapacityStable) {
+  TimeSeries ts("t", 1.0);
+  ts.reserve(1000);
+  const std::size_t cap = ts.capacity();
+  ASSERT_GE(cap, 1000u);
+  for (int i = 0; i < 1000; ++i) ts.push(static_cast<Real>(i));
+  EXPECT_EQ(ts.capacity(), cap);  // no reallocation happened
 }
 
 TEST(TimeSeries, BlockMeanDownsamples) {
@@ -272,6 +305,79 @@ TEST(Campaign, MinuteReportsSampledHourly) {
     EXPECT_EQ(row[0].section, 'A');
     EXPECT_EQ(row[4].section, 'E');
   }
+}
+
+TEST(Campaign, OnStepHookSeesEveryStep) {
+  MonitoringCampaign::Config cfg;
+  cfg.days = 0.5;
+  cfg.capsule_count = 0;
+  cfg.capsule_poll_hours = 0.0;
+  cfg.seed = 11;
+  std::size_t calls = 0;
+  std::size_t last_step = 0;
+  Real last_t = -1.0;
+  cfg.on_step = [&](std::size_t step, Real t_days, const WeatherSample&,
+                    const BridgeState& state) {
+    EXPECT_EQ(step, calls);  // in order, no gaps
+    EXPECT_GT(t_days, last_t);
+    last_step = step;
+    last_t = t_days;
+    ++calls;
+    EXPECT_EQ(state.sections.size(), 5u);
+  };
+  const CampaignResult r = MonitoringCampaign(cfg).run();
+  const std::size_t expected = static_cast<std::size_t>(0.5 * 24 * 60);
+  EXPECT_EQ(calls, expected);
+  EXPECT_EQ(last_step, expected - 1);
+  EXPECT_EQ(r.acceleration.size(), expected);
+}
+
+TEST(Campaign, LeanModeKeepsAggregatesDropsSeries) {
+  MonitoringCampaign::Config cfg;
+  cfg.days = 1.0;
+  cfg.capsule_poll_hours = 12.0;
+  cfg.capsule_count = 2;
+  cfg.seed = 13;
+
+  const CampaignResult full = MonitoringCampaign(cfg).run();
+  auto lean_cfg = cfg;
+  lean_cfg.record_series = false;
+  const CampaignResult lean = MonitoringCampaign(lean_cfg).run();
+
+  // Sample-level logs are gone...
+  EXPECT_TRUE(lean.acceleration.empty());
+  EXPECT_TRUE(lean.stress.empty());
+  EXPECT_TRUE(lean.minute_reports.empty());
+  EXPECT_TRUE(lean.capsule_readings.empty());
+  EXPECT_TRUE(lean.anomalies.empty());
+  EXPECT_FALSE(full.acceleration.empty());
+
+  // ...but the aggregates are identical to the full-fat run.
+  EXPECT_EQ(lean.limit_violations, full.limit_violations);
+  EXPECT_EQ(lean.health_histogram, full.health_histogram);
+  EXPECT_EQ(lean.inventory_totals.read_ok, full.inventory_totals.read_ok);
+  EXPECT_TRUE(lean.completed);
+}
+
+TEST(Campaign, SteadyStateRunsAddNoWorkspaceAllocations) {
+  MonitoringCampaign::Config cfg;
+  cfg.days = 1.0;
+  cfg.step_minutes = 5.0;
+  cfg.baseline_window = 24;
+  cfg.capsule_count = 0;
+  cfg.capsule_poll_hours = 0.0;
+  cfg.seed = 17;
+
+  auto& pool = core::WorkspacePool::shared();
+  MonitoringCampaign(cfg).run();  // warm the arena (first-touch allocations)
+  const auto before = pool.total_stats();
+  MonitoringCampaign(cfg).run();
+  const auto after = pool.total_stats();
+  EXPECT_EQ(after.heap_allocations, before.heap_allocations)
+      << "campaign anomaly scratch should come from pooled leases";
+  EXPECT_GT(after.checkouts, before.checkouts);
+  EXPECT_EQ(after.checkouts - before.checkouts,
+            after.returns - before.returns);
 }
 
 TEST(Report, DashboardRendersAllSections) {

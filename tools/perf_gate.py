@@ -1,8 +1,12 @@
 #!/usr/bin/env python3
-"""Perf-smoke gate for BENCH_micro_dsp.json.
+"""Perf-smoke gate for the BENCH_*.json documents CI produces.
 
-Reads the roofline metrics written by bench_micro_dsp and fails (exit 1)
-when a pinned speedup floor is violated:
+Each document is dispatched on its "name" field to a per-bench checker,
+so one invocation can gate the whole perf-smoke artifact set:
+
+  perf_gate.py BENCH_micro_dsp.json BENCH_fleet.json
+
+micro_dsp — fails (exit 1) when a pinned speedup floor is violated:
 
   * per-kernel SIMD speedups (seed-style scalar loop vs dispatched kernel)
     are enforced only when the bench dispatched a SIMD table
@@ -11,12 +15,22 @@ when a pinned speedup floor is violated:
     exposes >= 4 hardware threads (hw_threads metric) — a 1-core container
     cannot demonstrate thread scaling.
 
+fleet — gates the sharded fleet engine + telemetry serving layer:
+
+  * aggregates_match must be 1 on every host (the 1-thread and hw-thread
+    fleets produced byte-identical aggregate fingerprints — determinism is
+    not a perf property, so it is never skipped);
+  * ingest thread-scaling and concurrent query throughput floors are
+    enforced only when hw_threads >= 4, with a higher scaling bar on
+    >= 8-thread hosts (the acceptance target is 4x at 1 -> 8 threads).
+
 Floors are pinned well below locally measured values (see docs/benchmarks.md)
 so scheduler noise on shared CI runners doesn't flake the gate, while a real
-regression — a kernel silently falling back to the seed loop, or the FDTD
-band partition re-serializing — still trips it.
+regression — a kernel silently falling back to the seed loop, the FDTD band
+partition re-serializing, or the fleet shards contending on a lock — still
+trips it.
 
-Usage: perf_gate.py path/to/BENCH_micro_dsp.json
+Usage: perf_gate.py BENCH_foo.json [BENCH_bar.json ...]
 """
 
 import json
@@ -39,22 +53,30 @@ KERNEL_FLOORS = {
 
 FDTD_THREAD_FLOOR = ("fdtd_256_step_speedup_4t", 1.1)
 
+# Fleet ingest scaling floors by host width (measured: near-linear to 4
+# workers — the shards share no mutable state — so these leave headroom
+# for noisy neighbours on shared runners).
+FLEET_SCALING_FLOOR_8T = 4.0
+FLEET_SCALING_FLOOR_4T = 2.0
+# Concurrent serving floors while the hw-thread ingest is running
+# (measured ~300k queries/sec from a single query thread).
+FLEET_QUERIES_PER_SEC_FLOOR = 10_000.0
+FLEET_INGEST_UNDER_QUERY_FLOOR = 50_000.0
 
-def main(path: str) -> int:
-    with open(path) as f:
-        doc = json.load(f)
-    metrics = doc.get("metrics", doc)
 
-    failures = []
+def check_floor(metrics, key, floor, failures, path):
+    value = metrics.get(key)
+    if value is None:
+        failures.append(f"{key}: missing from {path}")
+    elif value < floor:
+        failures.append(f"{key}: {value:.3f} < floor {floor}")
 
+
+def gate_micro_dsp(metrics, path, failures):
     simd_isa = metrics.get("simd_isa", 0)
     if simd_isa != 0:
         for key, floor in KERNEL_FLOORS.items():
-            value = metrics.get(key)
-            if value is None:
-                failures.append(f"{key}: missing from {path}")
-            elif value < floor:
-                failures.append(f"{key}: {value:.3f} < floor {floor}")
+            check_floor(metrics, key, floor, failures, path)
     else:
         print("perf_gate: scalar-only host (simd_isa=0); "
               "kernel speedup floors skipped")
@@ -62,14 +84,62 @@ def main(path: str) -> int:
     hw_threads = metrics.get("hw_threads", 0)
     key, floor = FDTD_THREAD_FLOOR
     if hw_threads >= 4:
-        value = metrics.get(key)
-        if value is None:
-            failures.append(f"{key}: missing from {path}")
-        elif value < floor:
-            failures.append(f"{key}: {value:.3f} < floor {floor}")
+        check_floor(metrics, key, floor, failures, path)
     else:
         print(f"perf_gate: only {hw_threads:.0f} hardware threads; "
               f"{key} floor skipped")
+    return sorted(KERNEL_FLOORS) + [FDTD_THREAD_FLOOR[0]]
+
+
+def gate_fleet(metrics, path, failures):
+    # Determinism is enforced unconditionally — a single-core host can and
+    # must still produce byte-identical 1-thread vs hw-thread aggregates.
+    if metrics.get("aggregates_match") != 1:
+        failures.append(
+            f"aggregates_match: fleet aggregates not bit-identical "
+            f"across thread counts in {path}")
+
+    hw_threads = metrics.get("hw_threads", 0)
+    if hw_threads >= 8:
+        check_floor(metrics, "ingest_scaling", FLEET_SCALING_FLOOR_8T,
+                    failures, path)
+    elif hw_threads >= 4:
+        check_floor(metrics, "ingest_scaling", FLEET_SCALING_FLOOR_4T,
+                    failures, path)
+    if hw_threads >= 4:
+        check_floor(metrics, "queries_per_sec_concurrent",
+                    FLEET_QUERIES_PER_SEC_FLOOR, failures, path)
+        check_floor(metrics, "ingest_reads_per_sec_under_query",
+                    FLEET_INGEST_UNDER_QUERY_FLOOR, failures, path)
+    else:
+        print(f"perf_gate: only {hw_threads:.0f} hardware threads; "
+              "fleet scaling/serving floors skipped")
+    return ["ingest_scaling", "ingest_reads_per_sec_1t",
+            "ingest_reads_per_sec_mt", "ingest_reads_per_sec_under_query",
+            "queries_per_sec_concurrent", "aggregates_match"]
+
+
+GATES = {
+    "micro_dsp": gate_micro_dsp,
+    "fleet": gate_fleet,
+}
+
+
+def main(paths) -> int:
+    failures = []
+    report = []  # (doc name, metric key, value) for the PASS summary
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        metrics = doc.get("metrics", doc)
+        name = doc.get("name", "")
+        gate = GATES.get(name)
+        if gate is None:
+            failures.append(f"{path}: no gate registered for bench '{name}'")
+            continue
+        for key in gate(metrics, path, failures):
+            if key in metrics:
+                report.append((name, key, metrics[key]))
 
     if failures:
         print("perf_gate: FAIL")
@@ -78,14 +148,13 @@ def main(path: str) -> int:
         return 1
 
     print("perf_gate: PASS")
-    for key in sorted(KERNEL_FLOORS) + [FDTD_THREAD_FLOOR[0]]:
-        if key in metrics:
-            print(f"  {key} = {metrics[key]:.3f}")
+    for name, key, value in report:
+        print(f"  {name}.{key} = {value:.3f}")
     return 0
 
 
 if __name__ == "__main__":
-    if len(sys.argv) != 2:
+    if len(sys.argv) < 2:
         print(__doc__)
         sys.exit(2)
-    sys.exit(main(sys.argv[1]))
+    sys.exit(main(sys.argv[1:]))
