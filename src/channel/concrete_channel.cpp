@@ -142,13 +142,6 @@ void ConcreteChannel::apply_resonance_inplace(Signal& x) const {
   if (g0 > 0.0) dsp::scale(x, 1.0 / g0);
 }
 
-Signal ConcreteChannel::downlink(std::span<const Real> tx_acoustic,
-                                 dsp::Rng& rng) const {
-  Signal y;
-  downlink(tx_acoustic, rng, y);
-  return y;
-}
-
 void ConcreteChannel::downlink(std::span<const Real> tx_acoustic,
                                dsp::Rng& rng, Signal& out) const {
   apply_taps(tx_acoustic, mode_taps(), out);
@@ -156,16 +149,8 @@ void ConcreteChannel::downlink(std::span<const Real> tx_acoustic,
   dsp::add_awgn(out, config_->noise_sigma, rng);
 }
 
-Signal ConcreteChannel::uplink(std::span<const Real> node_emission,
-                               Real carrier_frequency, dsp::Rng& rng) const {
-  Signal y;
-  uplink(node_emission, carrier_frequency, rng, y);
-  return y;
-}
-
-void ConcreteChannel::uplink(std::span<const Real> node_emission,
-                             Real carrier_frequency, dsp::Rng& rng,
-                             Signal& out) const {
+void ConcreteChannel::propagate_uplink(std::span<const Real> node_emission,
+                                       Signal& out) const {
   // The uplink path carries only the S-reflections back (the node radiates
   // from inside the bulk; the prism mode split does not apply).
   const Real gain = path_gain();
@@ -183,19 +168,132 @@ void ConcreteChannel::uplink(std::span<const Real> node_emission,
   }
   dsp::scale(out, gain);
   apply_resonance_inplace(out);
+}
 
-  // Self-interference: the CBW leaks into the receiving PZT at an amplitude
-  // config_->self_interference_gain times the *backscatter* amplitude (§3.4:
-  // "10x stronger than the backscattered signals").
-  const Real bs_rms = dsp::rms(out);
+void ConcreteChannel::add_uplink_si_noise(Signal& out, Real carrier_frequency,
+                                          Real si_amplitude,
+                                          dsp::Rng& rng) const {
   dsp::Oscillator cw(config_->fs, carrier_frequency);
   // A random starting phase decorrelates SI from the carrier snapshot the
   // node reflected.
   cw.reset_phase(rng.uniform(0.0, 2.0 * dsp::kPi));
   for (Real& v : out) {
-    v += cw.next(config_->self_interference_gain * bs_rms * std::sqrt(2.0));
+    v += cw.next(si_amplitude);
   }
   dsp::add_awgn(out, config_->noise_sigma, rng);
+}
+
+Real ConcreteChannel::uplink_si_amplitude(Real propagated_rms) const {
+  return config_->self_interference_gain * propagated_rms * std::sqrt(2.0);
+}
+
+void ConcreteChannel::uplink(std::span<const Real> node_emission,
+                             Real carrier_frequency, dsp::Rng& rng,
+                             Signal& out) const {
+  propagate_uplink(node_emission, out);
+  // Self-interference: the CBW leaks into the receiving PZT at an amplitude
+  // config_->self_interference_gain times the *backscatter* amplitude (§3.4:
+  // "10x stronger than the backscattered signals").
+  add_uplink_si_noise(out, carrier_frequency, uplink_si_amplitude(dsp::rms(out)),
+                      rng);
+}
+
+void ConcreteChannel::uplink(std::span<const Real> node_emission,
+                             Real carrier_frequency, Real si_amplitude,
+                             dsp::Rng& rng, Signal& out) const {
+  propagate_uplink(node_emission, out);
+  add_uplink_si_noise(out, carrier_frequency, si_amplitude, rng);
+}
+
+ConcreteChannel::DownlinkStream::DownlinkStream(const ConcreteChannel& channel,
+                                                std::uint64_t noise_seed)
+    : channel_(&channel),
+      resonator_(channel.resonator_->prototype),  // zero-state copy
+      rng_(noise_seed) {
+  const Real base_delay = channel.config().preserve_absolute_delay
+                              ? 0.0
+                              : channel.mode_taps().empty()
+                                    ? 0.0
+                                    : channel.mode_taps().front().delay;
+  for (const auto& t : channel.mode_taps()) {
+    const auto shift = static_cast<std::size_t>(
+        std::llround((t.delay - base_delay) * channel.config().fs));
+    shifts_.push_back(shift);
+    amps_.push_back(t.amplitude);
+    max_shift_ = std::max(max_shift_, shift);
+  }
+  hist_.assign(max_shift_, 0.0);
+  const Real g0 = channel.resonator_->peak_gain;
+  if (g0 > 0.0) {
+    resonance_scale_ = 1.0 / g0;
+    has_resonance_scale_ = true;
+  }
+}
+
+void ConcreteChannel::DownlinkStream::push_block(Signal& x) {
+  const std::size_t n = x.size();
+  if (n == 0) return;
+  // Tap convolution over the carried delay line. Per output index the adds
+  // happen in tap order onto a zero accumulator — the exact addition
+  // sequence apply_taps performs tap-outer, so the result is bit-identical
+  // at any block split.
+  ext_.resize(max_shift_ + n);
+  std::copy(hist_.begin(), hist_.end(), ext_.begin());
+  std::copy(x.begin(), x.end(), ext_.begin() + static_cast<std::ptrdiff_t>(max_shift_));
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t abs_i = pos_ + i;
+    Real acc = 0.0;
+    for (std::size_t k = 0; k < shifts_.size(); ++k) {
+      if (shifts_[k] > abs_i) continue;  // batch starts tap k at i == shift
+      acc += amps_[k] * ext_[max_shift_ + i - shifts_[k]];
+    }
+    x[i] = acc;
+  }
+  if (max_shift_ > 0) {
+    std::copy(ext_.end() - static_cast<std::ptrdiff_t>(max_shift_), ext_.end(),
+              hist_.begin());
+  }
+  pos_ += n;
+  // Resonance: the same kernel invocation apply_resonance_inplace makes,
+  // but on the carried biquad — direct form I state load/store makes block
+  // splits invisible.
+  resonator_.process(std::span<const Real>(x), x);
+  if (has_resonance_scale_) dsp::scale(x, resonance_scale_);
+  dsp::add_awgn(x, channel_->config().noise_sigma, rng_);
+}
+
+ConcreteChannel::UplinkStream::UplinkStream(const ConcreteChannel& channel,
+                                            Real carrier_frequency,
+                                            Real si_amplitude,
+                                            std::uint64_t noise_seed)
+    : channel_(&channel),
+      gain_(channel.path_gain()),
+      resonator_(channel.resonator_->prototype),  // zero-state copy
+      si_(channel.config().fs, carrier_frequency),
+      si_amplitude_(si_amplitude),
+      rng_(noise_seed) {
+  if (channel.config().preserve_absolute_delay) {
+    throw std::invalid_argument(
+        "UplinkStream: preserve_absolute_delay is a batch-only feature — a "
+        "live stream schedules the emission later instead of padding it");
+  }
+  const Real g0 = channel.resonator_->peak_gain;
+  if (g0 > 0.0) {
+    resonance_scale_ = 1.0 / g0;
+    has_resonance_scale_ = true;
+  }
+  // Matches the batch draw order: the SI phase is the first draw from the
+  // uplink's RNG, before any noise gaussians.
+  si_.reset_phase(rng_.uniform(0.0, 2.0 * dsp::kPi));
+}
+
+void ConcreteChannel::UplinkStream::push_block(Signal& x) {
+  if (x.empty()) return;
+  dsp::scale(x, gain_);
+  resonator_.process(std::span<const Real>(x), x);
+  if (has_resonance_scale_) dsp::scale(x, resonance_scale_);
+  for (Real& v : x) v += si_.next(si_amplitude_);
+  dsp::add_awgn(x, channel_->config().noise_sigma, rng_);
 }
 
 }  // namespace ecocap::channel

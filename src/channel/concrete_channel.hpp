@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
@@ -10,6 +11,7 @@
 #include "channel/structures.hpp"
 #include "dsp/biquad.hpp"
 #include "dsp/filter_cache.hpp"
+#include "dsp/oscillator.hpp"
 #include "dsp/rng.hpp"
 #include "dsp/types.hpp"
 #include "wave/prism.hpp"
@@ -65,29 +67,98 @@ class ConcreteChannel {
   ConcreteChannel(std::shared_ptr<const Structure> structure,
                   std::shared_ptr<const ChannelConfig> config);
 
-  /// Propagate the reader's acoustic output to the node. Applies:
+  /// Propagate the reader's acoustic output to the node, into a
+  /// caller-provided buffer (resized to the input length). Applies:
   ///  * prism mode split (an early P copy + the main S copy when the
   ///    incident angle is below the first critical angle),
   ///  * the concrete/PZT band resonance ("FSK in, OOK out" physics),
   ///  * distance attenuation per the structure's range law,
   ///  * additive Gaussian acoustic noise.
-  Signal downlink(std::span<const Real> tx_acoustic, dsp::Rng& rng) const;
-
-  /// Downlink into a caller-provided buffer (resized to the input length).
   /// `out` must not alias `tx_acoustic`.
   void downlink(std::span<const Real> tx_acoustic, dsp::Rng& rng,
                 Signal& out) const;
 
-  /// Propagate the node's backscatter emission to the reader RX, adding
-  /// the self-interference carrier leakage.
+  /// Propagate the node's backscatter emission to the reader RX into a
+  /// caller-provided buffer, adding the CBW self-interference at an
+  /// amplitude derived from the propagated backscatter RMS (§3.4's "10x
+  /// stronger"). `out` must not alias `node_emission`.
   /// @param carrier_frequency frequency of the CBW for SI synthesis
-  Signal uplink(std::span<const Real> node_emission, Real carrier_frequency,
-                dsp::Rng& rng) const;
-
-  /// Uplink into a caller-provided buffer. `out` must not alias
-  /// `node_emission`.
   void uplink(std::span<const Real> node_emission, Real carrier_frequency,
               dsp::Rng& rng, Signal& out) const;
+
+  /// Uplink with an explicitly chosen self-interference amplitude instead
+  /// of the RMS-derived one. This is the form the streaming pipeline uses:
+  /// a live reader knows its own CBW drive level up front, whereas the RMS
+  /// derivation needs the whole emission in hand. Passing
+  /// `self_interference_gain * rms(propagated emission) * sqrt(2)` (see
+  /// `uplink_si_amplitude`) reproduces the RMS-derived overload exactly.
+  void uplink(std::span<const Real> node_emission, Real carrier_frequency,
+              Real si_amplitude, dsp::Rng& rng, Signal& out) const;
+
+  /// The SI amplitude the RMS-derived uplink would use for an emission
+  /// whose *propagated* (post path-gain, post resonance) waveform has the
+  /// given RMS.
+  Real uplink_si_amplitude(Real propagated_rms) const;
+
+  /// Streaming downlink: the same tap convolution → resonator → AWGN chain
+  /// as the batch `downlink`, restaged as a block processor with explicit
+  /// carried state (tap delay line, biquad state, noise RNG). Feeding a
+  /// waveform through `push_block` in pieces of any size produces exactly
+  /// the bytes the batch call produces on the concatenation, because every
+  /// element is a per-sample recurrence over carried state.
+  class DownlinkStream {
+   public:
+    /// @param channel must outlive the stream
+    /// @param noise_seed seed of the stream's private AWGN draw sequence;
+    ///        matching a batch call requires seeding a fresh Rng equally
+    DownlinkStream(const ConcreteChannel& channel, std::uint64_t noise_seed);
+
+    /// Transform one block in place: x is the tx acoustic waveform on
+    /// entry, the at-node waveform on exit.
+    void push_block(Signal& x);
+
+    /// Absolute sample index of the next sample to be pushed.
+    std::uint64_t position() const { return pos_; }
+
+   private:
+    const ConcreteChannel* channel_;
+    std::vector<std::size_t> shifts_;  // per-tap delays, samples
+    std::vector<Real> amps_;           // per-tap amplitudes (taps order)
+    std::size_t max_shift_ = 0;
+    Signal hist_;  // last max_shift_ raw inputs (the tap delay line)
+    Signal ext_;   // scratch: hist_ ++ current block
+    dsp::Biquad resonator_;
+    Real resonance_scale_ = 1.0;
+    bool has_resonance_scale_ = false;
+    dsp::Rng rng_;
+    std::uint64_t pos_ = 0;
+  };
+
+  /// Streaming uplink with an explicit SI amplitude (see the explicit-SI
+  /// batch overload above for why streaming fixes the amplitude up front).
+  /// Carried state: biquad, SI oscillator phase, noise RNG. Not available
+  /// when `preserve_absolute_delay` is set (the shift-padding prepends
+  /// silence, which a live stream models as scheduling, not padding) —
+  /// the constructor throws.
+  class UplinkStream {
+   public:
+    UplinkStream(const ConcreteChannel& channel, Real carrier_frequency,
+                 Real si_amplitude, std::uint64_t noise_seed);
+
+    /// Transform one block in place: x is the node emission on entry, the
+    /// at-reader waveform on exit.
+    void push_block(Signal& x);
+
+   private:
+    const ConcreteChannel* channel_;
+    Real gain_;
+    dsp::Biquad resonator_;
+    Real resonance_scale_ = 1.0;
+    bool has_resonance_scale_ = false;
+    dsp::Oscillator si_;
+    Real si_amplitude_;
+    dsp::Rng rng_;
+  };
 
   /// Amplitude scale of the direct path at the configured distance (the
   /// same quantity the link budget computes, normalized to TX amplitude 1),
@@ -111,6 +182,12 @@ class ConcreteChannel {
   void apply_taps(std::span<const Real> x, const std::vector<wave::Tap>& taps,
                   Signal& out) const;
   void apply_resonance_inplace(Signal& x) const;
+  /// Shift/copy + path gain + resonance; the deterministic half of uplink.
+  void propagate_uplink(std::span<const Real> node_emission,
+                        Signal& out) const;
+  /// The stochastic half: SI carrier at the given amplitude, then AWGN.
+  void add_uplink_si_noise(Signal& out, Real carrier_frequency,
+                           Real si_amplitude, dsp::Rng& rng) const;
   std::vector<wave::Tap> compute_mode_taps() const;
 
   std::shared_ptr<const Structure> structure_;

@@ -140,7 +140,9 @@ MultiNodeLink::Result MultiNodeLink::run_inventory() {
   std::vector<dsp::Signal> charge_blocks;
   charge_blocks.reserve(25);
   for (int i = 0; i < 25; ++i) {
-    charge_blocks.push_back(transmitter_.continuous_wave(0.020));
+    dsp::Signal cw;
+    transmitter_.continuous_wave(0.020, cw);
+    charge_blocks.push_back(std::move(cw));
   }
   ThreadPool::shared().parallel_for(nodes_.size(), [&](std::size_t idx) {
     Deployed& n = nodes_[idx];

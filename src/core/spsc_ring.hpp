@@ -1,0 +1,108 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace ecocap::core {
+
+/// Lock-free single-producer/single-consumer ring buffer — the coupling
+/// element between the streaming transceiver's pipeline stages (the
+/// `smplbuf` role in the obts-transceiver architecture ROADMAP item 1
+/// names).
+///
+/// Concurrency contract:
+///  * exactly one thread calls try_push (the producer) and exactly one
+///    thread calls try_pop (the consumer); the two may run concurrently;
+///  * the producer publishes a slot with a release store of `tail_` after
+///    writing the element, and the consumer acquires `tail_` before reading
+///    it — a popped element is always a whole element, never torn;
+///  * symmetrically the consumer releases `head_` after moving an element
+///    out, so the producer never overwrites a slot still being read.
+///
+/// The cursors live on their own cache lines (`alignas(64)`) so the
+/// producer's tail stores and the consumer's head stores do not
+/// false-share; each side additionally caches the other side's cursor and
+/// refreshes it only when the ring looks full/empty, which keeps the
+/// steady-state hot path free of cross-core traffic entirely.
+///
+/// Capacity is rounded up to a power of two; cursors are free-running
+/// 64-bit counters masked into the slot array (no wrap-around ambiguity,
+/// full and empty are distinguishable without a sacrificial slot).
+template <typename T>
+class SpscRing {
+ public:
+  /// @param min_capacity elements the ring must hold; rounded up to a
+  ///        power of two (>= 2). Throws std::invalid_argument on 0.
+  explicit SpscRing(std::size_t min_capacity) {
+    if (min_capacity == 0) {
+      throw std::invalid_argument("SpscRing: capacity must be > 0");
+    }
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side: move `v` into the ring. Returns false (and leaves `v`
+  /// unmoved) when the ring is full.
+  bool try_push(T&& v) {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_cache_ >= capacity()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (t - head_cache_ >= capacity()) return false;
+    }
+    slots_[t & mask_] = std::move(v);
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool try_push(const T& v) {
+    T copy = v;
+    return try_push(std::move(copy));
+  }
+
+  /// Consumer side: move the oldest element into `out`. Returns false when
+  /// the ring is empty.
+  bool try_pop(T& out) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (h == tail_cache_) return false;
+    }
+    out = std::move(slots_[h & mask_]);
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy; exact when producer and consumer are quiescent.
+  std::size_t size() const {
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(t - h);
+  }
+
+  bool empty() const { return size() == 0; }
+  bool full() const { return size() >= capacity(); }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  /// Producer cache line: the tail cursor it publishes plus its private
+  /// cache of the consumer's head.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  std::uint64_t head_cache_ = 0;
+  /// Consumer cache line, symmetrically.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  std::uint64_t tail_cache_ = 0;
+};
+
+}  // namespace ecocap::core

@@ -51,14 +51,6 @@ CapsuleRxResult EcoCapsule::receive(std::span<const dsp::Real> acoustic,
   return result;
 }
 
-dsp::Signal EcoCapsule::backscatter(
-    const UplinkFrame& frame, std::span<const dsp::Real> incident_carrier) {
-  dsp::Workspace ws;
-  dsp::Signal out;
-  backscatter(frame, incident_carrier, ws, out);
-  return out;
-}
-
 void EcoCapsule::backscatter(const UplinkFrame& frame,
                              std::span<const dsp::Real> incident_carrier,
                              dsp::Workspace& ws, dsp::Signal& out) {

@@ -47,11 +47,8 @@ class EcoCapsule {
                           const ConcreteEnvironment& env);
 
   /// Produce the backscatter emission for an uplink frame given the
-  /// incident carrier at the node (the switch modulates the reflection).
-  dsp::Signal backscatter(const UplinkFrame& frame,
-                          std::span<const dsp::Real> incident_carrier);
-
-  /// Backscatter into a caller-provided buffer; the FM0 switching waveform
+  /// incident carrier at the node (the switch modulates the reflection),
+  /// into a caller-provided buffer; the FM0 switching waveform
   /// lives in a workspace lease instead of a fresh heap allocation.
   /// `out` must not alias `incident_carrier`.
   void backscatter(const UplinkFrame& frame,

@@ -58,18 +58,35 @@ void backscatter_modulate(std::span<const Real> incident_carrier,
   if (use_blf && fs <= 0.0) {
     throw std::invalid_argument("backscatter_modulate: fs must be > 0");
   }
+  out.resize(incident_carrier.size());
+  backscatter_modulate(incident_carrier, switching, 0, fs, params,
+                       std::span<Real>(out));
+}
+
+void backscatter_modulate(std::span<const Real> incident_carrier,
+                          std::span<const Real> switching,
+                          std::uint64_t switching_offset, Real fs,
+                          const BackscatterParams& params,
+                          std::span<Real> out) {
+  if (out.size() != incident_carrier.size()) {
+    throw std::invalid_argument("backscatter_modulate: out size mismatch");
+  }
+  const bool use_blf = params.f_blf > 0.0;
+  if (use_blf && fs <= 0.0) {
+    throw std::invalid_argument("backscatter_modulate: fs must be > 0");
+  }
   // The subcarrier samples are computed inline (same fmod arithmetic as
   // blf_square at phase 0) instead of materializing a square-wave buffer.
   const Real period = use_blf ? fs / params.f_blf : 1.0;
-  out.resize(incident_carrier.size());
   const Real mid = 0.5 * (params.reflective_gain + params.absorptive_gain);
   const Real half = 0.5 * (params.reflective_gain - params.absorptive_gain);
   for (std::size_t i = 0; i < incident_carrier.size(); ++i) {
+    const std::uint64_t idx = switching_offset + i;
     // Before/after the data burst the switch rests in the absorptive state
     // (harvest as much as possible, paper §2).
-    Real state = (i < switching.size()) ? switching[i] : -1.0;
-    if (use_blf && i < switching.size()) {
-      const Real t = std::fmod(static_cast<Real>(i), period) / period;
+    Real state = (idx < switching.size()) ? switching[idx] : -1.0;
+    if (use_blf && idx < switching.size()) {
+      const Real t = std::fmod(static_cast<Real>(idx), period) / period;
       state *= (t < 0.5) ? 1.0 : -1.0;  // bipolar XOR = product
     }
     const Real gain = mid + half * state;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 #include "dsp/oscillator.hpp"
@@ -68,6 +69,20 @@ Signal backscatter_modulate(std::span<const Real> incident_carrier,
 void backscatter_modulate(std::span<const Real> incident_carrier,
                           std::span<const Real> switching, Real fs,
                           const BackscatterParams& params, Signal& out);
+
+/// Streaming form: modulate a block whose first sample sits
+/// `switching_offset` samples after the switching waveform's origin, so a
+/// frame can be reflected block by block with the BLF subcarrier phase
+/// carried implicitly by the absolute index. Samples past the end of
+/// `switching` rest in the absorptive state exactly as the batch form, so
+/// an empty `switching` span models the idle (rest-state) reflection.
+/// `out.size()` must equal `incident_carrier.size()`; `out` may alias
+/// `incident_carrier` (the transform is elementwise).
+void backscatter_modulate(std::span<const Real> incident_carrier,
+                          std::span<const Real> switching,
+                          std::uint64_t switching_offset, Real fs,
+                          const BackscatterParams& params,
+                          std::span<Real> out);
 
 /// The bipolar square subcarrier itself (for receiver-side demodulation).
 Signal blf_square(Real fs, Real f_blf, std::size_t n, std::size_t phase = 0);

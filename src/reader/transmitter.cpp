@@ -18,24 +18,11 @@ void Transmitter::set_tx_voltage(Real volts) {
   config_.tx_voltage = volts;
 }
 
-Signal Transmitter::continuous_wave(Real duration) {
-  Signal out;
-  continuous_wave(duration, out);
-  return out;
-}
-
 void Transmitter::continuous_wave(Real duration, Signal& out) {
   const auto n = static_cast<std::size_t>(duration * config_.carrier.fs);
   dsp::Oscillator osc(config_.carrier.fs, config_.carrier.f_resonant);
   osc.generate(n, 1.0, out);
   pzt_.drive_inplace(out);
-}
-
-Signal Transmitter::modulated_baseband(const phy::Bits& payload) const {
-  dsp::Workspace ws;
-  Signal out;
-  modulated_baseband(payload, ws, out);
-  return out;
 }
 
 void Transmitter::modulated_baseband(const phy::Bits& payload,
@@ -45,24 +32,10 @@ void Transmitter::modulated_baseband(const phy::Bits& payload,
   phy::modulate_downlink(*baseband, config_.carrier, config_.scheme, out);
 }
 
-Signal Transmitter::transmit_bits(const phy::Bits& payload) {
-  dsp::Workspace ws;
-  Signal out;
-  transmit_bits(payload, ws, out);
-  return out;
-}
-
 void Transmitter::transmit_bits(const phy::Bits& payload, dsp::Workspace& ws,
                                 Signal& out) {
   modulated_baseband(payload, ws, out);
   pzt_.drive_inplace(out);
-}
-
-Signal Transmitter::transmit_command(const phy::Command& cmd) {
-  dsp::Workspace ws;
-  Signal out;
-  transmit_command(cmd, ws, out);
-  return out;
 }
 
 void Transmitter::transmit_command(const phy::Command& cmd,

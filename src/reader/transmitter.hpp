@@ -34,33 +34,24 @@ class Transmitter {
   explicit Transmitter(TransmitterConfig config = {});
 
   /// Continuous body wave of `duration` seconds (normalized acoustic
-  /// amplitude 1.0 at the structure interface for tx_voltage volts).
-  Signal continuous_wave(Real duration);
-
-  /// Continuous wave into a caller-provided buffer: the drive is generated
-  /// in `out` and run through the PZT in place (no intermediate buffer).
+  /// amplitude 1.0 at the structure interface for tx_voltage volts) into a
+  /// caller-provided buffer: the drive is generated in `out` and run
+  /// through the PZT in place (no intermediate buffer).
   void continuous_wave(Real duration, Signal& out);
 
-  /// Encode and transmit a protocol command; returns the acoustic output
-  /// including the PZT ring behaviour.
-  Signal transmit_command(const phy::Command& cmd);
-
-  /// Command transmission into a caller-provided buffer; the PIE baseband
-  /// scratch lives in a workspace lease.
+  /// Encode and transmit a protocol command into a caller-provided buffer
+  /// (the acoustic output including the PZT ring behaviour); the PIE
+  /// baseband scratch lives in a workspace lease.
   void transmit_command(const phy::Command& cmd, dsp::Workspace& ws,
                         Signal& out);
 
-  /// Transmit raw PIE payload bits (diagnostics and PHY experiments).
-  Signal transmit_bits(const phy::Bits& payload);
-
-  /// Bit transmission into a caller-provided buffer.
+  /// Transmit raw PIE payload bits (diagnostics and PHY experiments) into
+  /// a caller-provided buffer.
   void transmit_bits(const phy::Bits& payload, dsp::Workspace& ws,
                      Signal& out);
 
-  /// The electrical modulated waveform before the PZT (for tests).
-  Signal modulated_baseband(const phy::Bits& payload) const;
-
-  /// Modulated baseband into a caller-provided buffer.
+  /// The electrical modulated waveform before the PZT (for tests), into a
+  /// caller-provided buffer.
   void modulated_baseband(const phy::Bits& payload, dsp::Workspace& ws,
                           Signal& out) const;
 

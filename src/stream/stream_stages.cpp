@@ -1,0 +1,229 @@
+#include "stream/stream_stages.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <stdexcept>
+#include <utility>
+
+#include "dsp/signal_ops.hpp"
+
+namespace ecocap::stream {
+
+// ---------------------------------------------------------------- TxStage
+
+TxStage::TxStage(const reader::TransmitterConfig& config)
+    : osc_(config.carrier.fs, config.carrier.f_resonant),
+      pzt_(config.carrier.fs, config.pzt_resonance, config.pzt_q) {}
+
+void TxStage::fill_block(std::size_t n, Signal& out) {
+  // Same two per-sample recurrences the batch Transmitter::continuous_wave
+  // runs, but on carried state: the oscillator phase and PZT ring tail
+  // continue across blocks instead of restarting every call.
+  osc_.generate(n, 1.0, out);
+  pzt_.drive_inplace(out);
+}
+
+// ----------------------------------------------------------- DownlinkStage
+
+DownlinkStage::DownlinkStage(const channel::ConcreteChannel& channel,
+                             Real volts_scale, std::uint64_t noise_seed)
+    : stream_(channel, noise_seed),
+      volts_scale_(volts_scale),
+      fs_(channel.config().fs) {}
+
+void DownlinkStage::push_block(Signal& x) {
+  stream_.push_block(x);
+  dsp::scale(x, volts_scale_);
+  injector_.corrupt_waveform(x, fs_);
+}
+
+void DownlinkStage::set_injector(fault::Injector injector) {
+  injector_ = std::move(injector);
+}
+
+// --------------------------------------------------------------- NodeStage
+
+NodeStage::NodeStage(const Config& config)
+    : config_(config),
+      harvester_(config.harvester),
+      standby_load_(config.power.standby().total() /
+                    config.harvester.ldo_output),
+      chunk_(static_cast<std::size_t>(config.fs / 1000.0)) {
+  if (config.fs <= 0.0 || chunk_ == 0) {
+    throw std::invalid_argument("NodeStage: fs must give a >= 1 sample chunk");
+  }
+}
+
+void NodeStage::schedule(ScheduledEmission e) {
+  if (e.start < pos_) {
+    throw std::invalid_argument("NodeStage: emission scheduled in the past");
+  }
+  if (!queue_.empty() && e.start < queue_.back().start) {
+    throw std::invalid_argument("NodeStage: emissions must be ascending");
+  }
+  queue_.push_back(std::move(e));
+}
+
+void NodeStage::set_injector(fault::Injector injector) {
+  injector_ = std::move(injector);
+}
+
+std::vector<NodeFrameEvent> NodeStage::drain_events() {
+  std::vector<NodeFrameEvent> out;
+  out.swap(events_);
+  return out;
+}
+
+void NodeStage::harvest_segment(const Real* x, std::size_t n) {
+  // The batch EcoCapsule steps the harvester once per 1 ms chunk of each
+  // receive() call. The stream has no call boundaries, so the chunk grid is
+  // anchored to the absolute sample index — any block split sees the same
+  // chunk boundaries and therefore the same harvester trajectory.
+  for (std::size_t i = 0; i < n; ++i) {
+    const Real a = std::abs(x[i]);
+    if (a > chunk_peak_) chunk_peak_ = a;
+    if (++chunk_fill_ == chunk_) {
+      const Real amp = chunk_peak_ * config_.hra_gain;
+      const Real load =
+          (harvester_.mcu_powered() ? standby_load_ : 0.0) + extra_load_;
+      harvester_.step(static_cast<Real>(chunk_fill_) / config_.fs, amp, load);
+      chunk_peak_ = 0.0;
+      chunk_fill_ = 0;
+    }
+  }
+}
+
+void NodeStage::begin_emission(std::uint64_t abs) {
+  ScheduledEmission e = std::move(queue_.front());
+  queue_.pop_front();
+  NodeFrameEvent ev;
+  ev.node_id = e.node_id;
+  ev.start = abs;
+  ev.cap_voltage = harvester_.cap_voltage();
+  if (harvester_.mcu_powered()) {
+    ev.emitted = true;
+    std::uint64_t len = e.switching.size();
+    if (injector_.brownout_aborts_frame()) {
+      // Mid-frame brownout: the switch stops partway and the reflection
+      // falls back to the rest state for the remainder — on a live stream
+      // the waveform keeps flowing, it does not shorten as in batch mode.
+      ev.browned_out = true;
+      len = static_cast<std::uint64_t>(
+          injector_.brownout_cut() * static_cast<Real>(e.switching.size()));
+    }
+    active_ = ActiveEmission{std::move(e), len};
+  }
+  events_.push_back(ev);
+}
+
+void NodeStage::push_block(Signal& x) {
+  const std::size_t n = x.size();
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint64_t abs = pos_ + i;
+    if (active_ && abs >= active_->e.start + active_->switch_len) {
+      active_.reset();
+    }
+    if (!active_ && !queue_.empty() && queue_.front().start <= abs) {
+      begin_emission(abs);
+    }
+    // Segment until the next state change: the block end, the end of the
+    // active emission's switching, or the start of the next scheduled one.
+    std::uint64_t seg_end = pos_ + n;
+    if (active_) {
+      seg_end = std::min(seg_end, active_->e.start + active_->switch_len);
+    } else if (!queue_.empty()) {
+      seg_end = std::min(seg_end, queue_.front().start);
+    }
+    const auto len = static_cast<std::size_t>(seg_end - abs);
+    // Harvest reads the raw incident samples, then the reflection replaces
+    // them in place. Power decisions happen in absolute order because the
+    // segment walk never crosses an emission start.
+    harvest_segment(x.data() + i, len);
+    phy::BackscatterParams bp = config_.backscatter;
+    std::span<const Real> switching;
+    std::uint64_t offset = 0;
+    if (active_) {
+      bp.f_blf = active_->e.blf;
+      switching = std::span<const Real>(active_->e.switching.data(),
+                                        active_->switch_len);
+      offset = abs - active_->e.start;
+    }
+    const std::span<Real> seg(x.data() + i, len);
+    phy::backscatter_modulate(seg, switching, offset, config_.fs, bp, seg);
+    i += len;
+  }
+  pos_ += n;
+}
+
+// ------------------------------------------------------------- UplinkStage
+
+UplinkStage::UplinkStage(const channel::ConcreteChannel& channel,
+                         Real carrier_frequency, Real si_amplitude,
+                         std::uint64_t noise_seed)
+    : stream_(channel, carrier_frequency, si_amplitude, noise_seed),
+      fs_(channel.config().fs) {}
+
+void UplinkStage::push_block(Signal& x) {
+  stream_.push_block(x);
+  injector_.corrupt_waveform(x, fs_);
+  injector_.clip_adc(x);
+}
+
+void UplinkStage::set_injector(fault::Injector injector) {
+  injector_ = std::move(injector);
+}
+
+// ----------------------------------------------------------------- RxStage
+
+RxStage::RxStage(const reader::ReceiverConfig& config) : receiver_(config) {}
+
+void RxStage::schedule(CaptureWindow w) {
+  if (w.start < pos_ || w.end <= w.start) {
+    throw std::invalid_argument("RxStage: invalid capture window");
+  }
+  Pending p;
+  p.w = w;
+  p.buf.assign(w.end - w.start, 0.0);
+  pending_.push_back(std::move(p));
+}
+
+void RxStage::push_block(const Signal& x) {
+  if (tap_) tap_(pos_, x);
+  const std::uint64_t lo = pos_;
+  const std::uint64_t hi = pos_ + x.size();
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    Pending& p = *it;
+    const std::uint64_t a = std::max(lo, p.w.start);
+    const std::uint64_t b = std::min(hi, p.w.end);
+    if (a < b) {
+      std::copy(x.begin() + static_cast<std::ptrdiff_t>(a - lo),
+                x.begin() + static_cast<std::ptrdiff_t>(b - lo),
+                p.buf.begin() + static_cast<std::ptrdiff_t>(a - p.w.start));
+    }
+    if (hi >= p.w.end) {
+      // Final sample arrived: decode against the window's negotiated line
+      // parameters — the same retune + batch decode the LinkSimulator runs.
+      receiver_.set_blf(p.w.blf);
+      receiver_.set_bitrate(p.w.bitrate);
+      DecodedUplink d;
+      d.node_id = p.w.node_id;
+      d.window_start = p.w.start;
+      d.decode = receiver_.decode(p.buf, p.w.payload_bits, ws_);
+      decodes_.push_back(std::move(d));
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  pos_ = hi;
+}
+
+std::vector<DecodedUplink> RxStage::drain_decodes() {
+  std::vector<DecodedUplink> out;
+  out.swap(decodes_);
+  return out;
+}
+
+}  // namespace ecocap::stream

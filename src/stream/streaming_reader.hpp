@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fleet/telemetry_store.hpp"
+#include "node/firmware.hpp"
+#include "node/sensors.hpp"
+#include "reader/link_supervisor.hpp"
+#include "stream/stream_pipeline.hpp"
+
+namespace ecocap::reader {
+
+/// A fault plan that goes live at a simulated instant — the "pour water on
+/// the wall mid-run" knob of the streaming daemon.
+struct StreamFaultEvent {
+  dsp::Real at_s = 0.0;
+  fault::FaultPlan plan;
+};
+
+struct StreamingReaderConfig {
+  stream::StreamConfig stream;
+  /// Polling cadence of the interrogation loop, seconds of stream time.
+  dsp::Real poll_interval_s = 0.25;
+  /// Charge-only lead-in before the first poll (the node cold-starts from
+  /// the CBW). Excluded from the real-time-factor measurement.
+  dsp::Real warmup_s = 0.5;
+  node::SensorId sensor = node::SensorId::kTemperature;
+  SupervisorConfig supervisor;
+  fleet::TelemetryStore::Config telemetry;
+  /// Applied in order at the first poll boundary at or after `at_s`.
+  std::vector<StreamFaultEvent> fault_events;
+};
+
+/// Aggregate outcome of a daemon run.
+struct StreamingReaderStats {
+  std::uint64_t polls = 0;
+  std::uint64_t delivered = 0;  // full Query -> Ack -> Read rounds ingested
+  std::uint64_t missed = 0;
+  std::uint64_t skipped = 0;    // polls the supervisor suppressed
+  std::uint64_t frames_scheduled = 0;
+  std::uint64_t frames_dropped_unpowered = 0;
+  std::uint64_t brownouts = 0;
+  std::uint64_t fault_events_applied = 0;
+  SupervisorTotals supervisor;
+  dsp::Real sim_seconds = 0.0;
+  dsp::Real wall_seconds = 0.0;
+  /// Simulated seconds per wall second over the measured (post-warmup)
+  /// run — the streaming headline metric; >= 1 means the daemon keeps up
+  /// with a live ADC at fs.
+  dsp::Real real_time_factor = 0.0;
+};
+
+/// Long-running streaming interrogation daemon: drives the StreamPipeline
+/// continuously, runs the Gen2-style Query -> Ack -> Read exchange against
+/// the node firmware every poll, reassembles and decodes the uplink frames
+/// from the live at-reader stream, feeds delivered readings into a
+/// `fleet::TelemetryStore`, and lets the `LinkSupervisor` react online
+/// while `fault::Injector` plans perturb the stream mid-run.
+///
+/// Scope note: the data plane — carrier, backscatter reflection, channel,
+/// capture, decode — is fully waveform-streaming; the command downlinks
+/// ride the protocol-level `Firmware::handle_command` path (the same one
+/// the SNR-model inventory engine uses). Each uplink leg is decoded from
+/// the reassembled stream exactly as the batch LinkSimulator decodes its
+/// captured buffer.
+class StreamingReader {
+ public:
+  explicit StreamingReader(StreamingReaderConfig config);
+
+  /// Run `sim_seconds` of stream time past the warmup and return the
+  /// aggregate stats. Callable repeatedly; state (node charge, supervisor,
+  /// telemetry) carries across calls and the warmup only runs once.
+  StreamingReaderStats run(dsp::Real sim_seconds);
+
+  /// Called after every poll with the poll index and whether the reading
+  /// was delivered (example/demo hook).
+  using PollHook = std::function<void(std::uint64_t poll, bool delivered)>;
+  void set_poll_hook(PollHook hook) { hook_ = std::move(hook); }
+
+  fleet::TelemetryStore& telemetry() { return telemetry_; }
+  LinkSupervisor& supervisor() { return supervisor_; }
+  stream::StreamPipeline& pipeline() { return pipeline_; }
+  const StreamingReaderConfig& config() const { return config_; }
+
+ private:
+  /// One command -> uplink-frame exchange: schedule the emission and its
+  /// capture window, advance the stream past the window, decode. Returns
+  /// the decoded payload bits when valid.
+  std::optional<phy::Bits> exchange(const phy::Command& cmd,
+                                    StreamingReaderStats& stats,
+                                    dsp::Real* snr_db);
+  void apply_due_faults(StreamingReaderStats& stats);
+  void absorb_node_events(StreamingReaderStats& stats);
+
+  StreamingReaderConfig config_;
+  stream::StreamPipeline pipeline_;
+  node::Firmware firmware_;
+  LinkSupervisor supervisor_;
+  fleet::TelemetryStore telemetry_;
+  node::ConcreteEnvironment environment_;
+  PollHook hook_;
+  std::size_t next_fault_ = 0;
+  std::uint64_t poll_index_ = 0;
+  bool warmed_up_ = false;
+};
+
+}  // namespace ecocap::reader

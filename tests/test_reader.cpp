@@ -16,7 +16,8 @@ namespace {
 TEST(Transmitter, CwIsResonantTone) {
   TransmitterConfig cfg;
   Transmitter tx(cfg);
-  const dsp::Signal cw = tx.continuous_wave(0.01);
+  dsp::Signal cw;
+  tx.continuous_wave(0.01, cw);
   EXPECT_EQ(cw.size(), static_cast<std::size_t>(0.01 * cfg.carrier.fs));
   EXPECT_NEAR(dsp::estimate_tone_frequency(cw, cfg.carrier.fs, 150e3, 300e3),
               230.0e3, 200.0);
@@ -33,8 +34,9 @@ TEST(Transmitter, VoltageLimitEnforced) {
 TEST(Transmitter, FskCommandKeepsCarrierAlive) {
   // FSK downlink: the acoustic output never goes quiet mid-command.
   Transmitter tx;
-  const dsp::Signal wave =
-      tx.transmit_command(phy::Command{phy::QueryCommand{0}});
+  dsp::Workspace ws;
+  dsp::Signal wave;
+  tx.transmit_command(phy::Command{phy::QueryCommand{0}}, ws, wave);
   // Split into 1 ms windows; every window must carry energy.
   const std::size_t win = 2000;
   for (std::size_t i = 0; i + win <= wave.size(); i += win) {
@@ -49,8 +51,9 @@ TEST(Transmitter, OokCommandHasQuietGaps) {
   cfg.scheme = phy::DownlinkScheme::kOok;
   cfg.pzt_q = 20.0;  // weak ring so gaps are visible
   Transmitter tx(cfg);
-  const dsp::Signal wave =
-      tx.transmit_command(phy::Command{phy::QueryCommand{0}});
+  dsp::Workspace ws;
+  dsp::Signal wave;
+  tx.transmit_command(phy::Command{phy::QueryCommand{0}}, ws, wave);
   Real min_rms = 1e9;
   const std::size_t win = 500;  // 0.25 ms
   for (std::size_t i = 0; i + win <= wave.size(); i += win) {

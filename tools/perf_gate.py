@@ -4,7 +4,7 @@
 Each document is dispatched on its "name" field to a per-bench checker,
 so one invocation can gate the whole perf-smoke artifact set:
 
-  perf_gate.py BENCH_micro_dsp.json BENCH_fleet.json
+  perf_gate.py BENCH_micro_dsp.json BENCH_fleet.json BENCH_stream.json
 
 micro_dsp — fails (exit 1) when a pinned speedup floor is violated:
 
@@ -24,16 +24,31 @@ fleet — gates the sharded fleet engine + telemetry serving layer:
     enforced only when hw_threads >= 4, with a higher scaling bar on
     >= 8-thread hosts (the acceptance target is 4x at 1 -> 8 threads).
 
+stream — gates the clocked SPSC-ring streaming transceiver:
+
+  * stream_deterministic must be 1 on every host (every block size and the
+    threaded pipeline delivered byte-identical telemetry — again never
+    skipped);
+  * the real-time factor (simulated seconds per wall second of the daemon's
+    measured run) must be >= 1 when hw_threads >= 4: the streaming reader
+    keeps up with a live ADC at fs. Single-core containers are exempt from
+    the floor, not from determinism.
+
 Floors are pinned well below locally measured values (see docs/benchmarks.md)
 so scheduler noise on shared CI runners doesn't flake the gate, while a real
 regression — a kernel silently falling back to the seed loop, the FDTD band
-partition re-serializing, or the fleet shards contending on a lock — still
-trips it.
+partition re-serializing, the fleet shards contending on a lock, or the
+streaming pipeline dropping below real time — still trips it.
+
+A gated metric that is absent from its document fails with a per-key message
+(never a traceback), as does a non-numeric value where a number is expected.
 
 Usage: perf_gate.py BENCH_foo.json [BENCH_bar.json ...]
+       perf_gate.py --list-floors
 """
 
 import json
+import numbers
 import sys
 
 # Kernel speedup floors (measured on AVX2: fir 3.7x, correlate 4.9x,
@@ -63,13 +78,35 @@ FLEET_SCALING_FLOOR_4T = 2.0
 FLEET_QUERIES_PER_SEC_FLOOR = 10_000.0
 FLEET_INGEST_UNDER_QUERY_FLOOR = 50_000.0
 
+# Streaming real-time factor floor: measured ~3x on a 1-core container in
+# Release, so >= 1 on a 4-thread CI runner leaves a wide margin while still
+# catching the pipeline falling off the real-time cliff.
+STREAM_RTF_FLOOR = 1.0
+
 
 def check_floor(metrics, key, floor, failures, path):
-    value = metrics.get(key)
-    if value is None:
-        failures.append(f"{key}: missing from {path}")
+    """Append a per-key failure when `key` is missing, non-numeric, or
+    below `floor`. Never raises on malformed documents."""
+    if key not in metrics:
+        failures.append(
+            f"{key}: gated metric missing from {path} "
+            f"(expected a number >= {floor})")
+        return
+    value = metrics[key]
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        failures.append(
+            f"{key}: expected a number >= {floor}, got {value!r} in {path}")
     elif value < floor:
         failures.append(f"{key}: {value:.3f} < floor {floor}")
+
+
+def check_flag(metrics, key, failures, path, meaning):
+    """A determinism bit: must be present and exactly 1 on every host."""
+    if key not in metrics:
+        failures.append(
+            f"{key}: gated metric missing from {path} (expected 1: {meaning})")
+    elif metrics[key] != 1:
+        failures.append(f"{key}: {meaning} in {path}")
 
 
 def gate_micro_dsp(metrics, path, failures):
@@ -94,10 +131,8 @@ def gate_micro_dsp(metrics, path, failures):
 def gate_fleet(metrics, path, failures):
     # Determinism is enforced unconditionally — a single-core host can and
     # must still produce byte-identical 1-thread vs hw-thread aggregates.
-    if metrics.get("aggregates_match") != 1:
-        failures.append(
-            f"aggregates_match: fleet aggregates not bit-identical "
-            f"across thread counts in {path}")
+    check_flag(metrics, "aggregates_match", failures, path,
+               "fleet aggregates not bit-identical across thread counts")
 
     hw_threads = metrics.get("hw_threads", 0)
     if hw_threads >= 8:
@@ -119,18 +154,68 @@ def gate_fleet(metrics, path, failures):
             "queries_per_sec_concurrent", "aggregates_match"]
 
 
+def gate_stream(metrics, path, failures):
+    # Bit-identical telemetry across block sizes and threaded/inline mode is
+    # the streaming contract; like the fleet determinism bit it holds on any
+    # host.
+    check_flag(metrics, "stream_deterministic", failures, path,
+               "streamed telemetry not bit-identical across "
+               "block sizes / threading modes")
+
+    hw_threads = metrics.get("hw_threads", 0)
+    if hw_threads >= 4:
+        check_floor(metrics, "real_time_factor", STREAM_RTF_FLOOR,
+                    failures, path)
+    else:
+        print(f"perf_gate: only {hw_threads:.0f} hardware threads; "
+              "streaming real_time_factor floor skipped")
+    return ["real_time_factor", "rtf_inline_256", "rtf_threaded_256",
+            "stream_deterministic", "delivered", "missed"]
+
+
 GATES = {
     "micro_dsp": gate_micro_dsp,
     "fleet": gate_fleet,
+    "stream": gate_stream,
 }
+
+
+def list_floors() -> int:
+    """Print every gate's floors and the condition under which each is
+    enforced, then exit 0 — so a CI log or a curious contributor can see
+    the bar without reading the source."""
+    print("micro_dsp (BENCH_micro_dsp.json):")
+    for key in sorted(KERNEL_FLOORS):
+        print(f"  {key:32s} >= {KERNEL_FLOORS[key]:<6g} [simd_isa != 0]")
+    key, floor = FDTD_THREAD_FLOOR
+    print(f"  {key:32s} >= {floor:<6g} [hw_threads >= 4]")
+    print("fleet (BENCH_fleet.json):")
+    print(f"  {'aggregates_match':32s} == 1      [always]")
+    print(f"  {'ingest_scaling':32s} >= {FLEET_SCALING_FLOOR_4T:<6g} "
+          "[hw_threads >= 4]")
+    print(f"  {'ingest_scaling':32s} >= {FLEET_SCALING_FLOOR_8T:<6g} "
+          "[hw_threads >= 8]")
+    print(f"  {'queries_per_sec_concurrent':32s} >= "
+          f"{FLEET_QUERIES_PER_SEC_FLOOR:<6g} [hw_threads >= 4]")
+    print(f"  {'ingest_reads_per_sec_under_query':32s} >= "
+          f"{FLEET_INGEST_UNDER_QUERY_FLOOR:<6g} [hw_threads >= 4]")
+    print("stream (BENCH_stream.json):")
+    print(f"  {'stream_deterministic':32s} == 1      [always]")
+    print(f"  {'real_time_factor':32s} >= {STREAM_RTF_FLOOR:<6g} "
+          "[hw_threads >= 4]")
+    return 0
 
 
 def main(paths) -> int:
     failures = []
     report = []  # (doc name, metric key, value) for the PASS summary
     for path in paths:
-        with open(path) as f:
-            doc = json.load(f)
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            failures.append(f"{path}: unreadable bench document ({e})")
+            continue
         metrics = doc.get("metrics", doc)
         name = doc.get("name", "")
         gate = GATES.get(name)
@@ -149,11 +234,16 @@ def main(paths) -> int:
 
     print("perf_gate: PASS")
     for name, key, value in report:
-        print(f"  {name}.{key} = {value:.3f}")
+        if isinstance(value, numbers.Real) and not isinstance(value, bool):
+            print(f"  {name}.{key} = {value:.3f}")
+        else:
+            print(f"  {name}.{key} = {value!r}")
     return 0
 
 
 if __name__ == "__main__":
+    if "--list-floors" in sys.argv[1:]:
+        sys.exit(list_floors())
     if len(sys.argv) < 2:
         print(__doc__)
         sys.exit(2)
