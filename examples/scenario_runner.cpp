@@ -1,0 +1,133 @@
+// Scenario driver: parses a declarative .scn script (see docs/scenarios.md)
+// and runs it through the scenario engine, printing the health-grade
+// timeline and every aggregate scalar. The --out file records the outcome
+// in bit-exact hexfloat form, so CI can byte-diff runs across thread counts
+// or across a kill-and-resume:
+//
+//   scenario_runner scenarios/seismic_retrofit.scn --out full.txt
+//   scenario_runner scenarios/seismic_retrofit.scn --stop-after 576 --checkpoint cp.txt
+//   scenario_runner scenarios/seismic_retrofit.scn --resume --checkpoint cp.txt --out resumed.txt
+//   diff full.txt resumed.txt   # must be empty at any ECOCAP_THREADS
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "dsp/serialize.hpp"
+#include "scenario/engine.hpp"
+#include "scenario/script.hpp"
+
+using namespace ecocap;
+
+namespace {
+
+const char* mode_name(scenario::Mode m) {
+  switch (m) {
+    case scenario::Mode::kStructural: return "structural";
+    case scenario::Mode::kMobile: return "mobile";
+    case scenario::Mode::kMultiReader: return "multi_reader";
+  }
+  return "?";
+}
+
+/// Bit-exact dump of the outcome for byte-diffing runs against each other.
+std::string dump(const scenario::ScenarioOutcome& out) {
+  dsp::ser::Writer w("ecocap-scenario-outcome v1");
+  w.str("name", out.name);
+  w.u64("completed", out.completed ? 1 : 0);
+  w.str("grade_path", out.grade_path.empty() ? "-" : out.grade_path);
+  w.real_vec("trace", out.trace);
+  w.u64("scalars", out.scalars.size());
+  for (const auto& [key, value] : out.scalars) {
+    w.str("scalar.key", key);
+    w.real("scalar.value", value);
+  }
+  return w.payload();
+}
+
+void print_grade_timeline(const scenario::ScenarioOutcome& out,
+                          dsp::Real step_hours) {
+  std::printf("hourly combined health grade (Table 2 PAO x structural):\n");
+  char last = '\0';
+  for (std::size_t i = 0; i < out.trace.size(); ++i) {
+    const char grade = static_cast<char>('A' + static_cast<int>(out.trace[i]));
+    if (grade == last) continue;  // print transitions, not every hour
+    const double t_days = static_cast<double>(i) * step_hours / 24.0;
+    std::printf("  day %5.2f  grade %c\n", t_days, grade);
+    last = grade;
+  }
+  std::printf("grade path: %s\n", out.grade_path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string script_path, checkpoint, out_path;
+  std::size_t stop_after = 0;
+  bool resume = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto arg = std::string(argv[i]);
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--checkpoint") {
+      checkpoint = next();
+    } else if (arg == "--stop-after") {
+      stop_after = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (!arg.empty() && arg[0] != '-' && script_path.empty()) {
+      script_path = arg;
+    } else {
+      std::fprintf(stderr,
+                   "usage: scenario_runner SCRIPT.scn [--checkpoint FILE] "
+                   "[--stop-after UNITS] [--resume] [--out FILE]\n");
+      return 2;
+    }
+  }
+  if (script_path.empty()) {
+    std::fprintf(stderr, "scenario_runner: no script given\n");
+    return 2;
+  }
+
+  try {
+    const auto script = scenario::ScenarioScript::load(script_path);
+    scenario::RunControl control;
+    control.checkpoint_path = checkpoint;
+    control.stop_after_units = stop_after;
+    scenario::ScenarioEngine engine(script, control);
+    const scenario::ScenarioOutcome out =
+        resume ? engine.resume() : engine.run();
+
+    std::printf("scenario %s (%s): %s\n", out.name.c_str(),
+                mode_name(out.mode),
+                out.completed ? "completed" : "stopped at checkpoint");
+    if (out.completed) {
+      if (out.mode == scenario::Mode::kStructural) {
+        print_grade_timeline(out, 1.0);
+      }
+      for (const auto& [key, value] : out.scalars) {
+        std::printf("  %-24s %.6g\n", key.c_str(), value);
+      }
+    }
+    if (!out_path.empty()) {
+      if (!dsp::ser::atomic_write_file(out_path, dump(out))) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", out_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scenario_runner: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

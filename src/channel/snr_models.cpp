@@ -87,6 +87,34 @@ ThroughputResult max_throughput(const UplinkSnrModel& model, Real bitrate_lo,
   return best;
 }
 
+Real ReaderInterference::carrier_rejection_db(Real offset_hz) const {
+  const Real offset = std::abs(offset_hz);
+  if (offset <= rx_notch_bw_hz || rx_notch_bw_hz <= 0.0) return 0.0;
+  const Real decades = std::log10(offset / rx_notch_bw_hz);
+  return std::min(rejection_db_per_decade * decades, max_rejection_db);
+}
+
+Real ReaderInterference::cir_db(const Structure& structure, Real node_distance,
+                                Real separation_m,
+                                Real carrier_offset_hz) const {
+  // Amplitude decay exp(-alpha d) is 20 log10(e) * alpha * d in power dB.
+  const Real db_per_m =
+      20.0 * 0.43429448190325176 * structure.effective_attenuation;
+  // Wanted path: backscatter conversion loss + the round trip to the node.
+  const Real signal_db = -backscatter_loss_db - 2.0 * db_per_m * node_distance;
+  // Interfering path: the neighbour's carrier crosses the separation once,
+  // then the RX notch rejects whatever the carrier offset allows.
+  const Real interferer_db =
+      -db_per_m * separation_m - carrier_rejection_db(carrier_offset_hz);
+  return signal_db - interferer_db;
+}
+
+Real sinr_db(Real snr_db_in, Real cir_db_in) {
+  const Real inv =
+      dsp::from_db(-snr_db_in) + dsp::from_db(-cir_db_in);
+  return -dsp::to_db(inv);
+}
+
 Real DownlinkAngleModel::snr_db(Real theta) const {
   const Real noise = dsp::from_db(-peak_snr_db);  // vs unit signal power
 

@@ -55,6 +55,38 @@ ThroughputResult max_throughput(const UplinkSnrModel& model,
                                 Real bitrate_hi = 20.0e3,
                                 Real penalty_db = 0.0);
 
+/// Inter-reader interference for co-located readers on the same structure
+/// (the scenario layer's multi-reader campaigns). A neighbouring reader's
+/// carrier arrives at the victim's transducer attenuated only over the
+/// reader separation, while the wanted backscatter pays the backscatter
+/// conversion loss plus the round trip to the node — so an uncoordinated
+/// neighbour a few metres away usually buries deep nodes. The victim's RX
+/// chain notches its own carrier; an offset interferer falls partly outside
+/// the notch, recovering `rejection_db_per_decade` per decade of offset
+/// beyond `rx_notch_bw_hz`, saturating at `max_rejection_db`.
+struct ReaderInterference {
+  /// Conversion loss of the backscatter reflection vs a directly driven
+  /// carrier (the ~10x self-interference figure of §3.4, squared to power).
+  Real backscatter_loss_db = 30.0;
+  Real rx_notch_bw_hz = 500.0;       // offsets inside get no extra rejection
+  Real rejection_db_per_decade = 30.0;
+  Real max_rejection_db = 60.0;
+
+  /// Filter rejection (dB >= 0) of an interfering carrier at `offset_hz`
+  /// from the victim's own carrier.
+  Real carrier_rejection_db(Real offset_hz) const;
+
+  /// Carrier-to-interference ratio (dB) at the victim reader for a node at
+  /// `node_distance` (m) while a neighbour `separation_m` away transmits at
+  /// `carrier_offset_hz`. Both paths follow the structure's range law.
+  Real cir_db(const Structure& structure, Real node_distance,
+              Real separation_m, Real carrier_offset_hz) const;
+};
+
+/// Combine the thermal-noise SNR with a carrier-to-interference ratio into
+/// the decision SINR: powers add, so 1/sinr = 1/snr + 1/cir.
+Real sinr_db(Real snr_db, Real cir_db);
+
 /// Downlink quality vs prism incident angle (Fig. 19). The received signal
 /// is the dominant transmitted mode; the co-existing secondary mode carries
 /// a delayed copy of the same data (60% symbol overlap at the paper's

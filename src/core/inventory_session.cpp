@@ -63,6 +63,14 @@ reader::InventoryResult InventorySession::collect(
       n.snr_db += supervisor_->snr_delta_db(s.info.node_id);
       admitted.push_back(s.info.node_id);
     }
+    if (interference_.active) {
+      // The neighbour's carrier rides under every node's backscatter; the
+      // decision statistic sees the combined noise + interference floor.
+      const Real cir = interference_.model.cir_db(
+          config_.structure, s.info.distance, interference_.separation_m,
+          interference_.carrier_offset_hz);
+      n.snr_db = channel::sinr_db(n.snr_db, cir);
+    }
     n.environment = s.info.environment;
     round.push_back(n);
   }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "channel/link_budget.hpp"
+#include "channel/snr_models.hpp"
 #include "reader/inventory.hpp"
 #include "reader/link_supervisor.hpp"
 
@@ -68,6 +69,25 @@ class InventorySession {
   reader::InventoryResult collect(
       const std::vector<std::uint8_t>& sensor_ids);
 
+  /// Replace the session's fault plan (scenario fault windows). Takes
+  /// effect from the next pass; the pass counter keeps running, so the
+  /// injector stream for pass k is the same whether the plan changed or
+  /// not. Setting the same plan is a no-op.
+  void set_fault_plan(const fault::FaultPlan& plan) { config_.fault = plan; }
+
+  /// A co-located reader whose carrier leaks into this session's receive
+  /// chain. Inactive (the default) leaves collect() bit-identical to the
+  /// interference-free session; active, every node's decision SNR becomes
+  /// the SINR against the neighbour's carrier. Not part of the checkpoint
+  /// state — the scenario layer re-applies it deterministically per pass.
+  struct InterferenceSpec {
+    bool active = false;
+    channel::ReaderInterference model;
+    Real separation_m = 3.0;     // victim-to-interferer distance (m)
+    Real carrier_offset_hz = 0.0;
+  };
+  void set_interference(const InterferenceSpec& spec) { interference_ = spec; }
+
   /// Update a node's local environment (the SHM layer calls this as the
   /// structure's state evolves).
   void set_environment(std::uint16_t node_id,
@@ -99,6 +119,7 @@ class InventorySession {
   };
   std::vector<Slot> nodes_;
   std::optional<reader::LinkSupervisor> supervisor_;
+  InterferenceSpec interference_;
   /// Monotone pass counter: pass k binds its injector to trial k of the
   /// session seed, so each monitoring pass sees fresh fault realizations
   /// that are still fully reproducible.

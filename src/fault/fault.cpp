@@ -30,6 +30,45 @@ FaultPlan FaultPlan::at_intensity(Real intensity) {
   return p;
 }
 
+FaultPlan FaultPlan::seismic_shaking(Real pga) {
+  const Real g = std::clamp(pga, 0.0, 2.0);
+  FaultPlan p;
+  if (g <= 0.0) return p;  // exactly the empty plan
+  // Ground motion rattles everything at once: rebar scatter turns
+  // impulsive, the PA coupling drops in and out, and racked capsules see
+  // supply dips. Scaled so PGA 1 m/s^2 is a rough site and 2 is severe.
+  p.channel.spike_rate_hz = 4000.0 * g;
+  p.channel.spike_amplitude = 0.4 * g;
+  p.channel.dropout_prob = std::min<Real>(0.25 * g, 0.6);
+  p.channel.dropout_fraction = 0.3;
+  p.node.brownout_prob = std::min<Real>(0.10 * g, 0.4);
+  return p;
+}
+
+FaultPlan FaultPlan::max_of(const FaultPlan& a, const FaultPlan& b) {
+  FaultPlan p;
+  p.channel.burst_prob = std::max(a.channel.burst_prob, b.channel.burst_prob);
+  p.channel.burst_sigma = std::max(a.channel.burst_sigma, b.channel.burst_sigma);
+  p.channel.burst_fraction =
+      std::max(a.channel.burst_fraction, b.channel.burst_fraction);
+  p.channel.dropout_prob =
+      std::max(a.channel.dropout_prob, b.channel.dropout_prob);
+  p.channel.dropout_fraction =
+      std::max(a.channel.dropout_fraction, b.channel.dropout_fraction);
+  p.channel.clock_drift_ppm =
+      std::max(a.channel.clock_drift_ppm, b.channel.clock_drift_ppm);
+  p.channel.spike_rate_hz =
+      std::max(a.channel.spike_rate_hz, b.channel.spike_rate_hz);
+  p.channel.spike_amplitude =
+      std::max(a.channel.spike_amplitude, b.channel.spike_amplitude);
+  p.node.brownout_prob = std::max(a.node.brownout_prob, b.node.brownout_prob);
+  p.node.cap_leak_amps = std::max(a.node.cap_leak_amps, b.node.cap_leak_amps);
+  p.node.bit_flip_prob = std::max(a.node.bit_flip_prob, b.node.bit_flip_prob);
+  p.reader.adc_clip_level =
+      std::max(a.reader.adc_clip_level, b.reader.adc_clip_level);
+  return p;
+}
+
 Injector::Injector(const FaultPlan& plan, std::uint64_t base_seed,
                    std::uint64_t trial)
     : plan_(plan),

@@ -98,6 +98,19 @@ struct FaultPlan {
   /// linearly with `intensity` in [0, 1]. intensity 0 is the empty plan;
   /// 1 is a hostile site (bursty noise, frequent dropouts, leaky caps).
   static FaultPlan at_intensity(Real intensity);
+
+  /// Seismic-shaking plan (the scenario layer's ground-motion event kind):
+  /// during shaking the structure rings with impulsive rebar scatter, the
+  /// reader PA sees transient decoupling dropouts, and racked capsules
+  /// brown out more often. `pga` is the instantaneous peak ground
+  /// acceleration in m/s^2 (typical scenario range 0..~1); 0 is the empty
+  /// plan.
+  static FaultPlan seismic_shaking(Real pga);
+
+  /// Field-wise maximum of two plans — the composition rule for
+  /// overlapping scenario fault windows, where the harsher impairment of
+  /// each kind wins. max_of(p, empty) == p.
+  static FaultPlan max_of(const FaultPlan& a, const FaultPlan& b);
 };
 
 /// Per-trial fault source. Cheap to construct; all hooks are no-ops (zero

@@ -1,0 +1,216 @@
+#include "scenario/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "scenario/mobile.hpp"
+#include "scenario/multi_reader.hpp"
+#include "shm/modal.hpp"
+#include "shm/monitor.hpp"
+
+namespace ecocap::scenario {
+
+Real stiffness_at(const ScenarioScript& s, Real t_days) {
+  Real k = 1.0;
+  for (const auto& e : s.seismic) {
+    if (e.stiffness_loss <= 0.0 || t_days < e.at_day) continue;
+    // The loss accrues linearly over the shaking window (cracks opening as
+    // the motion cycles the structure) and is permanent afterwards.
+    const Real dur = e.duration_hours / 24.0;
+    const Real frac =
+        dur > 0.0 ? std::min((t_days - e.at_day) / dur, 1.0) : 1.0;
+    k *= 1.0 - e.stiffness_loss * frac;
+  }
+  for (const auto& c : s.cracks) {
+    if (c.rate_per_day <= 0.0) continue;
+    const Real exposure = std::clamp(t_days - c.at_day, 0.0, c.duration_days);
+    if (exposure > 0.0) {
+      // Continuous compounding of the per-day loss rate.
+      k *= std::exp(exposure * std::log(1.0 - c.rate_per_day));
+    }
+  }
+  return k;
+}
+
+Real occupancy_factor_at(const ScenarioScript& s, Real t_days) {
+  Real factor = 1.0;
+  for (const auto& e : s.surges) {
+    const Real end = e.at_day + e.duration_hours / 24.0;
+    if (t_days >= e.at_day && t_days < end) factor *= e.factor;
+  }
+  return factor;
+}
+
+Real ground_accel_at(const ScenarioScript& s, Real t_days) {
+  Real g = 0.0;
+  for (const auto& e : s.seismic) {
+    if (e.pga <= 0.0 || e.duration_hours <= 0.0) continue;
+    const Real dur = e.duration_hours / 24.0;
+    const Real x = (t_days - e.at_day) / dur;
+    if (x >= 0.0 && x < 1.0) {
+      // Mainshock-plus-coda envelope: strongest at onset, decayed to ~5%
+      // of the peak by the end of the window.
+      g += e.pga * std::exp(-3.0 * x);
+    }
+  }
+  return g;
+}
+
+fault::FaultPlan poll_fault_at(const ScenarioScript& s, Real t_days) {
+  Real worst = 0.0;
+  for (const auto& f : s.faults) {
+    const Real end = f.at_day + f.duration_hours / 24.0;
+    if (t_days >= f.at_day && t_days < end) {
+      worst = std::max(worst, f.intensity);
+    }
+  }
+  fault::FaultPlan plan;
+  if (worst > 0.0) plan = fault::FaultPlan::at_intensity(worst);
+  const Real g = ground_accel_at(s, t_days);
+  if (g > 0.0) {
+    plan = fault::FaultPlan::max_of(plan, fault::FaultPlan::seismic_shaking(g));
+  }
+  return plan;
+}
+
+char structural_grade(Real stiffness_factor) {
+  const Real loss = 1.0 - stiffness_factor;
+  if (loss < 0.02) return 'A';
+  if (loss < 0.05) return 'B';
+  if (loss < 0.10) return 'C';
+  if (loss < 0.20) return 'D';
+  if (loss < 0.35) return 'E';
+  return 'F';
+}
+
+char worse_grade(char a, char b) { return a > b ? a : b; }
+
+ScenarioEngine::ScenarioEngine(ScenarioScript script, RunControl control)
+    : script_(std::move(script)), control_(std::move(control)) {}
+
+ScenarioOutcome ScenarioEngine::run() {
+  switch (script_.mode) {
+    case Mode::kStructural: return run_structural(false);
+    case Mode::kMobile: return MobileRunner(script_, control_).run(false);
+    case Mode::kMultiReader:
+      return MultiReaderRunner(script_, control_).run(false);
+  }
+  return {};
+}
+
+ScenarioOutcome ScenarioEngine::resume() {
+  switch (script_.mode) {
+    case Mode::kStructural: return run_structural(true);
+    case Mode::kMobile: return MobileRunner(script_, control_).run(true);
+    case Mode::kMultiReader:
+      return MultiReaderRunner(script_, control_).run(true);
+  }
+  return {};
+}
+
+ScenarioOutcome ScenarioEngine::run_structural(bool from_checkpoint) {
+  shm::MonitoringCampaign::Config cfg;
+  cfg.days = script_.days;
+  cfg.step_minutes = script_.step_minutes;
+  cfg.seed = script_.seed;
+  cfg.capsule_poll_hours = script_.poll_hours;
+  cfg.capsule_count = script_.capsules;
+  cfg.capsule_snr_at_contact_db = script_.snr_at_contact_db;
+  cfg.bridge.region = script_.region;
+  cfg.bridge.pedestrians.peak_rate = script_.peak_rate;
+  cfg.bridge.pedestrians.social_distancing = script_.social_distancing;
+  cfg.retry.enabled = script_.retry;
+  cfg.supervisor.enabled = script_.supervised;
+  // Scenarios are days long, not a month: a 24 h rolling baseline keeps the
+  // anomaly detector responsive at scenario scale.
+  cfg.baseline_window =
+      static_cast<std::size_t>(24.0 * 60.0 / script_.step_minutes);
+  // Scripted weather: scenarios own their storm calendar, so the model's
+  // default July cyclone is replaced wholesale.
+  cfg.weather.storms.clear();
+  for (const auto& st : script_.storms) {
+    cfg.weather.storms.push_back(
+        shm::StormEvent{st.at_day, st.at_day + st.duration_days, st.peak_wind});
+  }
+  cfg.checkpoint_path = control_.checkpoint_path;
+  cfg.checkpoint_hours = control_.checkpoint_hours;
+  cfg.stop_after_steps = control_.stop_after_units;
+
+  // The hook captures the script by value and derives everything from
+  // t_days — the purity contract MonitoringCampaign::ModulationHook needs.
+  const ScenarioScript script = script_;
+  const bool overrides_fault = !script.faults.empty() || !script.seismic.empty();
+  cfg.modulate = [script, overrides_fault](Real t_days) {
+    shm::MonitoringCampaign::StepModifiers m;
+    m.load.stiffness_factor = stiffness_at(script, t_days);
+    m.load.occupancy_factor = occupancy_factor_at(script, t_days);
+    m.load.ground_accel = ground_accel_at(script, t_days);
+    if (overrides_fault) {
+      // Always set the plan (possibly empty) so a window that just closed
+      // actually releases the session back to fault-free polls.
+      m.override_poll_fault = true;
+      m.poll_fault = poll_fault_at(script, t_days);
+    }
+    return m;
+  };
+
+  shm::MonitoringCampaign campaign(cfg);
+  const shm::CampaignResult res =
+      from_checkpoint ? campaign.resume() : campaign.run();
+
+  ScenarioOutcome out;
+  out.name = script_.name;
+  out.mode = Mode::kStructural;
+  out.completed = res.completed;
+  if (!res.completed) return out;  // killed mid-run; resume() finishes it
+
+  // Hourly combined health timeline, post-hoc from the checkpointed PAO
+  // series + the pure stiffness function — no hook-accumulated state, so a
+  // resumed run reconstructs it bit-identically.
+  const auto per_hour =
+      static_cast<std::size_t>(60.0 / script_.step_minutes);
+  for (std::size_t k = 0; k < res.pao.size(); k += std::max<std::size_t>(per_hour, 1)) {
+    const Real t_days =
+        static_cast<Real>(k) * script_.step_minutes / (24.0 * 60.0);
+    const char pao_grade =
+        shm::health_letter(shm::grade_pao(res.pao.at(k), script_.region));
+    const char struct_grade = structural_grade(stiffness_at(script_, t_days));
+    const char combined = worse_grade(pao_grade, struct_grade);
+    out.trace.push_back(static_cast<Real>(combined - 'A'));
+    if (out.grade_path.empty() || out.grade_path.back() != combined) {
+      out.grade_path.push_back(combined);
+    }
+  }
+
+  // Modal cross-check: synthesize the structure's vibration before and
+  // after the scenario (f ~ sqrt(k)) and run the damage assessor over it.
+  const Real k_final = stiffness_at(script_, script_.days);
+  constexpr Real kBaseHz = 2.0, kFs = 50.0, kSeconds = 120.0;
+  const auto baseline = shm::synthesize_vibration(
+      kBaseHz, 0.02, kFs, kSeconds, dsp::trial_seed(script_.seed, 101));
+  const auto current = shm::synthesize_vibration(
+      kBaseHz * std::sqrt(k_final), 0.02, kFs, kSeconds,
+      dsp::trial_seed(script_.seed, 102));
+  const shm::DamageIndicator damage =
+      shm::assess_damage(baseline, current, kFs, 0.5, 5.0);
+
+  out.scalars["final_stiffness"] = k_final;
+  out.scalars["modal_frequency_shift"] = damage.frequency_shift;
+  out.scalars["modal_stiffness_change"] = damage.stiffness_change;
+  out.scalars["modal_damaged"] = damage.damaged ? 1.0 : 0.0;
+  out.scalars["limit_violations"] = static_cast<Real>(res.limit_violations);
+  out.scalars["anomaly_windows"] = static_cast<Real>(res.anomalies.size());
+  out.scalars["min_pao"] = res.pao.stats().min;
+  out.scalars["capsule_read_ok"] =
+      static_cast<Real>(res.inventory_totals.read_ok);
+  out.scalars["capsule_giveups"] =
+      static_cast<Real>(res.inventory_totals.giveups);
+  out.scalars["capsule_retries"] =
+      static_cast<Real>(res.inventory_totals.retries);
+  out.scalars["capsule_timeouts"] =
+      static_cast<Real>(res.inventory_totals.timeouts);
+  out.scalars["grade_levels"] = static_cast<Real>(out.grade_path.size());
+  return out;
+}
+
+}  // namespace ecocap::scenario

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "fleet/telemetry_store.hpp"
+#include "scenario/engine.hpp"
+
+namespace ecocap::scenario {
+
+/// Drive-by inventory (mode mobile): a reader van visits each route stop in
+/// order, powers the stop's capsule string under that stop's own link
+/// budget (tx voltage + contact SNR through the structure's range law), and
+/// runs as many inventory passes as the dwell time affords. Delivered
+/// readings stream into a fleet::TelemetryStore keyed by (stop, capsule),
+/// the same ingest path the city-scale fleet engine uses.
+///
+/// Determinism: stop i's session is seeded trial_seed(script.seed, i), so
+/// stops are independent trials — their outcomes depend only on the script,
+/// never on execution history. Checkpoints are written after every stop and
+/// carry the delivered-readings replay log, so a killed-and-resumed route
+/// rebuilds the telemetry store (and every aggregate) byte-identically.
+class MobileRunner {
+ public:
+  MobileRunner(const ScenarioScript& script, const RunControl& control);
+
+  ScenarioOutcome run(bool from_checkpoint);
+
+ private:
+  const ScenarioScript& script_;
+  const RunControl& control_;
+};
+
+}  // namespace ecocap::scenario

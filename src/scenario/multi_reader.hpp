@@ -1,0 +1,37 @@
+#pragma once
+
+#include "scenario/engine.hpp"
+
+namespace ecocap::scenario {
+
+/// Co-located reader coordination (mode multi_reader): `readers` readers
+/// share one wall, their carriers mutually interfering through the
+/// structure (channel::ReaderInterference). The runner scores the victim
+/// reader's capsule delivery over the same `passes` inventory slots under
+/// three schemes, run back to back:
+///
+///  * uncoordinated — everyone transmits every slot; the victim's nodes
+///    decode against the neighbour's carrier (SINR), which usually buries
+///    the deep ones;
+///  * tdma — slots are owned round-robin; the victim transmits clean in
+///    its 1/readers share of slots and sits out the rest;
+///  * lbt — listen-before-talk: every reader draws a backoff per slot from
+///    a shared seeded coordinator stream, the strict minimum wins the slot
+///    clean, ties collide (both transmit, interference on).
+///
+/// Delivery is read_ok / (capsules * passes), so schemes are compared over
+/// identical wall-clock. Checkpoints land after every slot and carry the
+/// scheme/slot cursor, per-scheme counters, coordinator RNG, and the live
+/// session state, so a kill anywhere resumes byte-identically.
+class MultiReaderRunner {
+ public:
+  MultiReaderRunner(const ScenarioScript& script, const RunControl& control);
+
+  ScenarioOutcome run(bool from_checkpoint);
+
+ private:
+  const ScenarioScript& script_;
+  const RunControl& control_;
+};
+
+}  // namespace ecocap::scenario

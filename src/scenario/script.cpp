@@ -1,0 +1,229 @@
+#include "scenario/script.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace ecocap::scenario {
+
+namespace {
+
+[[noreturn]] void fail(int line_no, const std::string& what) {
+  throw std::runtime_error("scenario script line " + std::to_string(line_no) +
+                           ": " + what);
+}
+
+/// `k=v` pairs after an event keyword, e.g. "at_day=1.0 pga=0.8".
+std::map<std::string, std::string> parse_kv(std::istringstream& rest,
+                                            int line_no) {
+  std::map<std::string, std::string> kv;
+  std::string tok;
+  while (rest >> tok) {
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= tok.size()) {
+      fail(line_no, "expected key=value, got '" + tok + "'");
+    }
+    kv[tok.substr(0, eq)] = tok.substr(eq + 1);
+  }
+  return kv;
+}
+
+Real to_real(const std::string& v, int line_no) {
+  try {
+    std::size_t used = 0;
+    const Real r = std::stod(v, &used);
+    if (used != v.size()) fail(line_no, "trailing junk in number '" + v + "'");
+    return r;
+  } catch (const std::invalid_argument&) {
+    fail(line_no, "bad number '" + v + "'");
+  } catch (const std::out_of_range&) {
+    fail(line_no, "number out of range '" + v + "'");
+  }
+}
+
+int to_int(const std::string& v, int line_no) {
+  const Real r = to_real(v, line_no);
+  const int i = static_cast<int>(r);
+  if (static_cast<Real>(i) != r) fail(line_no, "expected integer, got " + v);
+  return i;
+}
+
+bool to_bool(const std::string& v, int line_no) {
+  if (v == "true" || v == "1" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "off") return false;
+  fail(line_no, "expected boolean, got '" + v + "'");
+}
+
+shm::Region to_region(const std::string& v, int line_no) {
+  if (v == "us") return shm::Region::kUnitedStates;
+  if (v == "hk" || v == "hongkong") return shm::Region::kHongKong;
+  if (v == "bangkok") return shm::Region::kBangkok;
+  if (v == "manila") return shm::Region::kManila;
+  fail(line_no, "unknown region '" + v + "' (us|hk|bangkok|manila)");
+}
+
+/// Pull a value out of `kv`, erasing it so leftovers can be rejected.
+template <typename F>
+auto take(std::map<std::string, std::string>& kv, const std::string& key,
+          int line_no, F convert, decltype(convert("", 0)) fallback)
+    -> decltype(convert("", 0)) {
+  const auto it = kv.find(key);
+  if (it == kv.end()) return fallback;
+  const auto value = convert(it->second, line_no);
+  kv.erase(it);
+  return value;
+}
+
+void reject_leftovers(const std::map<std::string, std::string>& kv,
+                      const std::string& event, int line_no) {
+  if (kv.empty()) return;
+  fail(line_no, "unknown key '" + kv.begin()->first + "' for event '" + event +
+                    "'");
+}
+
+}  // namespace
+
+ScenarioScript ScenarioScript::parse(const std::string& text) {
+  ScenarioScript s;
+  bool named = false;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  const auto real_of = [](const std::string& v, int n) { return to_real(v, n); };
+  const auto int_of = [](const std::string& v, int n) { return to_int(v, n); };
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word)) continue;  // blank / comment-only line
+
+    if (word == "scenario") {
+      if (!(ls >> s.name)) fail(line_no, "scenario needs a name");
+      named = true;
+    } else if (word == "mode") {
+      std::string m;
+      if (!(ls >> m)) fail(line_no, "mode needs a value");
+      if (m == "structural") s.mode = Mode::kStructural;
+      else if (m == "mobile") s.mode = Mode::kMobile;
+      else if (m == "multi_reader") s.mode = Mode::kMultiReader;
+      else fail(line_no, "unknown mode '" + m + "'");
+    } else if (word == "event") {
+      std::string kind;
+      if (!(ls >> kind)) fail(line_no, "event needs a kind");
+      auto kv = parse_kv(ls, line_no);
+      if (kind == "seismic") {
+        SeismicEvent e;
+        e.at_day = take(kv, "at_day", line_no, real_of, e.at_day);
+        e.duration_hours =
+            take(kv, "duration_hours", line_no, real_of, e.duration_hours);
+        e.pga = take(kv, "pga", line_no, real_of, e.pga);
+        e.stiffness_loss =
+            take(kv, "stiffness_loss", line_no, real_of, e.stiffness_loss);
+        s.seismic.push_back(e);
+      } else if (kind == "crack") {
+        CrackEvent e;
+        e.at_day = take(kv, "at_day", line_no, real_of, e.at_day);
+        e.duration_days =
+            take(kv, "duration_days", line_no, real_of, e.duration_days);
+        e.rate_per_day =
+            take(kv, "rate_per_day", line_no, real_of, e.rate_per_day);
+        s.cracks.push_back(e);
+      } else if (kind == "surge") {
+        SurgeEvent e;
+        e.at_day = take(kv, "at_day", line_no, real_of, e.at_day);
+        e.duration_hours =
+            take(kv, "duration_hours", line_no, real_of, e.duration_hours);
+        e.factor = take(kv, "factor", line_no, real_of, e.factor);
+        s.surges.push_back(e);
+      } else if (kind == "storm") {
+        StormWindow e;
+        e.at_day = take(kv, "at_day", line_no, real_of, e.at_day);
+        e.duration_days =
+            take(kv, "duration_days", line_no, real_of, e.duration_days);
+        e.peak_wind = take(kv, "peak_wind", line_no, real_of, e.peak_wind);
+        s.storms.push_back(e);
+      } else if (kind == "faults") {
+        FaultWindow e;
+        e.at_day = take(kv, "at_day", line_no, real_of, e.at_day);
+        e.duration_hours =
+            take(kv, "duration_hours", line_no, real_of, e.duration_hours);
+        e.intensity = take(kv, "intensity", line_no, real_of, e.intensity);
+        s.faults.push_back(e);
+      } else if (kind == "stop") {
+        RouteStop e;
+        const auto it = kv.find("structure");
+        if (it != kv.end()) {
+          e.structure = it->second;
+          kv.erase(it);
+        }
+        if (e.structure != "s1" && e.structure != "s2" &&
+            e.structure != "s3" && e.structure != "s4") {
+          fail(line_no, "unknown structure '" + e.structure + "'");
+        }
+        e.nodes = take(kv, "nodes", line_no, int_of, e.nodes);
+        e.spacing_m = take(kv, "spacing_m", line_no, real_of, e.spacing_m);
+        e.first_m = take(kv, "first_m", line_no, real_of, e.first_m);
+        e.dwell_minutes =
+            take(kv, "dwell_minutes", line_no, real_of, e.dwell_minutes);
+        e.tx_voltage = take(kv, "tx_voltage", line_no, real_of, e.tx_voltage);
+        e.snr_at_contact_db =
+            take(kv, "snr_at_contact_db", line_no, real_of, e.snr_at_contact_db);
+        s.route.push_back(e);
+      } else {
+        fail(line_no, "unknown event kind '" + kind + "'");
+      }
+      reject_leftovers(kv, kind, line_no);
+    } else {
+      // Global scalar directive: `key value`.
+      std::string value;
+      if (!(ls >> value)) fail(line_no, "'" + word + "' needs a value");
+      std::string extra;
+      if (ls >> extra) fail(line_no, "trailing junk '" + extra + "'");
+      if (word == "days") s.days = to_real(value, line_no);
+      else if (word == "step_minutes") s.step_minutes = to_real(value, line_no);
+      else if (word == "seed")
+        s.seed = static_cast<std::uint64_t>(to_real(value, line_no));
+      else if (word == "poll_hours") s.poll_hours = to_real(value, line_no);
+      else if (word == "capsules") s.capsules = to_int(value, line_no);
+      else if (word == "supervised") s.supervised = to_bool(value, line_no);
+      else if (word == "retry") s.retry = to_bool(value, line_no);
+      else if (word == "region") s.region = to_region(value, line_no);
+      else if (word == "peak_rate") s.peak_rate = to_real(value, line_no);
+      else if (word == "social_distancing")
+        s.social_distancing = to_real(value, line_no);
+      else if (word == "snr_at_contact_db")
+        s.snr_at_contact_db = to_real(value, line_no);
+      else if (word == "readers") s.readers = to_int(value, line_no);
+      else if (word == "passes") s.passes = to_int(value, line_no);
+      else if (word == "reader_separation_m")
+        s.reader_separation_m = to_real(value, line_no);
+      else if (word == "carrier_offset_hz")
+        s.carrier_offset_hz = to_real(value, line_no);
+      else if (word == "pass_seconds") s.pass_seconds = to_real(value, line_no);
+      else fail(line_no, "unknown directive '" + word + "'");
+    }
+  }
+  if (!named) throw std::runtime_error("scenario script: missing 'scenario <name>'");
+  if (s.mode == Mode::kMobile && s.route.empty()) {
+    throw std::runtime_error("scenario script '" + s.name +
+                             "': mobile mode needs at least one 'event stop'");
+  }
+  if (s.readers < 2 && s.mode == Mode::kMultiReader) {
+    throw std::runtime_error("scenario script '" + s.name +
+                             "': multi_reader mode needs readers >= 2");
+  }
+  return s;
+}
+
+ScenarioScript ScenarioScript::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("scenario script: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+}  // namespace ecocap::scenario

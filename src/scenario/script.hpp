@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsp/types.hpp"
+#include "shm/health.hpp"
+
+namespace ecocap::scenario {
+
+using dsp::Real;
+
+/// Which runner a script drives (see engine.hpp).
+enum class Mode { kStructural, kMobile, kMultiReader };
+
+/// A ground-motion event: shaking for `duration_hours` starting at
+/// `at_day`, with peak ground acceleration `pga` (m/s^2) decaying
+/// exponentially over the window, plus a permanent stiffness loss
+/// (fraction of k) the structure keeps after the event.
+struct SeismicEvent {
+  Real at_day = 0.0;
+  Real duration_hours = 1.0;
+  Real pga = 0.5;
+  Real stiffness_loss = 0.0;
+};
+
+/// A progressive crack-growth window: from `at_day` the structure loses
+/// stiffness at `rate_per_day` (compounded continuously) for
+/// `duration_days` — the slow corrosion/cracking pathway the paper's
+/// monitoring exists to catch before it becomes a Champlain Towers.
+struct CrackEvent {
+  Real at_day = 0.0;
+  Real duration_days = 1.0;
+  Real rate_per_day = 0.02;
+};
+
+/// A pedestrian-load surge (concert letting out, an evacuation): the
+/// arrival rate multiplies by `factor` for `duration_hours`.
+struct SurgeEvent {
+  Real at_day = 0.0;
+  Real duration_hours = 2.0;
+  Real factor = 5.0;
+};
+
+/// A scripted storm window, replacing the weather model's default storm
+/// calendar so short scenarios control their own weather.
+struct StormWindow {
+  Real at_day = 0.0;
+  Real duration_days = 1.0;
+  Real peak_wind = 24.0;
+};
+
+/// A site-impairment window: during it the capsule polls run under
+/// fault::FaultPlan::at_intensity(intensity).
+struct FaultWindow {
+  Real at_day = 0.0;
+  Real duration_hours = 6.0;
+  Real intensity = 0.5;
+};
+
+/// One stop of a mobile reader's drive-by route (mode mobile). Each stop
+/// is an independent structure with its own capsule string, link budget
+/// (tx voltage + contact SNR) and dwell time; the number of inventory
+/// passes the reader affords there is dwell_minutes * 60 / pass_seconds.
+struct RouteStop {
+  std::string structure = "s3";  // s1 | s2 | s3 | s4
+  int nodes = 4;
+  Real spacing_m = 0.6;       // capsule pitch along the structure
+  Real first_m = 0.4;         // first capsule's depth
+  Real dwell_minutes = 2.0;
+  Real tx_voltage = 200.0;
+  Real snr_at_contact_db = 24.0;
+};
+
+/// A deterministic, declarative scenario: global knobs plus a typed event
+/// timeline, parsed from the line-oriented `.scn` format (see
+/// docs/scenarios.md). Everything a run needs is in here — two parses of
+/// the same text always drive bit-identical runs.
+struct ScenarioScript {
+  std::string name;
+  Mode mode = Mode::kStructural;
+
+  // -- shared knobs ---------------------------------------------------------
+  Real days = 2.0;             // structural campaign length
+  Real step_minutes = 5.0;
+  std::uint64_t seed = 2021;
+  Real poll_hours = 3.0;       // capsule interrogation cadence
+  int capsules = 5;
+  bool supervised = false;
+  bool retry = false;
+  shm::Region region = shm::Region::kHongKong;
+  Real peak_rate = 40.0;       // pedestrians/minute at the commute peak
+  Real social_distancing = 0.6;
+  Real snr_at_contact_db = 24.0;
+
+  // -- multi-reader knobs ---------------------------------------------------
+  int readers = 2;             // co-located readers sharing the structure
+  int passes = 40;             // inventory slots compared per scheme
+  Real reader_separation_m = 6.0;
+  Real carrier_offset_hz = 2000.0;
+  Real pass_seconds = 2.0;     // mobile: seconds one inventory pass costs
+
+  // -- event timeline -------------------------------------------------------
+  std::vector<SeismicEvent> seismic;
+  std::vector<CrackEvent> cracks;
+  std::vector<SurgeEvent> surges;
+  std::vector<StormWindow> storms;
+  std::vector<FaultWindow> faults;
+  std::vector<RouteStop> route;  // mobile mode
+
+  /// Parse the `.scn` text. Throws std::runtime_error naming the offending
+  /// line on any unknown directive, unknown key, or malformed value.
+  static ScenarioScript parse(const std::string& text);
+
+  /// Read and parse a script file. Throws std::runtime_error when the file
+  /// cannot be read or fails to parse.
+  static ScenarioScript load(const std::string& path);
+};
+
+}  // namespace ecocap::scenario

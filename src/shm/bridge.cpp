@@ -11,11 +11,17 @@ FootbridgeModel::FootbridgeModel(Config config, std::uint64_t seed)
       rng_(seed) {}
 
 BridgeState FootbridgeModel::step(Real t_days, const WeatherSample& weather) {
+  return step(t_days, weather, LoadModifiers{});
+}
+
+BridgeState FootbridgeModel::step(Real t_days, const WeatherSample& weather,
+                                  const LoadModifiers& mods) {
   BridgeState state;
   state.t_days = t_days;
   state.weather = weather;
 
-  const int total = pedestrians_.sample_count(t_days, weather);
+  const int total =
+      pedestrians_.sample_count(t_days, weather, mods.occupancy_factor);
   state.total_pedestrians = total;
 
   // Distribute pedestrians over sections: the main span (sections B-D)
@@ -51,9 +57,14 @@ BridgeState FootbridgeModel::step(Real t_days, const WeatherSample& weather) {
     // respond ~1.4x more than the approaches (mode shape).
     const Real mode_gain = (s >= 1 && s <= 3) ? 1.4 : 1.0;
     const Real wind2 = weather.wind_speed * weather.wind_speed;
-    const Real excitation =
+    Real excitation =
         config_.footfall_accel * std::sqrt(static_cast<Real>(n)) +
         config_.wind_accel * wind2;
+    // Scenario modulation, exact-identity gated: a softened structure
+    // responds ~1/k harder to the same load; seismic shaking adds ground
+    // motion on top. With identity modifiers neither branch executes.
+    if (mods.stiffness_factor != 1.0) excitation /= mods.stiffness_factor;
+    if (mods.ground_accel != 0.0) excitation += mods.ground_accel;
     sec.vertical_acceleration =
         mode_gain * (excitation + std::abs(rng_.gaussian(config_.accel_noise)));
     // Give it a random sign: the paper plots signed samples whose envelope
@@ -68,6 +79,14 @@ BridgeState FootbridgeModel::step(Real t_days, const WeatherSample& weather) {
     sec.deflection_m =
         config_.ped_deflection * static_cast<Real>(n) * mode_gain +
         2.0e-5 * wind2;
+    if (mods.stiffness_factor != 1.0) {
+      // Softening amplifies the live (load-borne) response; the dead-load
+      // stress offset is a constant of the steelwork, not of its stiffness.
+      const Real soften = 1.0 / mods.stiffness_factor;
+      sec.stress_mpa = config_.dead_stress_mpa +
+                       (sec.stress_mpa - config_.dead_stress_mpa) * soften;
+      sec.deflection_m *= soften;
+    }
   }
   return state;
 }

@@ -48,6 +48,28 @@ struct BridgeState {
   int total_pedestrians = 0;
 };
 
+/// Externally-scripted load/stiffness modulation for one monitoring tick
+/// (the scenario layer's tap into the structural model). The identity
+/// modifiers reproduce the unmodified step bit for bit: every application
+/// site is gated on an exact != comparison, so the default path executes
+/// the same instruction stream as before the scenario layer existed.
+struct LoadModifiers {
+  /// Pedestrian arrival-rate multiplier (concert/evacuation surges).
+  Real occupancy_factor = 1.0;
+  /// Remaining stiffness fraction k/k0 in (0, 1]; below 1 the structure has
+  /// softened (cracking, seismic damage) — live-load stress, deflection and
+  /// footfall response all amplify by ~1/k.
+  Real stiffness_factor = 1.0;
+  /// Additive ground-motion excitation (m/s^2) — seismic shaking raises the
+  /// acceleration envelope on every section.
+  Real ground_accel = 0.0;
+
+  bool identity() const {
+    return occupancy_factor == 1.0 && stiffness_factor == 1.0 &&
+           ground_accel == 0.0;
+  }
+};
+
 /// Quasi-static structural response model of the footbridge: pedestrian
 /// load and wind buffeting excite the deck's fundamental modes; the
 /// response scales with sqrt(N) for uncorrelated footfalls and with wind
@@ -72,6 +94,12 @@ class FootbridgeModel {
 
   /// Advance to `t_days` and compute the full bridge state.
   BridgeState step(Real t_days, const WeatherSample& weather);
+
+  /// Scenario-modulated step: `mods` scales the pedestrian arrival rate,
+  /// softens the structural response, and injects ground motion. Identity
+  /// modifiers are bit-identical to the two-argument overload.
+  BridgeState step(Real t_days, const WeatherSample& weather,
+                   const LoadModifiers& mods);
 
   /// Checkpoint the model's mutable state (own RNG + the pedestrian
   /// model's RNG).

@@ -354,7 +354,11 @@ CampaignResult MonitoringCampaign::run_impl(bool from_checkpoint) {
   for (std::size_t k = start_step; k < steps; ++k) {
     const Real t_days = static_cast<Real>(k) * config_.step_minutes / (24.0 * 60.0);
     const WeatherSample w = weather.sample(t_days);
-    const BridgeState state = bridge.step(t_days, w);
+    // Scenario modulation: evaluated fresh from t_days each step (pure
+    // function), so resumed runs reconstruct the same modifier sequence.
+    StepModifiers mods;
+    if (config_.modulate) mods = config_.modulate(t_days);
+    const BridgeState state = bridge.step(t_days, w, mods.load);
 
     // The "conventional sensor" channels the paper plots.
     if (config_.record_series) {
@@ -399,6 +403,10 @@ CampaignResult MonitoringCampaign::run_impl(bool from_checkpoint) {
     // EcoCapsule interrogation: update environments from the bridge state,
     // then run a protocol-level inventory pass.
     if (poll_every > 0 && k % poll_every == 0) {
+      // Scenario fault windows: the override plan binds to this poll's
+      // injector (pass index is serialized, the plan is re-derived from
+      // t_days — both resume-safe).
+      if (mods.override_poll_fault) session.set_fault_plan(mods.poll_fault);
       for (int i = 0; i < config_.capsule_count; ++i) {
         node::ConcreteEnvironment env;
         env.temperature_c = w.temperature_c + 2.0;  // concrete runs warm

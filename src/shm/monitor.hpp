@@ -96,6 +96,21 @@ class MonitoringCampaign {
       std::size_t step, Real t_days, const WeatherSample& weather,
       const BridgeState& state)>;
 
+  /// Scenario modulation for one step: structural load modifiers plus an
+  /// optional per-poll fault-plan override. The hook MUST be a pure function
+  /// of `t_days` (no mutable capture feeding back into the modifiers) —
+  /// that is what keeps checkpoint-resumed runs bit-identical, since a
+  /// resume re-evaluates the hook at exactly the remaining step times.
+  struct StepModifiers {
+    LoadModifiers load;
+    /// When set, replaces the session's fault plan before a capsule poll at
+    /// this step (scenario fault windows / seismic shaking). Unset leaves
+    /// the configured `Config::fault` plan in force.
+    bool override_poll_fault = false;
+    fault::FaultPlan poll_fault;
+  };
+  using ModulationHook = std::function<StepModifiers(Real t_days)>;
+
   struct Config {
     FootbridgeModel::Config bridge;
     WeatherModel::Config weather;
@@ -124,6 +139,9 @@ class MonitoringCampaign {
     std::size_t stop_after_steps = 0;
     /// Per-step observation tap (see StepHook). Default: none.
     StepHook on_step;
+    /// Scenario modulation tap (see ModulationHook). Default: none, which
+    /// is bit-identical to an identity hook.
+    ModulationHook modulate;
     /// Sample-level result retention. When false the per-step logs —
     /// TimeSeries channels, minute reports, the capsule reading/poll logs —
     /// are not accumulated (and anomaly detection, which needs the

@@ -42,12 +42,13 @@ Real PedestrianModel::rate_per_minute(Real t_days,
   return rate;
 }
 
-int PedestrianModel::sample_count(Real t_days, const WeatherSample& weather) {
+int PedestrianModel::sample_count(Real t_days, const WeatherSample& weather,
+                                  Real rate_factor) {
   const Real rate = rate_per_minute(t_days, weather);
   // Occupancy = arrival rate x crossing time (Little's law); the crossing
   // takes bridge_length / speed ~ 84 m / 1.3 m/s ~ 65 s ~ 1.08 min.
   const Real crossing_minutes = 84.24 / config_.mean_crossing_speed / 60.0;
-  const Real mean_on_bridge = rate * crossing_minutes;
+  const Real mean_on_bridge = rate * crossing_minutes * rate_factor;
   return rng_.poisson(std::max<Real>(mean_on_bridge, 0.0));
 }
 

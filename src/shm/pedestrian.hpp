@@ -30,8 +30,11 @@ class PedestrianModel {
   Real rate_per_minute(Real t_days, const WeatherSample& weather) const;
 
   /// Sample the number of pedestrians on the bridge in a one-minute window
-  /// (arrivals x crossing time), Poisson distributed.
-  int sample_count(Real t_days, const WeatherSample& weather);
+  /// (arrivals x crossing time), Poisson distributed. `rate_factor` scales
+  /// the arrival rate (scenario surges: concerts, evacuations); 1.0 leaves
+  /// the Poisson mean — and therefore the draw sequence — bit-identical.
+  int sample_count(Real t_days, const WeatherSample& weather,
+                   Real rate_factor = 1.0);
 
   /// Mean walking speed right now (slower in crowds and storms).
   Real walking_speed(int count, const WeatherSample& weather) const;

@@ -14,10 +14,6 @@
 
 #include <gtest/gtest.h>
 
-#include <bit>
-#include <cinttypes>
-#include <cstdint>
-#include <cstdio>
 #include <map>
 #include <memory>
 #include <string>
@@ -31,6 +27,8 @@
 #include "shm/health.hpp"
 #include "wave/material.hpp"
 
+#include "golden_util.hpp"
+
 #ifndef ECOCAP_GOLDEN_DIR
 #error "ECOCAP_GOLDEN_DIR must point at tests/golden"
 #endif
@@ -38,112 +36,11 @@
 namespace ecocap {
 namespace {
 
-bool g_regen = false;
-
-// --- FNV-1a over double bit patterns ---------------------------------------
-
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
-
-void fnv_byte(std::uint64_t& h, std::uint8_t b) {
-  h ^= b;
-  h *= kFnvPrime;
-}
-
-void fnv_u64(std::uint64_t& h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) fnv_byte(h, static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-std::uint64_t hash_series(const std::vector<double>& values) {
-  std::uint64_t h = kFnvOffset;
-  fnv_u64(h, values.size());
-  for (const double v : values) fnv_u64(h, std::bit_cast<std::uint64_t>(v));
-  return h;
-}
-
-// --- golden file I/O --------------------------------------------------------
-// Flat JSON: {"name": "...", "hash": "<16 hex>", "scalars": {"k":
-// "hex:<16 hex> dec:<%.17g>", ...}}. The decimal is for humans; comparisons
-// use the hex bit pattern only.
-
-struct Golden {
-  std::uint64_t hash = 0;
-  std::map<std::string, std::uint64_t> scalars;
-};
-
-std::string golden_path(const std::string& name) {
-  return std::string(ECOCAP_GOLDEN_DIR) + "/" + name + ".json";
-}
-
-bool load_golden(const std::string& name, Golden& out) {
-  std::FILE* f = std::fopen(golden_path(name).c_str(), "r");
-  if (!f) return false;
-  std::string text;
-  char buf[512];
-  std::size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
-  std::fclose(f);
-
-  auto hex_after = [&text](std::size_t pos) {
-    return std::strtoull(text.c_str() + pos, nullptr, 16);
-  };
-  const std::size_t hpos = text.find("\"hash\": \"");
-  if (hpos == std::string::npos) return false;
-  out.hash = hex_after(hpos + 9);
-  // Scalars: every occurrence of "key": "hex:....".
-  std::size_t pos = 0;
-  while ((pos = text.find("\"hex:", pos)) != std::string::npos) {
-    const std::size_t key_end = text.rfind('"', text.rfind(':', pos) - 1);
-    const std::size_t key_start = text.rfind('"', key_end - 1) + 1;
-    out.scalars[text.substr(key_start, key_end - key_start)] =
-        hex_after(pos + 5);
-    pos += 5;
-  }
-  return true;
-}
-
-void write_golden(const std::string& name, std::uint64_t hash,
-                  const std::map<std::string, double>& scalars) {
-  std::FILE* f = std::fopen(golden_path(name).c_str(), "w");
-  ASSERT_NE(f, nullptr) << "cannot write " << golden_path(name);
-  std::fprintf(f, "{\n  \"name\": \"%s\",\n", name.c_str());
-  std::fprintf(f, "  \"hash\": \"%016" PRIx64 "\",\n", hash);
-  std::fprintf(f, "  \"scalars\": {");
-  bool first = true;
-  for (const auto& [key, value] : scalars) {
-    std::fprintf(f, "%s\n    \"%s\": \"hex:%016" PRIx64 " dec:%.17g\"",
-                 first ? "" : ",", key.c_str(),
-                 std::bit_cast<std::uint64_t>(value), value);
-    first = false;
-  }
-  std::fprintf(f, "\n  }\n}\n");
-  std::fclose(f);
-}
-
-/// Regenerate or verify one golden vector.
+/// Thin wrapper binding the shared golden plumbing (tests/golden_util.hpp)
+/// to this suite's vector directory.
 void check_golden(const std::string& name, const std::vector<double>& series,
                   const std::map<std::string, double>& scalars) {
-  const std::uint64_t hash = hash_series(series);
-  if (g_regen) {
-    write_golden(name, hash, scalars);
-    SUCCEED() << "regenerated " << golden_path(name);
-    return;
-  }
-  Golden golden;
-  ASSERT_TRUE(load_golden(name, golden))
-      << "missing golden vector " << golden_path(name)
-      << " — run ./test_golden_vectors --regen and commit the result";
-  EXPECT_EQ(golden.hash, hash)
-      << name << ": series hash drifted — the fault-free pipeline is no "
-      << "longer bit-identical to the checked-in vector. If the change is "
-      << "intentional, rerun with --regen and commit.";
-  for (const auto& [key, value] : scalars) {
-    const auto it = golden.scalars.find(key);
-    ASSERT_NE(it, golden.scalars.end()) << name << ": missing scalar " << key;
-    EXPECT_EQ(it->second, std::bit_cast<std::uint64_t>(value))
-        << name << "." << key << ": expected "
-        << std::bit_cast<double>(it->second) << ", got " << value;
-  }
+  golden::check_golden(ECOCAP_GOLDEN_DIR, name, series, scalars);
 }
 
 // --- the five tier-1 slices -------------------------------------------------
@@ -265,9 +162,5 @@ TEST(GoldenVectors, AblationTdma) {
 }  // namespace ecocap
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--regen") ecocap::g_regen = true;
-  }
-  ::testing::InitGoogleTest(&argc, argv);
-  return RUN_ALL_TESTS();
+  return ecocap::golden::golden_test_main(argc, argv);
 }
