@@ -1,0 +1,183 @@
+// Self-healing runtime bench — the robustness headline for the supervised
+// fleet: a DaemonSupervisor drives a small fleet through a scripted chaos
+// plan (daemon crashes before and after checkpoints, a hung pipeline the
+// watchdog must reclaim, a throttled collector) and the bench reports
+//
+//   recovery_deterministic  — 1.0 iff the chaos run's final TelemetryStore
+//                             is byte-identical per node to a crash-free
+//                             run of the same fleet (the ISSUE acceptance
+//                             bit; gated unconditionally in CI),
+//   recovery_latency_ms_*   — wall time from watchdog/crash detection to
+//                             the restarted daemon's thread running again,
+//   overload_drop_rate      — fraction of events shed by the drop-oldest
+//                             ring while the collector is paused for the
+//                             whole campaign (~every event beyond the ring
+//                             capacity; memory stays bounded by the ring),
+//   drops_accounted_exactly — 1.0 iff pushed == collected + dropped.
+//
+// Emits BENCH_runtime.json, gated by tools/perf_gate.py.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "core/link_simulator.hpp"
+#include "dsp/serialize.hpp"
+#include "fleet/telemetry_store.hpp"
+#include "runtime/daemon_supervisor.hpp"
+#include "stream/streaming_reader.hpp"
+
+using namespace ecocap;
+
+namespace {
+
+double env_or(const char* name, double fallback) {
+  if (const char* v = std::getenv(name)) {
+    const double parsed = std::atof(v);
+    if (parsed > 0.0) return parsed;
+  }
+  return fallback;
+}
+
+runtime::RuntimeConfig fleet_config(std::size_t daemons, std::uint64_t polls) {
+  runtime::RuntimeConfig config;
+  for (std::size_t i = 0; i < daemons; ++i) {
+    reader::StreamingReaderConfig d;
+    d.stream.system = core::default_system();
+    d.stream.system.seed += 1000 * (i + 1);
+    d.stream.system.capsule.firmware.node_id =
+        static_cast<std::uint16_t>(42 + i);
+    d.stream.block_size = 256;
+    d.poll_interval_s = 0.05;
+    d.warmup_s = 0.5;
+    config.daemons.push_back(std::move(d));
+  }
+  config.polls_per_daemon = polls;
+  config.checkpoint_every_polls = 4;
+  config.event_ring_capacity = 64;
+  config.heartbeat_timeout_ms = 1500.0;
+  config.watchdog_interval_ms = 5.0;
+  return config;
+}
+
+std::string node_bytes(const fleet::TelemetryStore& store, std::size_t node) {
+  dsp::ser::Writer w("bench-store-dump v1");
+  store.save_node(node, w);
+  return w.payload();
+}
+
+}  // namespace
+
+int main() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const auto polls =
+      static_cast<std::uint64_t>(env_or("ECOCAP_BENCH_RUNTIME_POLLS", 12.0));
+  constexpr std::size_t kDaemons = 2;
+
+  std::printf("# self-healing runtime: chaos recovery + overload shedding\n");
+
+  bench::BenchJson out("runtime");
+
+  // --- Crash-free golden run -------------------------------------------
+  auto golden_config = fleet_config(kDaemons, polls);
+  runtime::DaemonSupervisor golden(golden_config);
+  const auto golden_stats = golden.run();
+  std::printf("# golden: %llu polls/daemon, %.2fs wall\n",
+              static_cast<unsigned long long>(polls),
+              golden_stats.wall_seconds);
+
+  // --- Scripted chaos run ----------------------------------------------
+  // The ISSUE acceptance plan: >= 3 crashes (hitting both the
+  // resume-from-checkpoint and restart-from-scratch paths), >= 1 stall the
+  // watchdog must detect, plus a throttled collector stressing the rings.
+  auto chaos_config = fleet_config(kDaemons, polls);
+  using Chaos = runtime::ChaosEvent;
+  chaos_config.script = {
+      {0, 3, Chaos::Kind::kCrash, 1},
+      {0, 7, Chaos::Kind::kCrash, 1},
+      {1, 5, Chaos::Kind::kCrash, 1},
+      {1, 9, Chaos::Kind::kStall, 2},
+      {0, 2, Chaos::Kind::kThrottle, 100},
+  };
+  runtime::DaemonSupervisor chaos(chaos_config);
+  const auto chaos_stats = chaos.run();
+
+  bool deterministic = true;
+  double latency_total = 0.0, latency_max = 0.0;
+  std::uint64_t restarts = 0, crashes = 0, kicks = 0;
+  std::vector<double> restart_series, latency_series;
+  for (std::size_t i = 0; i < kDaemons; ++i) {
+    const auto& d = chaos_stats.daemons[i];
+    deterministic = deterministic &&
+                    node_bytes(chaos.telemetry(), i) ==
+                        node_bytes(golden.telemetry(), i) &&
+                    d.reader.delivered == golden_stats.daemons[i].reader.delivered;
+    latency_total += d.recovery_latency_ms_total;
+    if (d.recovery_latency_ms_max > latency_max)
+      latency_max = d.recovery_latency_ms_max;
+    restarts += d.restarts;
+    crashes += d.crashes;
+    kicks += d.watchdog_kicks;
+    restart_series.push_back(static_cast<double>(d.restarts));
+    latency_series.push_back(d.recovery_latency_ms_max);
+    std::printf("# daemon %zu: %llu restarts, %.2f ms worst recovery\n", i,
+                static_cast<unsigned long long>(d.restarts),
+                d.recovery_latency_ms_max);
+  }
+  const double latency_mean =
+      restarts > 0 ? latency_total / static_cast<double>(restarts) : 0.0;
+  std::printf("# chaos: deterministic=%d restarts=%llu crashes=%llu "
+              "kicks=%llu latency mean/max %.2f/%.2f ms\n",
+              deterministic ? 1 : 0,
+              static_cast<unsigned long long>(restarts),
+              static_cast<unsigned long long>(crashes),
+              static_cast<unsigned long long>(kicks), latency_mean,
+              latency_max);
+
+  // --- Overload shedding run -------------------------------------------
+  // Collector paused for the whole campaign at a tiny drop-oldest ring:
+  // memory stays bounded at the ring capacity and the drop accounting must
+  // balance to the event.
+  auto overload_config = fleet_config(1, polls);
+  overload_config.event_ring_capacity = 2;
+  overload_config.event_policy = core::Overflow::kDropOldest;
+  overload_config.script = {{0, 0, Chaos::Kind::kThrottle, 600000}};
+  runtime::DaemonSupervisor overload(overload_config);
+  const auto overload_stats = overload.run();
+  const auto& od = overload_stats.daemons[0];
+  const bool drops_exact =
+      od.events_pushed == overload_stats.events_collected + od.events_dropped;
+  const double drop_rate =
+      od.events_pushed > 0
+          ? static_cast<double>(od.events_dropped) /
+                static_cast<double>(od.events_pushed)
+          : 0.0;
+  std::printf("# overload: pushed=%llu collected=%llu dropped=%llu "
+              "(rate %.3f, exact=%d)\n",
+              static_cast<unsigned long long>(od.events_pushed),
+              static_cast<unsigned long long>(overload_stats.events_collected),
+              static_cast<unsigned long long>(od.events_dropped), drop_rate,
+              drops_exact ? 1 : 0);
+
+  out.set_trials(static_cast<std::size_t>(kDaemons * polls));
+  out.metric("hw_threads", static_cast<double>(hw));
+  out.metric("recovery_deterministic", deterministic ? 1.0 : 0.0);
+  out.metric("recovery_latency_ms_mean", latency_mean);
+  out.metric("recovery_latency_ms_max", latency_max);
+  out.metric("restarts", static_cast<double>(restarts));
+  out.metric("crashes_injected", static_cast<double>(crashes));
+  out.metric("watchdog_kicks", static_cast<double>(kicks));
+  out.metric("overload_drop_rate", drop_rate);
+  out.metric("drops_accounted_exactly", drops_exact ? 1.0 : 0.0);
+  out.metric("golden_wall_seconds", golden_stats.wall_seconds);
+  out.metric("chaos_wall_seconds", chaos_stats.wall_seconds);
+  out.metric("events_collected",
+             static_cast<double>(chaos_stats.events_collected));
+  out.series("daemon_restarts", restart_series);
+  out.series("daemon_recovery_latency_ms_max", latency_series);
+  out.write();
+  return deterministic && drops_exact ? 0 : 1;
+}

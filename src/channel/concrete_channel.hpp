@@ -120,6 +120,12 @@ class ConcreteChannel {
     /// Absolute sample index of the next sample to be pushed.
     std::uint64_t position() const { return pos_; }
 
+    /// Bit-exact carried-state round trip (tap delay line, biquad state,
+    /// noise RNG, position); the tap geometry is config, recomputed at
+    /// construction.
+    void save(dsp::ser::Writer& w) const;
+    void load(dsp::ser::Reader& r);
+
    private:
     const ConcreteChannel* channel_;
     std::vector<std::size_t> shifts_;  // per-tap delays, samples
@@ -148,6 +154,11 @@ class ConcreteChannel {
     /// Transform one block in place: x is the node emission on entry, the
     /// at-reader waveform on exit.
     void push_block(Signal& x);
+
+    /// Bit-exact carried-state round trip (biquad, SI oscillator phase,
+    /// noise RNG).
+    void save(dsp::ser::Writer& w) const;
+    void load(dsp::ser::Reader& r);
 
    private:
     const ConcreteChannel* channel_;

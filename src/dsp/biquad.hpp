@@ -4,6 +4,11 @@
 
 #include "dsp/types.hpp"
 
+namespace ecocap::dsp::ser {
+class Writer;
+class Reader;
+}  // namespace ecocap::dsp::ser
+
 namespace ecocap::dsp {
 
 /// Second-order IIR section (direct form I), designed with the RBJ audio-EQ
@@ -37,6 +42,10 @@ class Biquad {
 
   /// Magnitude response at frequency f (Hz) for sample rate fs.
   Real magnitude_at(Real fs, Real f) const;
+
+  /// Bit-exact filter-state round trip (coefficients are config, not state).
+  void save(ser::Writer& w) const;
+  void load(ser::Reader& r);
 
  private:
   Real b0_, b1_, b2_, a1_, a2_;

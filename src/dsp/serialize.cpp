@@ -6,6 +6,11 @@
 #include <sstream>
 #include <stdexcept>
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 namespace ecocap::dsp::ser {
 
 namespace {
@@ -61,6 +66,15 @@ void Writer::real_vec(std::string_view key, const std::vector<Real>& v) {
   for (Real x : v) {
     line.push_back(' ');
     line.append(format_real(x));
+  }
+  kv(key, line);
+}
+
+void Writer::u64_vec(std::string_view key, const std::vector<std::uint64_t>& v) {
+  std::string line = std::to_string(v.size());
+  for (std::uint64_t x : v) {
+    line.push_back(' ');
+    line.append(std::to_string(x));
   }
   kv(key, line);
 }
@@ -135,11 +149,44 @@ std::vector<Real> Reader::real_vec(std::string_view key) {
   return v;
 }
 
+std::vector<std::uint64_t> Reader::u64_vec(std::string_view key) {
+  std::istringstream is(kv(key));
+  std::size_t n = 0;
+  if (!(is >> n)) fail(key, "bad vector length");
+  std::vector<std::uint64_t> v;
+  v.reserve(n);
+  std::uint64_t x = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(is >> x)) fail(key, "short vector");
+    v.push_back(x);
+  }
+  return v;
+}
+
 void Reader::rng(std::string_view key, Rng& r) {
   std::istringstream is(kv(key));
   r.load(is);
   if (is.fail()) fail(key, "bad rng state");
 }
+
+namespace {
+
+#ifndef _WIN32
+/// fsync the directory containing `path`, so a just-completed rename in it
+/// is durable across power loss (POSIX persists the rename only once the
+/// directory's own metadata reaches disk).
+bool sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+#endif
+
+}  // namespace
 
 bool atomic_write_file(const std::string& path, std::string_view content) {
   const std::string tmp = path + ".tmp";
@@ -148,11 +195,23 @@ bool atomic_write_file(const std::string& path, std::string_view content) {
   bool ok = content.empty() ||
             std::fwrite(content.data(), 1, content.size(), f) == content.size();
   ok = (std::fflush(f) == 0) && ok;
+#ifndef _WIN32
+  // Force the temp file's *data* to disk before the rename makes it
+  // reachable — otherwise power loss can leave `path` pointing at a
+  // zero-length or torn file even though the rename itself survived.
+  ok = ok && ::fsync(::fileno(f)) == 0;
+#endif
   ok = (std::fclose(f) == 0) && ok;
   if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return false;
   }
+#ifndef _WIN32
+  // And the rename: the directory entry must hit disk too. The data is
+  // already safe, so a failure here still leaves a readable file — but we
+  // report it, because the durability contract was not met.
+  if (!sync_parent_dir(path)) return false;
+#endif
   return true;
 }
 

@@ -49,6 +49,10 @@ class Writer {
   /// `key n v0 v1 ... v{n-1}` on a single line.
   void real_vec(std::string_view key, const std::vector<Real>& v);
 
+  /// `key n v0 v1 ... v{n-1}` of decimal u64 on a single line (packed
+  /// telemetry words, fault-plan cursors).
+  void u64_vec(std::string_view key, const std::vector<std::uint64_t>& v);
+
   /// Full generator state (engine + distribution caches) on one line.
   void rng(std::string_view key, const Rng& r);
 
@@ -73,6 +77,7 @@ class Reader {
   Real real(std::string_view key);
   std::string str(std::string_view key) { return kv(key); }
   std::vector<Real> real_vec(std::string_view key);
+  std::vector<std::uint64_t> u64_vec(std::string_view key);
   void rng(std::string_view key, Rng& r);
 
   /// True when every line has been consumed.
@@ -86,9 +91,12 @@ class Reader {
 };
 
 /// Crash-safe file replacement: write `content` to `path + ".tmp"`, flush,
-/// then atomically rename over `path`. An interrupted writer can leave a
-/// stale .tmp behind but never a truncated `path`. Returns false (after
-/// cleaning up the temp file) when any step fails.
+/// fsync the temp file, atomically rename over `path`, then fsync the
+/// parent directory so the rename itself is durable. An interrupted writer
+/// can leave a stale .tmp behind but never a truncated `path`, and a
+/// completed call survives power loss, not just process death. Returns
+/// false (after cleaning up the temp file) when any step fails — including
+/// an unwritable path or a failed fsync.
 bool atomic_write_file(const std::string& path, std::string_view content);
 
 /// Whole-file slurp; nullopt when the file does not exist or is unreadable.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "dsp/serialize.hpp"
+
 namespace ecocap::fault {
 
 namespace {
@@ -66,6 +68,56 @@ FaultPlan FaultPlan::max_of(const FaultPlan& a, const FaultPlan& b) {
   p.node.bit_flip_prob = std::max(a.node.bit_flip_prob, b.node.bit_flip_prob);
   p.reader.adc_clip_level =
       std::max(a.reader.adc_clip_level, b.reader.adc_clip_level);
+  p.runtime.crash_prob = std::max(a.runtime.crash_prob, b.runtime.crash_prob);
+  p.runtime.stall_prob = std::max(a.runtime.stall_prob, b.runtime.stall_prob);
+  p.runtime.stall_polls_min =
+      std::max(a.runtime.stall_polls_min, b.runtime.stall_polls_min);
+  p.runtime.stall_polls_max =
+      std::max(a.runtime.stall_polls_max, b.runtime.stall_polls_max);
+  p.runtime.throttle_prob =
+      std::max(a.runtime.throttle_prob, b.runtime.throttle_prob);
+  return p;
+}
+
+void save_plan(dsp::ser::Writer& w, const FaultPlan& p) {
+  w.real("fp.burst_prob", p.channel.burst_prob);
+  w.real("fp.burst_sigma", p.channel.burst_sigma);
+  w.real("fp.burst_fraction", p.channel.burst_fraction);
+  w.real("fp.dropout_prob", p.channel.dropout_prob);
+  w.real("fp.dropout_fraction", p.channel.dropout_fraction);
+  w.real("fp.clock_drift_ppm", p.channel.clock_drift_ppm);
+  w.real("fp.spike_rate_hz", p.channel.spike_rate_hz);
+  w.real("fp.spike_amplitude", p.channel.spike_amplitude);
+  w.real("fp.brownout_prob", p.node.brownout_prob);
+  w.real("fp.cap_leak_amps", p.node.cap_leak_amps);
+  w.real("fp.bit_flip_prob", p.node.bit_flip_prob);
+  w.real("fp.adc_clip_level", p.reader.adc_clip_level);
+  w.real("fp.crash_prob", p.runtime.crash_prob);
+  w.real("fp.stall_prob", p.runtime.stall_prob);
+  w.i64("fp.stall_polls_min", p.runtime.stall_polls_min);
+  w.i64("fp.stall_polls_max", p.runtime.stall_polls_max);
+  w.real("fp.throttle_prob", p.runtime.throttle_prob);
+}
+
+FaultPlan load_plan(dsp::ser::Reader& r) {
+  FaultPlan p;
+  p.channel.burst_prob = r.real("fp.burst_prob");
+  p.channel.burst_sigma = r.real("fp.burst_sigma");
+  p.channel.burst_fraction = r.real("fp.burst_fraction");
+  p.channel.dropout_prob = r.real("fp.dropout_prob");
+  p.channel.dropout_fraction = r.real("fp.dropout_fraction");
+  p.channel.clock_drift_ppm = r.real("fp.clock_drift_ppm");
+  p.channel.spike_rate_hz = r.real("fp.spike_rate_hz");
+  p.channel.spike_amplitude = r.real("fp.spike_amplitude");
+  p.node.brownout_prob = r.real("fp.brownout_prob");
+  p.node.cap_leak_amps = r.real("fp.cap_leak_amps");
+  p.node.bit_flip_prob = r.real("fp.bit_flip_prob");
+  p.reader.adc_clip_level = r.real("fp.adc_clip_level");
+  p.runtime.crash_prob = r.real("fp.crash_prob");
+  p.runtime.stall_prob = r.real("fp.stall_prob");
+  p.runtime.stall_polls_min = static_cast<int>(r.i64("fp.stall_polls_min"));
+  p.runtime.stall_polls_max = static_cast<int>(r.i64("fp.stall_polls_max"));
+  p.runtime.throttle_prob = r.real("fp.throttle_prob");
   return p;
 }
 
@@ -176,6 +228,63 @@ bool Injector::reply_corrupted() {
   const bool hit = rng_.chance(p);
   if (hit) ++counters_.replies_corrupted;
   return hit;
+}
+
+bool Injector::runtime_crash() {
+  if (plan_.runtime.crash_prob <= 0.0) return false;
+  const bool hit = rng_.chance(plan_.runtime.crash_prob);
+  if (hit) ++counters_.crashes_injected;
+  return hit;
+}
+
+int Injector::runtime_stall_polls() {
+  const RuntimeFaultPlan& rt = plan_.runtime;
+  if (rt.stall_prob <= 0.0) return 0;
+  if (!rng_.chance(rt.stall_prob)) return 0;
+  ++counters_.stalls_injected;
+  const int lo = std::max(1, rt.stall_polls_min);
+  const int hi = std::max(lo, rt.stall_polls_max);
+  return lo + static_cast<int>(rng_.index(static_cast<std::size_t>(hi - lo + 1)));
+}
+
+bool Injector::runtime_throttled() {
+  if (plan_.runtime.throttle_prob <= 0.0) return false;
+  const bool hit = rng_.chance(plan_.runtime.throttle_prob);
+  if (hit) ++counters_.throttles_injected;
+  return hit;
+}
+
+void Injector::save(dsp::ser::Writer& w) const {
+  w.rng("inj.rng", rng_);
+  w.real("inj.drift", drift_factor_);
+  w.i64("inj.bursts", counters_.bursts);
+  w.i64("inj.dropouts", counters_.dropouts);
+  w.i64("inj.spikes", counters_.spikes);
+  w.i64("inj.brownouts", counters_.brownouts);
+  w.i64("inj.bit_flips", counters_.bit_flips);
+  w.i64("inj.clipped", counters_.clipped_samples);
+  w.i64("inj.replies_lost", counters_.replies_lost);
+  w.i64("inj.replies_corrupted", counters_.replies_corrupted);
+  w.i64("inj.crashes", counters_.crashes_injected);
+  w.i64("inj.stalls", counters_.stalls_injected);
+  w.i64("inj.throttles", counters_.throttles_injected);
+}
+
+void Injector::load(dsp::ser::Reader& r) {
+  r.rng("inj.rng", rng_);
+  drift_factor_ = r.real("inj.drift");
+  counters_.bursts = static_cast<int>(r.i64("inj.bursts"));
+  counters_.dropouts = static_cast<int>(r.i64("inj.dropouts"));
+  counters_.spikes = static_cast<int>(r.i64("inj.spikes"));
+  counters_.brownouts = static_cast<int>(r.i64("inj.brownouts"));
+  counters_.bit_flips = static_cast<int>(r.i64("inj.bit_flips"));
+  counters_.clipped_samples = static_cast<int>(r.i64("inj.clipped"));
+  counters_.replies_lost = static_cast<int>(r.i64("inj.replies_lost"));
+  counters_.replies_corrupted =
+      static_cast<int>(r.i64("inj.replies_corrupted"));
+  counters_.crashes_injected = static_cast<int>(r.i64("inj.crashes"));
+  counters_.stalls_injected = static_cast<int>(r.i64("inj.stalls"));
+  counters_.throttles_injected = static_cast<int>(r.i64("inj.throttles"));
 }
 
 }  // namespace ecocap::fault

@@ -6,6 +6,11 @@
 #include "dsp/types.hpp"
 #include "phy/bits.hpp"
 
+namespace ecocap::dsp::ser {
+class Writer;
+class Reader;
+}  // namespace ecocap::dsp::ser
+
 namespace ecocap::fault {
 
 using dsp::Real;
@@ -85,13 +90,41 @@ struct ReaderFaultPlan {
   bool empty() const { return adc_clip_level <= 0.0; }
 };
 
+/// Runtime-layer (process-level) chaos: faults that hit the *daemon*, not
+/// the waveform. One draw per hook per poll, so a chaos run is exactly as
+/// replayable as a signal-fault run — the DaemonSupervisor's per-daemon
+/// injector realizes the same crash/stall schedule on every replay of
+/// (plan, seed, daemon index).
+struct RuntimeFaultPlan {
+  /// Probability (per poll) that the daemon "crashes": its thread throws
+  /// after the poll completes, and the supervisor must restart it from its
+  /// last checkpoint.
+  Real crash_prob = 0.0;
+  /// Probability (per poll) that the pipeline stalls — the daemon goes
+  /// silent (no heartbeat, no progress) for a drawn number of polls, which
+  /// is what the watchdog's hung-daemon detection has to catch.
+  Real stall_prob = 0.0;
+  int stall_polls_min = 1;
+  int stall_polls_max = 3;
+  /// Probability (per poll) that the telemetry consumer is throttled —
+  /// the collector stops draining the daemon's event ring for one poll, so
+  /// sustained overload exercises the ring's overflow policy.
+  Real throttle_prob = 0.0;
+
+  bool empty() const {
+    return crash_prob <= 0.0 && stall_prob <= 0.0 && throttle_prob <= 0.0;
+  }
+};
+
 struct FaultPlan {
   ChannelFaultPlan channel;
   NodeFaultPlan node;
   ReaderFaultPlan reader;
+  RuntimeFaultPlan runtime;
 
   bool empty() const {
-    return channel.empty() && node.empty() && reader.empty();
+    return channel.empty() && node.empty() && reader.empty() &&
+           runtime.empty();
   }
 
   /// Canonical single-knob plan for sweeps: every impairment scales
@@ -112,6 +145,12 @@ struct FaultPlan {
   /// each kind wins. max_of(p, empty) == p.
   static FaultPlan max_of(const FaultPlan& a, const FaultPlan& b);
 };
+
+/// Checkpoint round trip of a plan's full field set. A checkpoint that
+/// carries the live plan can rebuild injectors with the exact fault
+/// configuration a mid-run `set_fault_plan` swapped in.
+void save_plan(dsp::ser::Writer& w, const FaultPlan& p);
+FaultPlan load_plan(dsp::ser::Reader& r);
 
 /// Per-trial fault source. Cheap to construct; all hooks are no-ops (zero
 /// draws) when the plan is empty.
@@ -139,6 +178,9 @@ class Injector {
     int clipped_samples = 0;
     int replies_lost = 0;
     int replies_corrupted = 0;
+    int crashes_injected = 0;
+    int stalls_injected = 0;
+    int throttles_injected = 0;
   };
   const Counters& counters() const { return counters_; }
 
@@ -176,6 +218,25 @@ class Injector {
   /// flips into "the reply failed CRC". One draw each per exchange attempt.
   bool reply_lost();
   bool reply_corrupted();
+
+  // --- runtime layer (process-level chaos) --------------------------------
+  /// One draw per poll: should the daemon crash after this poll? The
+  /// supervisor's chaos harness turns a hit into a thrown exception inside
+  /// the daemon thread.
+  bool runtime_crash();
+
+  /// One (or two) draws per poll: 0 when the pipeline does not stall this
+  /// poll, otherwise the drawn stall length in polls.
+  int runtime_stall_polls();
+
+  /// One draw per poll: is the telemetry consumer throttled this poll?
+  bool runtime_throttled();
+
+  /// Bit-exact round trip of the injector's *state* (RNG stream position,
+  /// lazily drawn drift factor, realized-fault counters). The plan is
+  /// config and must be re-established by the owner before load.
+  void save(dsp::ser::Writer& w) const;
+  void load(dsp::ser::Reader& r);
 
  private:
   FaultPlan plan_;

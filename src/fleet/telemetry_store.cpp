@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "dsp/serialize.hpp"
+
 namespace ecocap::fleet {
 
 namespace {
@@ -162,6 +164,99 @@ std::uint64_t TelemetryStore::total_appends() const {
     total += n->appends.load(std::memory_order_relaxed);
   }
   return total;
+}
+
+bool TelemetryStore::claim_writer(std::size_t node, std::uint32_t writer_id) {
+  if (writer_id == kNoOwner) {
+    throw std::invalid_argument("TelemetryStore: reserved writer id");
+  }
+  std::uint32_t expected = kNoOwner;
+  std::atomic<std::uint32_t>& owner = nodes_[node]->owner;
+  return owner.compare_exchange_strong(expected, writer_id,
+                                       std::memory_order_acq_rel) ||
+         expected == writer_id;
+}
+
+void TelemetryStore::release_writer(std::size_t node, std::uint32_t writer_id) {
+  std::uint32_t expected = writer_id;
+  nodes_[node]->owner.compare_exchange_strong(expected, kNoOwner,
+                                              std::memory_order_acq_rel);
+}
+
+std::optional<std::uint32_t> TelemetryStore::writer_of(std::size_t node) const {
+  const std::uint32_t o = nodes_[node]->owner.load(std::memory_order_acquire);
+  if (o == kNoOwner) return std::nullopt;
+  return o;
+}
+
+void TelemetryStore::save_node(std::size_t node, dsp::ser::Writer& w) const {
+  const NodeSeries& n = *nodes_[node];
+  const auto ring = [&w](std::string_view key, const Ring& r) {
+    w.u64(std::string(key) + ".cursor",
+          r.cursor.load(std::memory_order_acquire));
+    std::vector<std::uint64_t> raw;
+    raw.reserve(r.slots.size());
+    for (const auto& s : r.slots) {
+      raw.push_back(s.load(std::memory_order_relaxed));
+    }
+    w.u64_vec(std::string(key) + ".slots", raw);
+  };
+  ring("ts.raw", n.raw);
+  ring("ts.minute", n.minute);
+  ring("ts.hour", n.hour);
+  const auto bucket = [&w](std::string_view prefix, const Bucket& b) {
+    w.u64(std::string(prefix) + ".start", b.start_sec);
+    w.real(std::string(prefix) + ".sum", b.sum);
+    w.u64(std::string(prefix) + ".count", b.count);
+  };
+  bucket("ts.mb", n.minute_bucket);
+  bucket("ts.hb", n.hour_bucket);
+  w.u64("ts.last", n.last.load(std::memory_order_acquire));
+  w.u64("ts.appends", n.appends.load(std::memory_order_relaxed));
+}
+
+void TelemetryStore::load_node(std::size_t node, dsp::ser::Reader& r) {
+  NodeSeries& n = *nodes_[node];
+  const auto ring = [&r](std::string_view key, Ring& dst) {
+    const std::uint64_t cursor = r.u64(std::string(key) + ".cursor");
+    const auto slots = r.u64_vec(std::string(key) + ".slots");
+    if (slots.size() != dst.slots.size()) {
+      throw std::runtime_error("checkpoint: telemetry ring capacity mismatch");
+    }
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      dst.slots[i].store(slots[i], std::memory_order_relaxed);
+    }
+    dst.cursor.store(cursor, std::memory_order_release);
+  };
+  ring("ts.raw", n.raw);
+  ring("ts.minute", n.minute);
+  ring("ts.hour", n.hour);
+  const auto bucket = [&r](std::string_view prefix, Bucket& b) {
+    b.start_sec = static_cast<std::uint32_t>(
+        r.u64(std::string(prefix) + ".start"));
+    b.sum = r.real(std::string(prefix) + ".sum");
+    b.count = static_cast<std::uint32_t>(
+        r.u64(std::string(prefix) + ".count"));
+  };
+  bucket("ts.mb", n.minute_bucket);
+  bucket("ts.hb", n.hour_bucket);
+  n.last.store(r.u64("ts.last"), std::memory_order_release);
+  n.appends.store(r.u64("ts.appends"), std::memory_order_relaxed);
+}
+
+void TelemetryStore::reset_node(std::size_t node) {
+  NodeSeries& n = *nodes_[node];
+  const auto wipe = [](Ring& ring) {
+    for (auto& s : ring.slots) s.store(0, std::memory_order_relaxed);
+    ring.cursor.store(0, std::memory_order_release);
+  };
+  wipe(n.raw);
+  wipe(n.minute);
+  wipe(n.hour);
+  n.minute_bucket = Bucket{};
+  n.hour_bucket = Bucket{};
+  n.last.store(kEmpty, std::memory_order_release);
+  n.appends.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace ecocap::fleet

@@ -7,6 +7,11 @@
 #include <optional>
 #include <vector>
 
+namespace ecocap::dsp::ser {
+class Writer;
+class Reader;
+}  // namespace ecocap::dsp::ser
+
 namespace ecocap::fleet {
 
 /// In-memory telemetry store for city-scale fleet serving: one ring-buffered
@@ -83,6 +88,37 @@ class TelemetryStore {
   /// Close the open minute/hour buckets of `node` (campaign end).
   void flush(std::size_t node);
 
+  // -- writer ownership (the runtime's single-writer-per-node contract) -----
+
+  /// Claim `node` for writer `writer_id` (any caller-chosen non-~0 id, e.g.
+  /// a daemon index). Returns false when another writer holds the claim —
+  /// the supervisor uses this to guarantee a crashed daemon's replacement
+  /// is the node's *only* writer before it resumes appending. Reclaiming
+  /// with the already-owning id succeeds (a restart is a handoff to self).
+  bool claim_writer(std::size_t node, std::uint32_t writer_id);
+
+  /// Release `node`'s claim if `writer_id` holds it.
+  void release_writer(std::size_t node, std::uint32_t writer_id);
+
+  /// Current owner of `node`, or nullopt when unclaimed.
+  std::optional<std::uint32_t> writer_of(std::size_t node) const;
+
+  // -- checkpoint round trip (writer-quiescent, per node) -------------------
+
+  /// Serialize `node`'s complete series state: every ring slot + cursor,
+  /// the open downsampling buckets, the latest-reading word, and the append
+  /// counter. Bit-exact, so a daemon restarted from this record re-appends
+  /// into a store byte-identical to one that never crashed. The node's
+  /// writer must be quiescent; concurrent *readers* are fine.
+  void save_node(std::size_t node, dsp::ser::Writer& w) const;
+
+  /// Restore `node` from a save_node record (writer-quiescent).
+  void load_node(std::size_t node, dsp::ser::Reader& r);
+
+  /// Wipe `node` back to the never-reported state (writer-quiescent) — the
+  /// restart-from-scratch path when no checkpoint exists.
+  void reset_node(std::size_t node);
+
   // -- query API (any number of threads, concurrent with ingest) ------------
 
   /// Most recent reading of `node`; nullopt before its first append.
@@ -129,9 +165,11 @@ class TelemetryStore {
     Bucket hour_bucket;
     std::atomic<std::uint64_t> last{kEmpty};
     std::atomic<std::uint64_t> appends{0};
+    std::atomic<std::uint32_t> owner{kNoOwner};
   };
 
   static constexpr std::uint32_t kNoBucket = 0xffffffffu;
+  static constexpr std::uint32_t kNoOwner = 0xffffffffu;
   /// Impossible packed value: t_sec of kNoBucket marks "never reported".
   static constexpr std::uint64_t kEmpty = ~0ull;
 

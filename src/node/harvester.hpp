@@ -4,6 +4,11 @@
 
 #include "dsp/types.hpp"
 
+namespace ecocap::dsp::ser {
+class Writer;
+class Reader;
+}  // namespace ecocap::dsp::ser
+
 namespace ecocap::node {
 
 using dsp::Real;
@@ -53,6 +58,10 @@ class Harvester {
   bool mcu_powered() const { return powered_; }
 
   void reset();
+
+  /// Bit-exact storage-cap state round trip.
+  void save(dsp::ser::Writer& w) const;
+  void load(dsp::ser::Reader& r);
 
   const HarvesterConfig& config() const { return config_; }
 

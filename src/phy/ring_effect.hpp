@@ -5,6 +5,11 @@
 
 #include "dsp/types.hpp"
 
+namespace ecocap::dsp::ser {
+class Writer;
+class Reader;
+}  // namespace ecocap::dsp::ser
+
 namespace ecocap::phy {
 
 using dsp::Real;
@@ -61,6 +66,10 @@ class RingingPzt {
   /// Time for the free ring to decay below `fraction` of its initial
   /// amplitude.
   Real ring_decay_time(Real fraction = 0.05) const;
+
+  /// Bit-exact resonator-state round trip (pole/gain terms are config).
+  void save(dsp::ser::Writer& w) const;
+  void load(dsp::ser::Reader& r);
 
  private:
   Real fs_;

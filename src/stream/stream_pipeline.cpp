@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 #include <iterator>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "dsp/rng.hpp"
+#include "dsp/serialize.hpp"
 
 namespace ecocap::stream {
 
@@ -86,6 +89,47 @@ void StreamPipeline::set_fault_plan(const fault::FaultPlan& plan) {
   ul_.set_injector(
       fault::Injector(plan, seed, kInjectorBase + 4 * epoch + 2));
   node_.set_extra_load_amps(node_.injector().cap_leak_amps());
+  active_plan_ = plan;
+}
+
+void StreamPipeline::set_block_size(std::size_t block_size) {
+  if (block_size == 0) {
+    throw std::invalid_argument("StreamPipeline: block_size must be > 0");
+  }
+  config_.block_size = block_size;
+}
+
+void StreamPipeline::save(dsp::ser::Writer& w) const {
+  w.u64("sp.pos", pos_);
+  w.u64("sp.fault_epoch", fault_epoch_);
+  w.u64("sp.clock_samples", clock_.samples());
+  w.u64("sp.clock_blocks", clock_.blocks());
+  fault::save_plan(w, active_plan_);
+  tx_.save(w);
+  dl_.save(w);
+  node_.save(w);
+  ul_.save(w);
+  rx_.save(w);
+}
+
+void StreamPipeline::load(dsp::ser::Reader& r) {
+  pos_ = r.u64("sp.pos");
+  const std::uint64_t epoch = r.u64("sp.fault_epoch");
+  const std::uint64_t clock_samples = r.u64("sp.clock_samples");
+  const std::uint64_t clock_blocks = r.u64("sp.clock_blocks");
+  const fault::FaultPlan plan = fault::load_plan(r);
+  // Rebuild the injectors against the checkpointed plan (their seeding is
+  // irrelevant — the stage loads below restore the exact RNG stream
+  // positions), then restore the epoch counter so the next mid-run swap
+  // derives the same fresh streams an uninterrupted run would.
+  set_fault_plan(plan);
+  fault_epoch_ = epoch;
+  clock_.resume_at(clock_samples, clock_blocks);
+  tx_.load(r);
+  dl_.load(r);
+  node_.load(r);
+  ul_.load(r);
+  rx_.load(r);
 }
 
 void StreamPipeline::schedule_emission(ScheduledEmission e) {
@@ -133,6 +177,13 @@ void StreamPipeline::run_threaded(std::uint64_t until) {
   // regardless of thread scheduling. A recycle ring returns spent blocks
   // to the producer, so a segment's steady state moves buffers without
   // allocating.
+  //
+  // Teardown contract: a stage that throws poisons every ring (close()),
+  // which breaks all five spin loops — no thread is left spinning on a
+  // ring whose peer died. The first exception is rethrown on the caller
+  // after all threads joined; the pipeline's carried state is then
+  // inconsistent mid-segment, so the owner must discard or resume it from
+  // a checkpoint, never keep advancing.
   const std::uint64_t total = until - pos_;
   const std::uint64_t nblocks =
       (total + config_.block_size - 1) / config_.block_size;
@@ -145,13 +196,37 @@ void StreamPipeline::run_threaded(std::uint64_t until) {
   while (recycle.try_push(Block{})) {
   }
 
-  auto pump = [nblocks](core::SpscRing<Block>& in, core::SpscRing<Block>& out,
-                        auto&& fn) {
-    for (std::uint64_t b = 0; b < nblocks; ++b) {
-      Block blk;
-      while (!in.try_pop(blk)) std::this_thread::yield();
-      fn(blk);
-      while (!out.try_push(std::move(blk))) std::this_thread::yield();
+  std::mutex error_mu;
+  std::exception_ptr error;
+  auto abort_all = [&](std::exception_ptr e) {
+    {
+      const std::lock_guard<std::mutex> lock(error_mu);
+      if (!error) error = e;
+    }
+    to_dl.close();
+    to_node.close();
+    to_ul.close();
+    to_rx.close();
+    recycle.close();
+  };
+
+  auto pump = [nblocks, &abort_all](core::SpscRing<Block>& in,
+                                    core::SpscRing<Block>& out, auto&& fn) {
+    try {
+      for (std::uint64_t b = 0; b < nblocks; ++b) {
+        Block blk;
+        while (!in.try_pop(blk)) {
+          if (in.closed() && in.empty()) return;  // peer died; drain and exit
+          std::this_thread::yield();
+        }
+        fn(blk);
+        while (!out.try_push(std::move(blk))) {
+          if (out.closed()) return;
+          std::this_thread::yield();
+        }
+      }
+    } catch (...) {
+      abort_all(std::current_exception());
     }
   };
 
@@ -168,22 +243,40 @@ void StreamPipeline::run_threaded(std::uint64_t until) {
     pump(to_rx, recycle, [this](Block& b) { rx_.push_block(b.samples); });
   });
 
-  for (std::uint64_t b = 0; b < nblocks; ++b) {
-    Block blk;
-    while (!recycle.try_pop(blk)) std::this_thread::yield();
-    const auto n = static_cast<std::size_t>(
-        std::min<std::uint64_t>(config_.block_size, until - pos_));
-    tx_.fill_block(n, blk.samples);
-    blk.seq = b;
-    while (!to_dl.try_push(std::move(blk))) std::this_thread::yield();
-    pos_ += n;
-    clock_.advance(n);
+  try {
+    for (std::uint64_t b = 0; b < nblocks; ++b) {
+      Block blk;
+      bool aborted = false;
+      while (!recycle.try_pop(blk)) {
+        if (recycle.closed() && recycle.empty()) {
+          aborted = true;
+          break;
+        }
+        std::this_thread::yield();
+      }
+      if (aborted) break;
+      const auto n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(config_.block_size, until - pos_));
+      tx_.fill_block(n, blk.samples);
+      blk.seq = b;
+      bool pushed = false;
+      while (!(pushed = to_dl.try_push(std::move(blk)))) {
+        if (to_dl.closed()) break;
+        std::this_thread::yield();
+      }
+      if (!pushed) break;
+      pos_ += n;
+      clock_.advance(n);
+    }
+  } catch (...) {
+    abort_all(std::current_exception());
   }
 
   t_dl.join();
   t_node.join();
   t_ul.join();
   t_rx.join();
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace ecocap::stream

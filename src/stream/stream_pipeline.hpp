@@ -71,6 +71,8 @@ class StreamPipeline {
   Real fs() const { return config_.system.channel.fs; }
   Real sim_seconds() const { return clock_.sim_seconds(); }
   const core::StreamClock& clock() const { return clock_; }
+  /// Mutable clock access for deadline arming/checking (control plane).
+  core::StreamClock& clock() { return clock_; }
   /// Re-zero the clock (e.g. when a daemon finishes warming up and starts
   /// the measured run).
   void restart_clock() { clock_.restart(); }
@@ -88,6 +90,28 @@ class StreamPipeline {
 
   /// Observer of the at-reader stream (see RxStage::set_tap).
   void set_rx_tap(RxStage::Tap tap) { rx_.set_tap(std::move(tap)); }
+
+  /// Decode-workspace checkout/return balance (leak detection).
+  const dsp::Workspace::Stats& rx_workspace_stats() const {
+    return rx_.workspace_stats();
+  }
+
+  /// Change the block cadence from the next advance on. Decodes are
+  /// block-size invariant, but per-block fault *draws* are not — the
+  /// degradation ladder's coarsening step trades bit-replayability of the
+  /// fault realization for throughput, which is why the ladder is off
+  /// during determinism-checked chaos runs.
+  void set_block_size(std::size_t block_size);
+
+  /// Bit-exact carried-state round trip at a quiescent point: no advance
+  /// in flight, no scheduled emission/capture pending, decodes and node
+  /// events drained (stage save throws otherwise). Covers every stage's
+  /// carried state, the live fault plan + injector streams, the stream
+  /// position, and the deterministic clock counters — everything a
+  /// restarted daemon needs to continue bit-identically. Wall-clock
+  /// telemetry is deliberately excluded.
+  void save(dsp::ser::Writer& w) const;
+  void load(dsp::ser::Reader& r);
 
  private:
   void run_inline(std::uint64_t until);
@@ -110,6 +134,7 @@ class StreamPipeline {
   Signal block_;  // inline-mode working buffer
   std::uint64_t pos_ = 0;
   std::uint64_t fault_epoch_ = 0;
+  fault::FaultPlan active_plan_;  // the plan the current injectors realize
 };
 
 }  // namespace ecocap::stream

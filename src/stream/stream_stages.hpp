@@ -82,6 +82,10 @@ class TxStage {
   /// Produce the next `n` samples of carrier into `out` (resized).
   void fill_block(std::size_t n, Signal& out);
 
+  /// Bit-exact carried-state round trip (oscillator phase + PZT ring tail).
+  void save(dsp::ser::Writer& w) const;
+  void load(dsp::ser::Reader& r);
+
  private:
   dsp::Oscillator osc_;
   phy::RingingPzt pzt_;
@@ -99,6 +103,11 @@ class DownlinkStage {
   void push_block(Signal& x);
   void set_injector(fault::Injector injector);
   fault::Injector& injector() { return injector_; }
+
+  /// Carried channel-stream state + injector state. The injector must be
+  /// rebuilt with the live plan (set_injector) before load.
+  void save(dsp::ser::Writer& w) const;
+  void load(dsp::ser::Reader& r);
 
  private:
   channel::ConcreteChannel::DownlinkStream stream_;
@@ -147,6 +156,13 @@ class NodeStage {
   /// the pipeline is idle (between segments).
   std::vector<NodeFrameEvent> drain_events();
 
+  /// Carried-state round trip at a quiescent point: the emission queue must
+  /// be empty and the events drained (throws otherwise); a stale
+  /// already-finished active emission is equivalent to none and is not
+  /// serialized.
+  void save(dsp::ser::Writer& w) const;
+  void load(dsp::ser::Reader& r);
+
  private:
   void harvest_segment(const Real* x, std::size_t n);
   void begin_emission(std::uint64_t abs);
@@ -181,6 +197,10 @@ class UplinkStage {
   void set_injector(fault::Injector injector);
   fault::Injector& injector() { return injector_; }
 
+  /// Carried channel-stream state + injector state (see DownlinkStage).
+  void save(dsp::ser::Writer& w) const;
+  void load(dsp::ser::Reader& r);
+
  private:
   channel::ConcreteChannel::UplinkStream stream_;
   Real fs_;
@@ -212,6 +232,17 @@ class RxStage {
   void set_tap(Tap tap) { tap_ = std::move(tap); }
 
   std::uint64_t position() const { return pos_; }
+
+  /// Decode-workspace accounting: when the stage is quiescent,
+  /// `returns == checkouts` proves no decode leaked a pooled buffer (the
+  /// chaos soak's leak check).
+  const dsp::Workspace::Stats& workspace_stats() const { return ws_.stats(); }
+
+  /// Round trip at a quiescent point: every scheduled window must have
+  /// decoded and every decode drained (throws otherwise), so only the
+  /// stream position is state.
+  void save(dsp::ser::Writer& w) const;
+  void load(dsp::ser::Reader& r);
 
  private:
   reader::Receiver receiver_;

@@ -3,13 +3,18 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 #include <utility>
 
+#include "dsp/serialize.hpp"
 #include "phy/protocol.hpp"
 
 namespace ecocap::reader {
 
 namespace {
+
+constexpr std::string_view kCheckpointHeader =
+    "ecocap-streaming-reader-checkpoint v1";
 
 fleet::TelemetryStore::Config telemetry_config(
     const StreamingReaderConfig& config) {
@@ -28,33 +33,39 @@ StreamingReader::StreamingReader(StreamingReaderConfig config)
       firmware_(config_.stream.system.capsule.firmware,
                 config_.stream.system.seed ^ 0x9e3779b9),
       supervisor_(config_.supervisor),
-      telemetry_(telemetry_config(config_)) {}
+      telemetry_(telemetry_config(config_)) {
+  if (config_.shared_store &&
+      config_.store_node >= config_.shared_store->nodes()) {
+    throw std::invalid_argument(
+        "StreamingReader: store_node out of range of shared_store");
+  }
+}
 
-void StreamingReader::apply_due_faults(StreamingReaderStats& stats) {
+void StreamingReader::apply_due_faults() {
   const dsp::Real now =
       static_cast<dsp::Real>(pipeline_.position()) / pipeline_.fs();
   while (next_fault_ < config_.fault_events.size() &&
          config_.fault_events[next_fault_].at_s <= now) {
     pipeline_.set_fault_plan(config_.fault_events[next_fault_].plan);
     ++next_fault_;
-    ++stats.fault_events_applied;
+    ++stats_.fault_events_applied;
   }
 }
 
-void StreamingReader::absorb_node_events(StreamingReaderStats& stats) {
+void StreamingReader::absorb_node_events() {
   for (const auto& ev : pipeline_.drain_node_events()) {
-    if (!ev.emitted) ++stats.frames_dropped_unpowered;
+    if (!ev.emitted) ++stats_.frames_dropped_unpowered;
     if (ev.browned_out) {
       // Mid-frame brownout: the MCU loses its protocol state and reboots
       // into standby on the next downlink — same as the batch path.
-      ++stats.brownouts;
+      ++stats_.brownouts;
       firmware_.power_off();
     }
   }
 }
 
-std::optional<phy::Bits> StreamingReader::exchange(
-    const phy::Command& cmd, StreamingReaderStats& stats, dsp::Real* snr_db) {
+std::optional<phy::Bits> StreamingReader::exchange(const phy::Command& cmd,
+                                                   dsp::Real* snr_db) {
   auto reply = firmware_.handle_command(cmd, environment_);
   if (!reply) return std::nullopt;
   node::UplinkFrame frame = std::move(*reply);
@@ -112,11 +123,11 @@ std::optional<phy::Bits> StreamingReader::exchange(
 
   pipeline_.schedule_emission(std::move(emission));
   pipeline_.schedule_capture(window);
-  ++stats.frames_scheduled;
+  ++stats_.frames_scheduled;
 
   std::vector<stream::DecodedUplink> decodes;
   pipeline_.advance_to(window.end, &decodes);
-  absorb_node_events(stats);
+  absorb_node_events();
   for (auto& d : decodes) {
     if (d.window_start == start && d.decode.valid) {
       if (snr_db) *snr_db = d.decode.snr_db;
@@ -126,96 +137,185 @@ std::optional<phy::Bits> StreamingReader::exchange(
   return std::nullopt;
 }
 
-StreamingReaderStats StreamingReader::run(dsp::Real sim_seconds) {
-  StreamingReaderStats stats;
-  const dsp::Real fs = pipeline_.fs();
-  const std::uint16_t node_id = config_.stream.system.capsule.firmware.node_id;
+void StreamingReader::ensure_started() {
   // The supervisor only participates when enabled, mirroring the batch
   // InventorySession (its quarantine machinery must not skip polls of an
-  // unsupervised daemon).
-  const bool supervised = config_.supervisor.enabled;
-  if (supervised) supervisor_.track(node_id);
-
-  if (!warmed_up_) {
-    const auto warmup =
-        static_cast<std::uint64_t>(config_.warmup_s * fs);
-    pipeline_.advance_to(pipeline_.position() + warmup);
-    absorb_node_events(stats);
-    warmed_up_ = true;
-    // The RTF headline measures the steady interrogation loop, not the
-    // one-off cold start.
-    pipeline_.restart_clock();
+  // unsupervised daemon). track() is idempotent, and after a resume the
+  // loaded state wins.
+  if (config_.supervisor.enabled) {
+    supervisor_.track(config_.stream.system.capsule.firmware.node_id);
   }
+  if (config_.deadline_factor > 0.0) {
+    pipeline_.clock().arm_deadline(config_.deadline_factor,
+                                   config_.deadline_grace_s);
+  }
+  if (warmed_up_) return;
+  const auto warmup =
+      static_cast<std::uint64_t>(config_.warmup_s * pipeline_.fs());
+  pipeline_.advance_to(pipeline_.position() + warmup);
+  absorb_node_events();
+  warmed_up_ = true;
+  // The RTF headline measures the steady interrogation loop, not the
+  // one-off cold start.
+  pipeline_.restart_clock();
+}
 
-  const auto poll_samples = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(config_.poll_interval_s * fs));
-  const std::uint64_t end =
-      pipeline_.position() + static_cast<std::uint64_t>(sim_seconds * fs);
+void StreamingReader::poll_once(std::uint64_t poll_end) {
+  const dsp::Real fs = pipeline_.fs();
+  const std::uint16_t node_id = config_.stream.system.capsule.firmware.node_id;
+  const bool supervised = config_.supervisor.enabled;
 
-  while (pipeline_.position() < end) {
-    const std::uint64_t poll_end =
-        std::min<std::uint64_t>(end, pipeline_.position() + poll_samples);
-    ++stats.polls;
-    const std::uint64_t poll_no = poll_index_++;
-    apply_due_faults(stats);
+  ++stats_.polls;
+  const std::uint64_t poll_no = poll_index_++;
+  apply_due_faults();
 
-    bool delivered = false;
-    if (supervised && !supervisor_.admit(node_id)) {
-      ++stats.skipped;
+  bool delivered = false;
+  if (supervised && !supervisor_.admit(node_id)) {
+    ++stats_.skipped;
+  } else {
+    // Sync the firmware's power domain with the harvester before the
+    // exchange, as the batch capsule does on every receive.
+    if (pipeline_.node_powered()) {
+      firmware_.power_on();
     } else {
-      // Sync the firmware's power domain with the harvester before the
-      // exchange, as the batch capsule does on every receive.
-      if (pipeline_.node_powered()) {
-        firmware_.power_on();
-      } else {
-        firmware_.power_off();
-      }
+      firmware_.power_off();
+    }
 
-      dsp::Real snr_db = std::numeric_limits<dsp::Real>::quiet_NaN();
-      const auto rn16_bits =
-          exchange(phy::Command{phy::QueryCommand{0}}, stats, &snr_db);
-      if (rn16_bits && rn16_bits->size() == phy::rn16_response_bits()) {
-        if (const auto rn16 = phy::parse_rn16_response(*rn16_bits)) {
-          const auto id_bits = exchange(
-              phy::Command{phy::AckCommand{rn16->rn16}}, stats, &snr_db);
-          if (id_bits && phy::parse_id_response(*id_bits)) {
-            const auto data_bits = exchange(
-                phy::Command{phy::ReadCommand{
-                    rn16->rn16, static_cast<std::uint8_t>(config_.sensor)}},
-                stats, &snr_db);
-            if (data_bits) {
-              if (const auto data = phy::parse_data_response(*data_bits)) {
-                delivered = true;
-                const auto t_sec = static_cast<std::uint32_t>(
-                    static_cast<dsp::Real>(pipeline_.position()) / fs);
-                telemetry_.append(
-                    0, t_sec,
-                    static_cast<float>(phy::from_milli(data->milli_value)));
-              }
+    dsp::Real snr_db = std::numeric_limits<dsp::Real>::quiet_NaN();
+    const auto rn16_bits =
+        exchange(phy::Command{phy::QueryCommand{0}}, &snr_db);
+    if (rn16_bits && rn16_bits->size() == phy::rn16_response_bits()) {
+      if (const auto rn16 = phy::parse_rn16_response(*rn16_bits)) {
+        const auto id_bits =
+            exchange(phy::Command{phy::AckCommand{rn16->rn16}}, &snr_db);
+        if (id_bits && phy::parse_id_response(*id_bits)) {
+          const auto data_bits = exchange(
+              phy::Command{phy::ReadCommand{
+                  rn16->rn16, static_cast<std::uint8_t>(config_.sensor)}},
+              &snr_db);
+          if (data_bits) {
+            if (const auto data = phy::parse_data_response(*data_bits)) {
+              delivered = true;
+              const auto t_sec = static_cast<std::uint32_t>(
+                  static_cast<dsp::Real>(pipeline_.position()) / fs);
+              telemetry().append(
+                  store_node(), t_sec,
+                  static_cast<float>(phy::from_milli(data->milli_value)));
             }
           }
         }
       }
-      if (supervised) supervisor_.observe(node_id, delivered, snr_db);
-      if (delivered) {
-        ++stats.delivered;
-      } else {
-        ++stats.missed;
-      }
     }
-    if (pipeline_.position() < poll_end) {
-      pipeline_.advance_to(poll_end);
-      absorb_node_events(stats);
+    if (supervised) supervisor_.observe(node_id, delivered, snr_db);
+    if (delivered) {
+      ++stats_.delivered;
+    } else {
+      ++stats_.missed;
     }
-    if (hook_) hook_(poll_no, delivered);
   }
+  if (pipeline_.position() < poll_end) {
+    pipeline_.advance_to(poll_end);
+    absorb_node_events();
+  }
+  pipeline_.clock().check_deadline();
+  if (hook_) hook_(poll_no, delivered);
+}
 
-  telemetry_.flush(0);
-  stats.supervisor = supervisor_.totals();
-  stats.sim_seconds = pipeline_.clock().sim_seconds();
-  stats.wall_seconds = pipeline_.clock().wall_seconds();
-  stats.real_time_factor = pipeline_.clock().real_time_factor();
-  return stats;
+StreamingReaderStats StreamingReader::run(dsp::Real sim_seconds) {
+  ensure_started();
+  const dsp::Real fs = pipeline_.fs();
+  const auto poll_samples = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(config_.poll_interval_s * fs));
+  const std::uint64_t end =
+      pipeline_.position() + static_cast<std::uint64_t>(sim_seconds * fs);
+  while (pipeline_.position() < end) {
+    poll_once(std::min<std::uint64_t>(end, pipeline_.position() + poll_samples));
+  }
+  flush_telemetry();
+  return stats();
+}
+
+StreamingReaderStats StreamingReader::run_polls(std::uint64_t polls) {
+  ensure_started();
+  const auto poll_samples = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(config_.poll_interval_s * pipeline_.fs()));
+  for (std::uint64_t i = 0; i < polls; ++i) {
+    poll_once(pipeline_.position() + poll_samples);
+  }
+  return stats();
+}
+
+void StreamingReader::flush_telemetry() { telemetry().flush(store_node()); }
+
+StreamingReaderStats StreamingReader::stats() const {
+  StreamingReaderStats s = stats_;
+  s.supervisor = supervisor_.totals();
+  s.sim_seconds = pipeline_.clock().sim_seconds();
+  s.wall_seconds = pipeline_.clock().wall_seconds();
+  s.real_time_factor = pipeline_.clock().real_time_factor();
+  s.deadline_misses = pipeline_.clock().deadline_misses();
+  return s;
+}
+
+std::string StreamingReader::checkpoint() const {
+  dsp::ser::Writer w(kCheckpointHeader);
+  // Config fingerprint: a checkpoint only resumes into a reader built from
+  // the same deterministic universe.
+  w.u64("sr.seed", config_.stream.system.seed);
+  w.u64("sr.node_id", config_.stream.system.capsule.firmware.node_id);
+  w.real("sr.fs", config_.stream.system.channel.fs);
+  w.real("sr.poll_interval", config_.poll_interval_s);
+  // Daemon cursors + cumulative counters.
+  w.u64("sr.next_fault", next_fault_);
+  w.u64("sr.poll_index", poll_index_);
+  w.u64("sr.warmed_up", warmed_up_ ? 1 : 0);
+  w.u64("sr.polls", stats_.polls);
+  w.u64("sr.delivered", stats_.delivered);
+  w.u64("sr.missed", stats_.missed);
+  w.u64("sr.skipped", stats_.skipped);
+  w.u64("sr.frames_scheduled", stats_.frames_scheduled);
+  w.u64("sr.frames_dropped_unpowered", stats_.frames_dropped_unpowered);
+  w.u64("sr.brownouts", stats_.brownouts);
+  w.u64("sr.fault_events_applied", stats_.fault_events_applied);
+  w.u64("sr.events_dropped", stats_.events_dropped);
+  pipeline_.save(w);
+  firmware_.save(w);
+  supervisor_.save(w);
+  const fleet::TelemetryStore& store =
+      config_.shared_store ? *config_.shared_store : telemetry_;
+  store.save_node(config_.shared_store ? config_.store_node : 0, w);
+  return w.payload();
+}
+
+void StreamingReader::resume(const std::string& payload) {
+  dsp::ser::Reader r(payload, kCheckpointHeader);
+  if (r.u64("sr.seed") != config_.stream.system.seed ||
+      r.u64("sr.node_id") != config_.stream.system.capsule.firmware.node_id) {
+    throw std::runtime_error(
+        "checkpoint: seed/node fingerprint mismatch (wrong daemon?)");
+  }
+  if (r.real("sr.fs") != config_.stream.system.channel.fs ||
+      r.real("sr.poll_interval") != config_.poll_interval_s) {
+    throw std::runtime_error(
+        "checkpoint: rate fingerprint mismatch (config drifted?)");
+  }
+  next_fault_ = static_cast<std::size_t>(r.u64("sr.next_fault"));
+  poll_index_ = r.u64("sr.poll_index");
+  warmed_up_ = r.u64("sr.warmed_up") != 0;
+  stats_ = StreamingReaderStats{};
+  stats_.polls = r.u64("sr.polls");
+  stats_.delivered = r.u64("sr.delivered");
+  stats_.missed = r.u64("sr.missed");
+  stats_.skipped = r.u64("sr.skipped");
+  stats_.frames_scheduled = r.u64("sr.frames_scheduled");
+  stats_.frames_dropped_unpowered = r.u64("sr.frames_dropped_unpowered");
+  stats_.brownouts = r.u64("sr.brownouts");
+  stats_.fault_events_applied = r.u64("sr.fault_events_applied");
+  stats_.events_dropped = r.u64("sr.events_dropped");
+  pipeline_.load(r);
+  firmware_.load(r);
+  supervisor_.load(r);
+  telemetry().load_node(store_node(), r);
 }
 
 }  // namespace ecocap::reader

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "fleet/telemetry_store.hpp"
@@ -31,9 +32,24 @@ struct StreamingReaderConfig {
   fleet::TelemetryStore::Config telemetry;
   /// Applied in order at the first poll boundary at or after `at_s`.
   std::vector<StreamFaultEvent> fault_events;
+  /// When set, readings go to `shared_store` node `store_node` instead of
+  /// the reader's own store — the fleet-runtime mode, where one
+  /// `TelemetryStore` serves N daemons (one node each, single writer per
+  /// node). The store must outlive the reader.
+  fleet::TelemetryStore* shared_store = nullptr;
+  std::size_t store_node = 0;
+  /// Wall-clock budget per simulated second for the watchdog's deadline
+  /// accounting (`StreamClock::arm_deadline`); <= 0 leaves it off. Health
+  /// telemetry only — never feeds checkpoints or decode paths.
+  dsp::Real deadline_factor = 0.0;
+  dsp::Real deadline_grace_s = 0.25;
 };
 
-/// Aggregate outcome of a daemon run.
+/// Aggregate outcome of a daemon run. Counters are *cumulative* across run
+/// calls (and across checkpoint/resume — they are part of the checkpoint),
+/// so a supervisor restarting a daemon mid-campaign reads totals identical
+/// to an uninterrupted run. The wall-clock fields (wall_seconds,
+/// real_time_factor, deadline_misses) restart with the process.
 struct StreamingReaderStats {
   std::uint64_t polls = 0;
   std::uint64_t delivered = 0;  // full Query -> Ack -> Read rounds ingested
@@ -43,6 +59,10 @@ struct StreamingReaderStats {
   std::uint64_t frames_dropped_unpowered = 0;
   std::uint64_t brownouts = 0;
   std::uint64_t fault_events_applied = 0;
+  /// Telemetry events lost to ring overflow under the drop-oldest /
+  /// drop-newest backpressure policies (the runtime collector accounts
+  /// them here, exactly — one count per evicted or discarded event).
+  std::uint64_t events_dropped = 0;
   SupervisorTotals supervisor;
   dsp::Real sim_seconds = 0.0;
   dsp::Real wall_seconds = 0.0;
@@ -50,6 +70,9 @@ struct StreamingReaderStats {
   /// run — the streaming headline metric; >= 1 means the daemon keeps up
   /// with a live ADC at fs.
   dsp::Real real_time_factor = 0.0;
+  /// Poll deadlines missed against the armed wall budget (see
+  /// StreamingReaderConfig::deadline_factor). Wall-clock health telemetry.
+  std::uint64_t deadline_misses = 0;
 };
 
 /// Long-running streaming interrogation daemon: drives the StreamPipeline
@@ -70,16 +93,59 @@ class StreamingReader {
   explicit StreamingReader(StreamingReaderConfig config);
 
   /// Run `sim_seconds` of stream time past the warmup and return the
-  /// aggregate stats. Callable repeatedly; state (node charge, supervisor,
-  /// telemetry) carries across calls and the warmup only runs once.
+  /// (cumulative) stats. Callable repeatedly; state (node charge,
+  /// supervisor, telemetry) carries across calls and the warmup only runs
+  /// once. Flushes the open telemetry buckets at the end — the standalone
+  /// campaign-style entry point.
   StreamingReaderStats run(dsp::Real sim_seconds);
+
+  /// Run exactly `polls` interrogation polls (the supervisor's quantum:
+  /// heartbeats and checkpoints land on poll boundaries). Does NOT flush
+  /// telemetry buckets — bucket closure must not depend on where restarts
+  /// chop the run, or recovery would not be byte-identical. Call
+  /// `flush_telemetry()` once at campaign end instead.
+  StreamingReaderStats run_polls(std::uint64_t polls);
+
+  /// Close the open minute/hour buckets of this reader's telemetry node.
+  void flush_telemetry();
+
+  /// Serialize the daemon's complete resumable state at a poll boundary:
+  /// pipeline carried state (stages, injectors, live plan, position),
+  /// firmware, link supervisor, cumulative stats, fault-event cursor, and
+  /// the telemetry node's full contents. Bit-exact: a reader resumed from
+  /// this payload replays the remaining polls byte-identically to one that
+  /// never stopped.
+  std::string checkpoint() const;
+
+  /// Restore from a `checkpoint()` payload. The reader must be freshly
+  /// constructed with the *same* config (seed, node id, rates are
+  /// fingerprint-checked; throws std::runtime_error on mismatch or a
+  /// corrupt payload).
+  void resume(const std::string& payload);
 
   /// Called after every poll with the poll index and whether the reading
   /// was delivered (example/demo hook).
   using PollHook = std::function<void(std::uint64_t poll, bool delivered)>;
   void set_poll_hook(PollHook hook) { hook_ = std::move(hook); }
 
-  fleet::TelemetryStore& telemetry() { return telemetry_; }
+  /// Cumulative stats so far (same snapshot run/run_polls return).
+  StreamingReaderStats stats() const;
+
+  /// Fold telemetry-ring drops into the cumulative (checkpointed) stats —
+  /// the runtime collector calls this with each drain's exact eviction
+  /// count.
+  void add_events_dropped(std::uint64_t n) { stats_.events_dropped += n; }
+
+  /// The store readings land in: the shared fleet store when configured,
+  /// otherwise the reader's own.
+  fleet::TelemetryStore& telemetry() {
+    return config_.shared_store ? *config_.shared_store : telemetry_;
+  }
+  /// The node index this reader writes within `telemetry()`.
+  std::size_t store_node() const {
+    return config_.shared_store ? config_.store_node : 0;
+  }
+  std::uint64_t polls_done() const { return poll_index_; }
   LinkSupervisor& supervisor() { return supervisor_; }
   stream::StreamPipeline& pipeline() { return pipeline_; }
   const StreamingReaderConfig& config() const { return config_; }
@@ -89,10 +155,13 @@ class StreamingReader {
   /// capture window, advance the stream past the window, decode. Returns
   /// the decoded payload bits when valid.
   std::optional<phy::Bits> exchange(const phy::Command& cmd,
-                                    StreamingReaderStats& stats,
                                     dsp::Real* snr_db);
-  void apply_due_faults(StreamingReaderStats& stats);
-  void absorb_node_events(StreamingReaderStats& stats);
+  void apply_due_faults();
+  void absorb_node_events();
+  /// Warmup + supervisor tracking, once per process lifetime.
+  void ensure_started();
+  /// One interrogation poll ending at absolute sample `poll_end`.
+  void poll_once(std::uint64_t poll_end);
 
   StreamingReaderConfig config_;
   stream::StreamPipeline pipeline_;
@@ -101,6 +170,7 @@ class StreamingReader {
   fleet::TelemetryStore telemetry_;
   node::ConcreteEnvironment environment_;
   PollHook hook_;
+  StreamingReaderStats stats_;
   std::size_t next_fault_ = 0;
   std::uint64_t poll_index_ = 0;
   bool warmed_up_ = false;
